@@ -1,0 +1,483 @@
+//! # anr-assign — minimum-cost bipartite matching (Hungarian method)
+//!
+//! The paper's minimum-moving-distance baseline (Sec. IV) assigns robots
+//! to target coverage positions with the Hungarian method
+//! (Kuhn–Munkres), which it credits to refs. \[23\]–\[25\]. This crate
+//! implements the O(n³) shortest-augmenting-path formulation with dual
+//! potentials, plus helpers for Euclidean cost matrices and a greedy
+//! baseline used to sanity-check optimality in tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use anr_geom::Point;
+//! use anr_assign::{euclidean_costs, hungarian};
+//!
+//! let robots = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+//! let targets = vec![Point::new(10.0, 1.0), Point::new(0.0, 1.0)];
+//! let costs = euclidean_costs(&robots, &targets)?;
+//! let m = hungarian(&costs);
+//! // The identity pairing would cost ~20; crossing costs ~2.
+//! assert_eq!(m.target_of(0), 1);
+//! assert_eq!(m.target_of(1), 0);
+//! assert!(m.total_cost < 2.1);
+//! # Ok::<(), anr_assign::AssignError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use anr_geom::Point;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building cost matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AssignError {
+    /// The two point sets have different sizes (matching must be perfect
+    /// on a balanced bipartite graph, paper Def. 4–5).
+    SizeMismatch {
+        /// Number of sources.
+        sources: usize,
+        /// Number of targets.
+        targets: usize,
+    },
+    /// The problem is empty.
+    Empty,
+    /// A cost was NaN or infinite.
+    NonFiniteCost {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+}
+
+impl fmt::Display for AssignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignError::SizeMismatch { sources, targets } => {
+                write!(
+                    f,
+                    "balanced matching needs equal sizes, got {sources} vs {targets}"
+                )
+            }
+            AssignError::Empty => write!(f, "assignment problem has no participants"),
+            AssignError::NonFiniteCost { row, col } => {
+                write!(f, "cost at ({row}, {col}) is not finite")
+            }
+        }
+    }
+}
+
+impl Error for AssignError {}
+
+/// A dense square cost matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Creates an `n × n` matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// * [`AssignError::Empty`] when `n == 0`.
+    /// * [`AssignError::NonFiniteCost`] for NaN/∞ entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != n * n`.
+    pub fn new(n: usize, data: Vec<f64>) -> Result<Self, AssignError> {
+        assert_eq!(data.len(), n * n, "row-major data must be n*n long");
+        if n == 0 {
+            return Err(AssignError::Empty);
+        }
+        for (k, &c) in data.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(AssignError::NonFiniteCost {
+                    row: k / n,
+                    col: k % n,
+                });
+            }
+        }
+        Ok(CostMatrix { n, data })
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (construction rejects empty matrices).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Cost of assigning source `row` to target `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when indices are out of range.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n && col < self.n, "index out of range");
+        self.data[row * self.n + col]
+    }
+}
+
+/// Builds the Euclidean-distance cost matrix between two equal-sized
+/// point sets (paper Sec. II-A: "the cost associated with each edge is
+/// the Euclidean distance between the two incident vertices").
+///
+/// # Errors
+///
+/// [`AssignError::SizeMismatch`] or [`AssignError::Empty`].
+pub fn euclidean_costs(sources: &[Point], targets: &[Point]) -> Result<CostMatrix, AssignError> {
+    if sources.len() != targets.len() {
+        return Err(AssignError::SizeMismatch {
+            sources: sources.len(),
+            targets: targets.len(),
+        });
+    }
+    let n = sources.len();
+    if n == 0 {
+        return Err(AssignError::Empty);
+    }
+    let mut data = Vec::with_capacity(n * n);
+    for s in sources {
+        for t in targets {
+            data.push(s.distance(*t));
+        }
+    }
+    CostMatrix::new(n, data)
+}
+
+/// A perfect matching between `n` sources and `n` targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `target_of[i]` = target assigned to source `i`.
+    target_of: Vec<usize>,
+    /// Sum of matched costs.
+    pub total_cost: f64,
+}
+
+impl Assignment {
+    /// Target assigned to source `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[inline]
+    pub fn target_of(&self, i: usize) -> usize {
+        self.target_of[i]
+    }
+
+    /// The full source→target map.
+    #[inline]
+    pub fn targets(&self) -> &[usize] {
+        &self.target_of
+    }
+
+    /// Number of matched pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.target_of.len()
+    }
+
+    /// Always false for a constructed assignment.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.target_of.is_empty()
+    }
+}
+
+/// Solves the minimum-cost perfect matching with the Hungarian method
+/// (shortest augmenting paths with dual potentials, O(n³)).
+///
+/// This is the paper's "Hungarian method" comparator, which "should
+/// achieve the minimum total moving distance among all possible methods"
+/// (Sec. IV).
+///
+/// # Example
+///
+/// See the [crate-level documentation](crate).
+pub fn hungarian(costs: &CostMatrix) -> Assignment {
+    let n = costs.len();
+    // 1-based arrays; index 0 is the virtual "unmatched" row/column.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = costs.get(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the found path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut target_of = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            target_of[p[j] - 1] = j - 1;
+        }
+    }
+    let total_cost = (0..n).map(|i| costs.get(i, target_of[i])).sum();
+    Assignment {
+        target_of,
+        total_cost,
+    }
+}
+
+/// Greedy matching baseline: repeatedly matches the globally cheapest
+/// unmatched (source, target) pair. Not optimal; used to sanity-check
+/// the Hungarian solution (`hungarian ≤ greedy` always).
+pub fn greedy_assignment(costs: &CostMatrix) -> Assignment {
+    let n = costs.len();
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            pairs.push((costs.get(i, j), i, j));
+        }
+    }
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+    let mut target_of = vec![usize::MAX; n];
+    let mut taken = vec![false; n];
+    let mut matched = 0;
+    for (_, i, j) in pairs {
+        if target_of[i] == usize::MAX && !taken[j] {
+            target_of[i] = j;
+            taken[j] = true;
+            matched += 1;
+            if matched == n {
+                break;
+            }
+        }
+    }
+    let total_cost = (0..n).map(|i| costs.get(i, target_of[i])).sum();
+    Assignment {
+        target_of,
+        total_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(n: usize, rows: &[&[f64]]) -> CostMatrix {
+        let data: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        CostMatrix::new(n, data).unwrap()
+    }
+
+    /// Exhaustive minimum over all permutations (n ≤ 8).
+    fn brute_force(costs: &CostMatrix) -> f64 {
+        fn perms(n: usize) -> Vec<Vec<usize>> {
+            if n == 1 {
+                return vec![vec![0]];
+            }
+            let mut out = Vec::new();
+            for p in perms(n - 1) {
+                for k in 0..n {
+                    let mut q: Vec<usize> =
+                        p.iter().map(|&x| if x >= k { x + 1 } else { x }).collect();
+                    q.push(k);
+                    out.push(q);
+                }
+            }
+            out
+        }
+        perms(costs.len())
+            .into_iter()
+            .map(|p| (0..costs.len()).map(|i| costs.get(i, p[i])).sum())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn solves_trivial_identity() {
+        let c = mat(2, &[&[0.0, 10.0], &[10.0, 0.0]]);
+        let m = hungarian(&c);
+        assert_eq!(m.target_of(0), 0);
+        assert_eq!(m.target_of(1), 1);
+        assert_eq!(m.total_cost, 0.0);
+    }
+
+    #[test]
+    fn solves_crossing_case() {
+        let c = mat(2, &[&[10.0, 1.0], &[1.0, 10.0]]);
+        let m = hungarian(&c);
+        assert_eq!(m.target_of(0), 1);
+        assert_eq!(m.target_of(1), 0);
+        assert_eq!(m.total_cost, 2.0);
+    }
+
+    #[test]
+    fn classic_3x3() {
+        // A standard textbook instance with optimum 5 = 1 + 2 + 2.
+        let c = mat(3, &[&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0], &[3.0, 6.0, 9.0]]);
+        let m = hungarian(&c);
+        assert_eq!(m.total_cost, brute_force(&c));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut seed: u64 = 5;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for n in 2..=6 {
+            for _ in 0..10 {
+                let data: Vec<f64> = (0..n * n).map(|_| (next() * 100.0).round()).collect();
+                let c = CostMatrix::new(n, data).unwrap();
+                let m = hungarian(&c);
+                let bf = brute_force(&c);
+                assert!(
+                    (m.total_cost - bf).abs() < 1e-9,
+                    "n={n}: hungarian {} vs brute force {bf}",
+                    m.total_cost
+                );
+                // Must be a permutation.
+                let mut seen = vec![false; n];
+                for i in 0..n {
+                    assert!(!seen[m.target_of(i)]);
+                    seen[m.target_of(i)] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hungarian_never_beats_greedy_in_reverse() {
+        let mut seed: u64 = 77;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for _ in 0..20 {
+            let n = 10;
+            let data: Vec<f64> = (0..n * n).map(|_| next() * 100.0).collect();
+            let c = CostMatrix::new(n, data).unwrap();
+            assert!(hungarian(&c).total_cost <= greedy_assignment(&c).total_cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn euclidean_costs_square() {
+        let s = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let t = vec![Point::new(0.0, 1.0), Point::new(1.0, 1.0)];
+        let c = euclidean_costs(&s, &t).unwrap();
+        assert_eq!(c.get(0, 0), 1.0);
+        assert!((c.get(0, 1) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euclidean_rejects_mismatch() {
+        let s = vec![Point::new(0.0, 0.0)];
+        assert!(matches!(
+            euclidean_costs(&s, &[]),
+            Err(AssignError::SizeMismatch {
+                sources: 1,
+                targets: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_nonfinite_costs() {
+        assert!(matches!(
+            CostMatrix::new(2, vec![0.0, 1.0, f64::NAN, 2.0]),
+            Err(AssignError::NonFiniteCost { row: 1, col: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            CostMatrix::new(0, vec![]),
+            Err(AssignError::Empty)
+        ));
+    }
+
+    #[test]
+    fn single_element() {
+        let c = mat(1, &[&[7.5]]);
+        let m = hungarian(&c);
+        assert_eq!(m.target_of(0), 0);
+        assert_eq!(m.total_cost, 7.5);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn large_instance_runs() {
+        // 144 robots — the paper's deployment size.
+        let n = 144;
+        let mut seed: u64 = 9;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let src: Vec<Point> = (0..n)
+            .map(|_| Point::new(next() * 500.0, next() * 500.0))
+            .collect();
+        let dst: Vec<Point> = (0..n)
+            .map(|_| Point::new(next() * 500.0, next() * 500.0))
+            .collect();
+        let c = euclidean_costs(&src, &dst).unwrap();
+        let m = hungarian(&c);
+        assert!(m.total_cost > 0.0);
+        assert!(m.total_cost <= greedy_assignment(&c).total_cost + 1e-9);
+    }
+}

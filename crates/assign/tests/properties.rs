@@ -1,0 +1,91 @@
+//! Property tests: Hungarian optimality and structure.
+
+use anr_assign::{euclidean_costs, greedy_assignment, hungarian, CostMatrix};
+use anr_geom::Point;
+use proptest::prelude::*;
+
+/// Exhaustive optimum over all permutations (test oracle, n ≤ 6).
+fn brute_force(costs: &CostMatrix) -> f64 {
+    fn go(costs: &CostMatrix, row: usize, used: &mut Vec<bool>, acc: f64, best: &mut f64) {
+        if row == costs.len() {
+            *best = best.min(acc);
+            return;
+        }
+        if acc >= *best {
+            return;
+        }
+        for col in 0..costs.len() {
+            if !used[col] {
+                used[col] = true;
+                go(costs, row + 1, used, acc + costs.get(row, col), best);
+                used[col] = false;
+            }
+        }
+    }
+    let mut best = f64::INFINITY;
+    go(costs, 0, &mut vec![false; costs.len()], 0.0, &mut best);
+    best
+}
+
+fn arb_matrix(max_n: usize) -> impl Strategy<Value = CostMatrix> {
+    (2..=max_n).prop_flat_map(|n| {
+        prop::collection::vec(0.0..100.0f64, n * n)
+            .prop_map(move |data| CostMatrix::new(n, data).expect("valid"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn hungarian_matches_brute_force(costs in arb_matrix(6)) {
+        let m = hungarian(&costs);
+        let opt = brute_force(&costs);
+        prop_assert!((m.total_cost - opt).abs() < 1e-9,
+            "hungarian {} vs optimum {}", m.total_cost, opt);
+    }
+
+    #[test]
+    fn hungarian_result_is_permutation(costs in arb_matrix(12)) {
+        let m = hungarian(&costs);
+        let mut seen = vec![false; costs.len()];
+        for i in 0..costs.len() {
+            let t = m.target_of(i);
+            prop_assert!(!seen[t], "target {} assigned twice", t);
+            seen[t] = true;
+        }
+    }
+
+    #[test]
+    fn hungarian_never_worse_than_greedy(costs in arb_matrix(12)) {
+        prop_assert!(hungarian(&costs).total_cost <= greedy_assignment(&costs).total_cost + 1e-9);
+    }
+
+    #[test]
+    fn row_shift_invariance(costs in arb_matrix(6), shift in 0.0..50.0f64) {
+        // Adding a constant to one row changes the total by exactly that
+        // constant and preserves the optimal assignment structure.
+        let n = costs.len();
+        let mut data = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                data.push(costs.get(i, j) + if i == 0 { shift } else { 0.0 });
+            }
+        }
+        let shifted = CostMatrix::new(n, data).expect("valid");
+        let base = hungarian(&costs).total_cost;
+        let after = hungarian(&shifted).total_cost;
+        prop_assert!((after - base - shift).abs() < 1e-9);
+    }
+
+    #[test]
+    fn euclidean_assignment_beats_identity(
+        pts in prop::collection::vec((0.0..500.0f64, 0.0..500.0f64), 3..12)
+    ) {
+        // The optimal matching never exceeds the identity pairing cost.
+        let src: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let dst: Vec<Point> = pts.iter().rev().map(|&(x, y)| Point::new(x + 50.0, y)).collect();
+        let costs = euclidean_costs(&src, &dst).expect("balanced");
+        let m = hungarian(&costs);
+        let identity: f64 = (0..src.len()).map(|i| costs.get(i, i)).sum();
+        prop_assert!(m.total_cost <= identity + 1e-9);
+    }
+}

@@ -1,0 +1,35 @@
+//! Fig. 3, rows 4 and 5: total moving distance and total stable link
+//! ratio versus FoI separation (10×–100× r_c) for scenarios 1 (similar
+//! boundary), 2 (dissimilar boundary), 4 (big convex hole) and
+//! 5 (multiple small holes).
+//!
+//! ```sh
+//! cargo run --release -p anr-bench --bin fig3_scenarios            # all four
+//! cargo run --release -p anr-bench --bin fig3_scenarios -- --scenario 2
+//! cargo run --release -p anr-bench --bin fig3_scenarios -- --quick
+//! ```
+
+use anr_bench::{
+    paper_separations, print_sweep_header, quick_flag, quick_separations, scenario_flag,
+    sweep_scenario,
+};
+use anr_march::MarchConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let separations = if quick_flag() {
+        quick_separations()
+    } else {
+        paper_separations()
+    };
+    let scenarios: Vec<u8> = match scenario_flag() {
+        Some(id) => vec![id],
+        None => vec![1, 2, 4, 5],
+    };
+    let config = MarchConfig::default();
+
+    print_sweep_header();
+    for id in scenarios {
+        sweep_scenario(id, &separations, &config)?;
+    }
+    Ok(())
+}

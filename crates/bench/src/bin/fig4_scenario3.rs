@@ -1,0 +1,23 @@
+//! Fig. 4: total moving distance and total stable link ratio versus FoI
+//! separation for scenario 3 — the target FoI with the concave
+//! flower-shaped pond of Fig. 2(d).
+//!
+//! ```sh
+//! cargo run --release -p anr-bench --bin fig4_scenario3
+//! ```
+
+use anr_bench::{
+    paper_separations, print_sweep_header, quick_flag, quick_separations, sweep_scenario,
+};
+use anr_march::MarchConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let separations = if quick_flag() {
+        quick_separations()
+    } else {
+        paper_separations()
+    };
+    print_sweep_header();
+    sweep_scenario(3, &separations, &MarchConfig::default())?;
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! Fig. 5: the hole-to-hole scenarios 6 and 7 — total moving distance
+//! and total stable link ratio versus FoI separation when both FoIs
+//! contain holes.
+//!
+//! ```sh
+//! cargo run --release -p anr-bench --bin fig5_hole_to_hole
+//! ```
+
+use anr_bench::{
+    paper_separations, print_sweep_header, quick_flag, quick_separations, scenario_flag,
+    sweep_scenario,
+};
+use anr_march::MarchConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let separations = if quick_flag() {
+        quick_separations()
+    } else {
+        paper_separations()
+    };
+    let scenarios: Vec<u8> = match scenario_flag() {
+        Some(id) => vec![id],
+        None => vec![6, 7],
+    };
+    print_sweep_header();
+    for id in scenarios {
+        sweep_scenario(id, &separations, &MarchConfig::default())?;
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Renders the FoI geometry of all seven scenarios as SVG maps (the
+//! "first row" panels of the paper's Figs. 3 and 5): current FoI with
+//! the deployed swarm, target FoI with its holes.
+//!
+//! ```sh
+//! cargo run --release -p anr-bench --bin render_scenarios
+//! # SVGs land in target/figures/scenarios/
+//! ```
+
+use anr_coverage::deploy_exactly;
+use anr_netgraph::UnitDiskGraph;
+use anr_scenarios::{build_scenario, ScenarioParams};
+use anr_viz::{palette, SvgCanvas};
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = PathBuf::from("target/figures/scenarios");
+    std::fs::create_dir_all(&out_dir)?;
+
+    for id in 1..=7u8 {
+        let s = build_scenario(
+            id,
+            &ScenarioParams {
+                separation_ranges: 12.0, // compact layout for the map
+                ..Default::default()
+            },
+        )?;
+        let positions = deploy_exactly(&s.m1, s.robots).expect("deployment fits");
+        let graph = UnitDiskGraph::new(&positions, s.range);
+
+        let mut svg = SvgCanvas::fitting([s.m1.bbox(), s.m2.bbox()], 1200.0);
+        svg.region(&s.m1, palette::FOI_FILL, palette::FOI_STROKE);
+        svg.region(&s.m2, palette::FOI_FILL, palette::FOI_STROKE);
+        for (i, j) in graph.links() {
+            svg.line(positions[i], positions[j], palette::PRESERVED, 0.7);
+        }
+        for &p in &positions {
+            svg.robot(p, 2.0, palette::ROBOT);
+        }
+        // Label the two fields.
+        let c1 = s.m1.centroid();
+        let c2 = s.m2.centroid();
+        svg.text(
+            anr_geom::Point::new(c1.x, s.m1.bbox().max.y + 30.0),
+            16.0,
+            &format!("M1 ({:.0} m²)", s.m1.area()),
+        );
+        svg.text(
+            anr_geom::Point::new(c2.x, s.m2.bbox().max.y + 30.0),
+            16.0,
+            &format!("M2 ({:.0} m², {} holes)", s.m2.area(), s.m2.holes().len()),
+        );
+        svg.save(out_dir.join(format!("scenario{id}.svg")))?;
+        println!("scenario {id}: {}", s.name);
+    }
+    println!("maps written to {}", out_dir.display());
+    Ok(())
+}

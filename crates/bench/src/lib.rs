@@ -1,0 +1,290 @@
+//! # anr-bench — experiment harness for the ICDCS 2016 reproduction
+//!
+//! Shared plumbing for the per-figure experiment binaries (see
+//! `src/bin/`): scenario → problem construction, running all four
+//! methods, and CSV emission. Every table and figure of the paper's
+//! evaluation maps to one binary:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig2_pipeline` | Fig. 2 pipeline stages (SVG + stage stats) |
+//! | `fig3_scenarios` | Fig. 3 rows 4–5 (scenarios 1, 2, 4, 5) |
+//! | `fig4_scenario3` | Fig. 4 (scenario 3, flower pond) |
+//! | `fig5_hole_to_hole` | Fig. 5 (scenarios 6, 7) |
+//! | `table1_connectivity` | Table I (global connectivity Y/N) |
+//! | `fig6_density` | Fig. 6 (density-adjusted deployment) |
+//! | `ablation_*` | design-choice ablations from DESIGN.md |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use anr_march::{
+    direct_translation, hungarian_direct, march, MarchConfig, MarchError, MarchOutcome,
+    MarchProblem, Method,
+};
+use anr_scenarios::{build_scenario, ScenarioError, ScenarioParams};
+use std::error::Error;
+use std::fmt;
+
+/// Experiment-level error.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// Scenario construction failed.
+    Scenario(ScenarioError),
+    /// A method run failed.
+    March(MarchError),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Scenario(e) => write!(f, "scenario: {e}"),
+            BenchError::March(e) => write!(f, "march: {e}"),
+        }
+    }
+}
+
+impl Error for BenchError {}
+
+impl From<ScenarioError> for BenchError {
+    fn from(e: ScenarioError) -> Self {
+        BenchError::Scenario(e)
+    }
+}
+
+impl From<MarchError> for BenchError {
+    fn from(e: MarchError) -> Self {
+        BenchError::March(e)
+    }
+}
+
+/// Builds the marching problem for scenario `id` at the given separation
+/// (in communication ranges).
+///
+/// # Errors
+///
+/// Propagates scenario/problem construction failures.
+pub fn scenario_problem(id: u8, separation_ranges: f64) -> Result<MarchProblem, BenchError> {
+    let s = build_scenario(
+        id,
+        &ScenarioParams {
+            separation_ranges,
+            ..Default::default()
+        },
+    )?;
+    Ok(MarchProblem::with_lattice_deployment(
+        s.m1, s.m2, s.robots, s.range,
+    )?)
+}
+
+/// The four evaluated methods, in the paper's presentation order.
+pub const METHOD_NAMES: [&str; 4] = ["ours_a", "ours_b", "direct_translation", "hungarian"];
+
+/// Runs all four methods on `problem`, in [`METHOD_NAMES`] order.
+///
+/// # Errors
+///
+/// Propagates the first method failure.
+pub fn run_all_methods(
+    problem: &MarchProblem,
+    config: &MarchConfig,
+) -> Result<Vec<(&'static str, MarchOutcome)>, BenchError> {
+    Ok(vec![
+        ("ours_a", march(problem, Method::MaxStableLinks, config)?),
+        ("ours_b", march(problem, Method::MinMovingDistance, config)?),
+        ("direct_translation", direct_translation(problem, config)?),
+        ("hungarian", hungarian_direct(problem, config)?),
+    ])
+}
+
+/// Prints the CSV header used by the sweep binaries.
+pub fn print_sweep_header() {
+    println!("scenario,separation_ranges,method,total_distance_m,distance_ratio_vs_hungarian,stable_link_ratio,global_connectivity");
+}
+
+/// One measured point of a separation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Scenario id (1–7).
+    pub scenario: u8,
+    /// FoI separation in communication ranges.
+    pub separation: f64,
+    /// Method name (see [`METHOD_NAMES`]).
+    pub method: &'static str,
+    /// Total moving distance `D` in metres.
+    pub distance: f64,
+    /// `D` relative to the Hungarian optimum at the same separation.
+    pub ratio: f64,
+    /// Total stable link ratio `L`.
+    pub link_ratio: f64,
+    /// Global connectivity `C`.
+    pub connected: u8,
+}
+
+/// Runs the full four-method comparison over a separation sweep,
+/// returning one row per (separation, method).
+///
+/// # Errors
+///
+/// Propagates scenario/method failures.
+pub fn sweep_scenario_rows(
+    id: u8,
+    separations: &[f64],
+    config: &MarchConfig,
+) -> Result<Vec<SweepRow>, BenchError> {
+    let mut rows = Vec::new();
+    for &sep in separations {
+        let problem = scenario_problem(id, sep)?;
+        let results = run_all_methods(&problem, config)?;
+        let hungarian_d = results
+            .iter()
+            .find(|(name, _)| *name == "hungarian")
+            .map(|(_, o)| o.metrics.total_distance)
+            .expect("hungarian always present");
+        for (name, outcome) in &results {
+            rows.push(SweepRow {
+                scenario: id,
+                separation: sep,
+                method: name,
+                distance: outcome.metrics.total_distance,
+                ratio: outcome.metrics.total_distance / hungarian_d,
+                link_ratio: outcome.metrics.stable_link_ratio,
+                connected: outcome.metrics.global_connectivity,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Prints sweep rows as CSV (header via [`print_sweep_header`]).
+pub fn print_rows(rows: &[SweepRow]) {
+    for r in rows {
+        println!(
+            "{},{},{},{:.1},{:.4},{:.4},{}",
+            r.scenario, r.separation, r.method, r.distance, r.ratio, r.link_ratio, r.connected,
+        );
+    }
+}
+
+/// Writes the two per-scenario SVG charts (the paper's rows 4 and 5:
+/// D/D_hungarian and L versus separation) into `dir`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_sweep_charts(id: u8, rows: &[SweepRow], dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let series = |metric: fn(&SweepRow) -> f64, method: &str| -> Vec<(f64, f64)> {
+        rows.iter()
+            .filter(|r| r.scenario == id && r.method == method)
+            .map(|r| (r.separation, metric(r)))
+            .collect()
+    };
+    let labels = [
+        ("ours (a)", "ours_a"),
+        ("ours (b)", "ours_b"),
+        ("direct translation", "direct_translation"),
+        ("Hungarian", "hungarian"),
+    ];
+
+    let mut dchart = anr_viz::LineChart::new(
+        &format!("Scenario {id}: total moving distance vs. separation"),
+        "separation (× communication range)",
+        "D / D_hungarian",
+    );
+    for (label, method) in labels {
+        dchart.add_series(label, series(|r| r.ratio, method));
+    }
+    dchart.save(dir.join(format!("scenario{id}_distance.svg")))?;
+
+    let mut lchart = anr_viz::LineChart::new(
+        &format!("Scenario {id}: total stable link ratio vs. separation"),
+        "separation (× communication range)",
+        "L",
+    );
+    lchart.y_from_zero(true);
+    for (label, method) in labels {
+        lchart.add_series(label, series(|r| r.link_ratio, method));
+    }
+    lchart.save(dir.join(format!("scenario{id}_link_ratio.svg")))?;
+    Ok(())
+}
+
+/// Runs the comparison sweep, prints CSV and — when `--charts <dir>` is
+/// passed — writes the per-scenario SVG charts.
+///
+/// # Errors
+///
+/// Propagates scenario/method failures; chart I/O errors are reported to
+/// stderr without failing the run.
+pub fn sweep_scenario(id: u8, separations: &[f64], config: &MarchConfig) -> Result<(), BenchError> {
+    let rows = sweep_scenario_rows(id, separations, config)?;
+    print_rows(&rows);
+    if let Some(dir) = charts_flag() {
+        if let Err(e) = write_sweep_charts(id, &rows, &dir) {
+            eprintln!("warning: failed to write charts to {}: {e}", dir.display());
+        }
+    }
+    Ok(())
+}
+
+/// Parses `--charts <dir>` from the CLI arguments.
+pub fn charts_flag() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--charts")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+}
+
+/// The paper's separation sweep: 10×–100× the communication range.
+pub fn paper_separations() -> Vec<f64> {
+    (1..=10).map(|k| 10.0 * k as f64).collect()
+}
+
+/// A shorter sweep for quick runs (`--quick`).
+pub fn quick_separations() -> Vec<f64> {
+    vec![10.0, 40.0, 100.0]
+}
+
+/// Returns true when `--quick` is among the CLI arguments.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Parses `--scenario <id>` from the CLI arguments.
+pub fn scenario_flag() -> Option<u8> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--scenario")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_problem_builds() {
+        let p = scenario_problem(1, 15.0).unwrap();
+        assert_eq!(p.num_robots(), 144);
+    }
+
+    #[test]
+    fn run_all_methods_order() {
+        let p = scenario_problem(1, 12.0).unwrap();
+        let results = run_all_methods(&p, &MarchConfig::default()).unwrap();
+        let names: Vec<&str> = results.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, METHOD_NAMES.to_vec());
+    }
+
+    #[test]
+    fn separations_cover_paper_range() {
+        let s = paper_separations();
+        assert_eq!(s.first(), Some(&10.0));
+        assert_eq!(s.last(), Some(&100.0));
+        assert_eq!(s.len(), 10);
+    }
+}

@@ -1,0 +1,435 @@
+//! Argument parsing for the `anr` binary.
+
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Which method to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodArg {
+    /// Our method (a): maximize the stable link ratio.
+    OursA,
+    /// Our method (b): minimize the moving distance.
+    OursB,
+    /// Direct-translation baseline.
+    Direct,
+    /// Hungarian baseline.
+    Hungarian,
+    /// All four, in the paper's order.
+    All,
+}
+
+impl MethodArg {
+    fn parse(s: &str) -> Result<Self, ArgError> {
+        match s {
+            "a" | "ours_a" => Ok(MethodArg::OursA),
+            "b" | "ours_b" => Ok(MethodArg::OursB),
+            "direct" | "direct_translation" => Ok(MethodArg::Direct),
+            "hungarian" | "hung" => Ok(MethodArg::Hungarian),
+            "all" => Ok(MethodArg::All),
+            other => Err(ArgError::BadValue {
+                flag: "--method",
+                value: other.to_string(),
+                expected: "a | b | direct | hungarian | all",
+            }),
+        }
+    }
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `anr scenario --id N [--method M] [--separation S] [--robots R]`
+    Scenario {
+        /// Scenario id (1–7).
+        id: u8,
+        /// Method selection.
+        method: MethodArg,
+        /// FoI separation in communication ranges.
+        separation: f64,
+        /// Robot count.
+        robots: usize,
+    },
+    /// `anr sweep --id N [--quick] [--charts DIR]`
+    Sweep {
+        /// Scenario id (1–7).
+        id: u8,
+        /// Use the short separation sweep.
+        quick: bool,
+        /// Optional chart output directory.
+        charts: Option<PathBuf>,
+    },
+    /// `anr render --id N [--out DIR] [--separation S]`
+    Render {
+        /// Scenario id (1–7).
+        id: u8,
+        /// Output directory for the SVGs.
+        out: PathBuf,
+        /// FoI separation in communication ranges.
+        separation: f64,
+    },
+    /// `anr mission [--stops K] [--robots R]`
+    Mission {
+        /// Number of FoIs on the tour (≥ 2).
+        stops: usize,
+        /// Robot count.
+        robots: usize,
+    },
+    /// `anr info` — the scenario catalog.
+    Info,
+    /// `anr help` / `--help`.
+    Help,
+}
+
+/// Argument-parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArgError {
+    /// No subcommand given.
+    NoCommand,
+    /// Unknown subcommand.
+    UnknownCommand {
+        /// The offending word.
+        got: String,
+    },
+    /// Unknown flag for the subcommand.
+    UnknownFlag {
+        /// The offending flag.
+        flag: String,
+    },
+    /// A flag is missing its value.
+    MissingValue {
+        /// The flag without a value.
+        flag: String,
+    },
+    /// A flag's value failed to parse.
+    BadValue {
+        /// The flag.
+        flag: &'static str,
+        /// The raw value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A required flag is absent.
+    MissingFlag {
+        /// The absent flag.
+        flag: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::NoCommand => write!(f, "no command given (try `anr help`)"),
+            ArgError::UnknownCommand { got } => {
+                write!(f, "unknown command `{got}` (try `anr help`)")
+            }
+            ArgError::UnknownFlag { flag } => write!(f, "unknown flag `{flag}`"),
+            ArgError::MissingValue { flag } => write!(f, "flag `{flag}` needs a value"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "bad value `{value}` for {flag} (expected {expected})"),
+            ArgError::MissingFlag { flag } => write!(f, "required flag `{flag}` missing"),
+        }
+    }
+}
+
+impl Error for ArgError {}
+
+/// The help text.
+pub const HELP: &str = "\
+anr — optimal marching of autonomous networked robots (ICDCS 2016)
+
+USAGE:
+  anr scenario --id <1-7> [--method a|b|direct|hungarian|all]
+               [--separation <ranges>] [--robots <n>]
+  anr sweep    --id <1-7> [--quick] [--charts <dir>]
+  anr render   --id <1-7> [--out <dir>] [--separation <ranges>]
+  anr mission  [--stops <k>] [--robots <n>]
+  anr info
+  anr help
+";
+
+struct Cursor {
+    args: Vec<String>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn next(&mut self) -> Option<String> {
+        let v = self.args.get(self.pos).cloned();
+        if v.is_some() {
+            self.pos += 1;
+        }
+        v
+    }
+
+    fn value_for(&mut self, flag: &str) -> Result<String, ArgError> {
+        self.next().ok_or(ArgError::MissingValue {
+            flag: flag.to_string(),
+        })
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(
+    flag: &'static str,
+    raw: &str,
+    expected: &'static str,
+) -> Result<T, ArgError> {
+    raw.parse().map_err(|_| ArgError::BadValue {
+        flag,
+        value: raw.to_string(),
+        expected,
+    })
+}
+
+/// Parses command-line arguments (exclusive of the program name).
+///
+/// # Errors
+///
+/// [`ArgError`] describing the first problem encountered.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ArgError> {
+    let mut cur = Cursor {
+        args: args.into_iter().collect(),
+        pos: 0,
+    };
+    let cmd = cur.next().ok_or(ArgError::NoCommand)?;
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "info" => Ok(Command::Info),
+        "scenario" => {
+            let mut id = None;
+            let mut method = MethodArg::All;
+            let mut separation = 30.0;
+            let mut robots = 144usize;
+            while let Some(flag) = cur.next() {
+                match flag.as_str() {
+                    "--id" => id = Some(parse_num::<u8>("--id", &cur.value_for("--id")?, "1-7")?),
+                    "--method" => method = MethodArg::parse(&cur.value_for("--method")?)?,
+                    "--separation" => {
+                        separation =
+                            parse_num("--separation", &cur.value_for("--separation")?, "a number")?
+                    }
+                    "--robots" => {
+                        robots = parse_num("--robots", &cur.value_for("--robots")?, "an integer")?
+                    }
+                    other => {
+                        return Err(ArgError::UnknownFlag {
+                            flag: other.to_string(),
+                        })
+                    }
+                }
+            }
+            Ok(Command::Scenario {
+                id: id.ok_or(ArgError::MissingFlag { flag: "--id" })?,
+                method,
+                separation,
+                robots,
+            })
+        }
+        "sweep" => {
+            let mut id = None;
+            let mut quick = false;
+            let mut charts = None;
+            while let Some(flag) = cur.next() {
+                match flag.as_str() {
+                    "--id" => id = Some(parse_num::<u8>("--id", &cur.value_for("--id")?, "1-7")?),
+                    "--quick" => quick = true,
+                    "--charts" => charts = Some(PathBuf::from(cur.value_for("--charts")?)),
+                    other => {
+                        return Err(ArgError::UnknownFlag {
+                            flag: other.to_string(),
+                        })
+                    }
+                }
+            }
+            Ok(Command::Sweep {
+                id: id.ok_or(ArgError::MissingFlag { flag: "--id" })?,
+                quick,
+                charts,
+            })
+        }
+        "render" => {
+            let mut id = None;
+            let mut out = PathBuf::from("target/figures");
+            let mut separation = 30.0;
+            while let Some(flag) = cur.next() {
+                match flag.as_str() {
+                    "--id" => id = Some(parse_num::<u8>("--id", &cur.value_for("--id")?, "1-7")?),
+                    "--out" => out = PathBuf::from(cur.value_for("--out")?),
+                    "--separation" => {
+                        separation =
+                            parse_num("--separation", &cur.value_for("--separation")?, "a number")?
+                    }
+                    other => {
+                        return Err(ArgError::UnknownFlag {
+                            flag: other.to_string(),
+                        })
+                    }
+                }
+            }
+            Ok(Command::Render {
+                id: id.ok_or(ArgError::MissingFlag { flag: "--id" })?,
+                out,
+                separation,
+            })
+        }
+        "mission" => {
+            let mut stops = 3usize;
+            let mut robots = 144usize;
+            while let Some(flag) = cur.next() {
+                match flag.as_str() {
+                    "--stops" => {
+                        stops = parse_num("--stops", &cur.value_for("--stops")?, "an integer ≥ 2")?
+                    }
+                    "--robots" => {
+                        robots = parse_num("--robots", &cur.value_for("--robots")?, "an integer")?
+                    }
+                    other => {
+                        return Err(ArgError::UnknownFlag {
+                            flag: other.to_string(),
+                        })
+                    }
+                }
+            }
+            Ok(Command::Mission { stops, robots })
+        }
+        other => Err(ArgError::UnknownCommand {
+            got: other.to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Command, ArgError> {
+        parse_args(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_scenario_defaults() {
+        let cmd = parse(&["scenario", "--id", "3"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Scenario {
+                id: 3,
+                method: MethodArg::All,
+                separation: 30.0,
+                robots: 144,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_scenario_full() {
+        let cmd = parse(&[
+            "scenario",
+            "--id",
+            "7",
+            "--method",
+            "b",
+            "--separation",
+            "50",
+            "--robots",
+            "64",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Scenario {
+                id: 7,
+                method: MethodArg::OursB,
+                separation: 50.0,
+                robots: 64,
+            }
+        );
+    }
+
+    #[test]
+    fn method_aliases() {
+        assert_eq!(MethodArg::parse("a").unwrap(), MethodArg::OursA);
+        assert_eq!(MethodArg::parse("ours_b").unwrap(), MethodArg::OursB);
+        assert_eq!(MethodArg::parse("hung").unwrap(), MethodArg::Hungarian);
+        assert!(MethodArg::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn sweep_flags() {
+        let cmd = parse(&["sweep", "--id", "2", "--quick", "--charts", "out"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                id: 2,
+                quick: true,
+                charts: Some(PathBuf::from("out")),
+            }
+        );
+    }
+
+    #[test]
+    fn missing_required_id() {
+        assert_eq!(
+            parse(&["sweep"]),
+            Err(ArgError::MissingFlag { flag: "--id" })
+        );
+    }
+
+    #[test]
+    fn missing_value() {
+        assert!(matches!(
+            parse(&["scenario", "--id"]),
+            Err(ArgError::MissingValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_flag_and_command() {
+        assert!(matches!(
+            parse(&["scenario", "--id", "1", "--bogus", "x"]),
+            Err(ArgError::UnknownFlag { .. })
+        ));
+        assert!(matches!(
+            parse(&["frobnicate"]),
+            Err(ArgError::UnknownCommand { .. })
+        ));
+        assert_eq!(parse(&[]), Err(ArgError::NoCommand));
+    }
+
+    #[test]
+    fn info_parses() {
+        assert_eq!(parse(&["info"]).unwrap(), Command::Info);
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in [&["help"][..], &["--help"], &["-h"]] {
+            assert_eq!(parse(h).unwrap(), Command::Help);
+        }
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        assert!(matches!(
+            parse(&["scenario", "--id", "three"]),
+            Err(ArgError::BadValue { flag: "--id", .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            ArgError::NoCommand,
+            ArgError::UnknownCommand { got: "x".into() },
+            ArgError::UnknownFlag { flag: "--x".into() },
+            ArgError::MissingValue { flag: "--x".into() },
+            ArgError::MissingFlag { flag: "--id" },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Command execution for the `anr` binary.
+
+use crate::{Command, MethodArg};
+use anr_geom::Point;
+use anr_march::{
+    direct_translation, hungarian_direct, march, march_mission, MarchConfig, MarchError,
+    MarchOutcome, MarchProblem, Method, Mission,
+};
+use anr_netgraph::UnitDiskGraph;
+use anr_scenarios::{blob, build_scenario, ScenarioError, ScenarioParams};
+use anr_viz::{palette, SvgCanvas};
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the CLI commands.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Scenario construction failed.
+    Scenario(ScenarioError),
+    /// A marching run failed.
+    March(MarchError),
+    /// File output failed.
+    Io(std::io::Error),
+    /// A parameter is out of range for the command.
+    BadParameter(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Scenario(e) => write!(f, "scenario: {e}"),
+            CliError::March(e) => write!(f, "march: {e}"),
+            CliError::Io(e) => write!(f, "io: {e}"),
+            CliError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl From<ScenarioError> for CliError {
+    fn from(e: ScenarioError) -> Self {
+        CliError::Scenario(e)
+    }
+}
+
+impl From<MarchError> for CliError {
+    fn from(e: MarchError) -> Self {
+        CliError::March(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+fn scenario_problem(id: u8, separation: f64, robots: usize) -> Result<MarchProblem, CliError> {
+    let s = build_scenario(
+        id,
+        &ScenarioParams {
+            robots,
+            separation_ranges: separation,
+            ..Default::default()
+        },
+    )?;
+    Ok(MarchProblem::with_lattice_deployment(
+        s.m1, s.m2, s.robots, s.range,
+    )?)
+}
+
+fn print_outcome(name: &str, out: &MarchOutcome) {
+    println!(
+        "{:<20} L = {:.3}  D = {:>9.0} m  C = {}  preserved {}/{} links, {} new",
+        name,
+        out.metrics.stable_link_ratio,
+        out.metrics.total_distance,
+        out.metrics.global_connectivity,
+        out.metrics.preserved_links,
+        out.metrics.initial_links,
+        out.metrics.new_links,
+    );
+}
+
+/// Executes a parsed command. Returns the process exit code.
+///
+/// # Errors
+///
+/// [`CliError`] on any failure; `main` prints it and exits non-zero.
+pub fn run_command(command: Command) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            print!("{}", crate::args::HELP);
+            Ok(())
+        }
+        Command::Info => {
+            println!(
+                "{:<4} {:<50} {:>12} {:>12} {:>6}",
+                "id", "scenario", "M1 area m²", "M2 area m²", "holes"
+            );
+            for id in 1..=7u8 {
+                let s = build_scenario(id, &ScenarioParams::default())?;
+                println!(
+                    "{:<4} {:<50} {:>12.0} {:>12.0} {:>3}+{}",
+                    id,
+                    s.name,
+                    s.m1.area(),
+                    s.m2.area(),
+                    s.m1.holes().len(),
+                    s.m2.holes().len(),
+                );
+            }
+            println!("\ndefaults: 144 robots, r_c = 80 m, separation 30 × r_c");
+            Ok(())
+        }
+        Command::Scenario {
+            id,
+            method,
+            separation,
+            robots,
+        } => {
+            let problem = scenario_problem(id, separation, robots)?;
+            let config = MarchConfig::default();
+            println!(
+                "scenario {id}: {} robots, separation {:.0} m",
+                problem.num_robots(),
+                separation * problem.range,
+            );
+            let runs: Vec<(&str, MethodArg)> = match method {
+                MethodArg::All => vec![
+                    ("our method (a)", MethodArg::OursA),
+                    ("our method (b)", MethodArg::OursB),
+                    ("direct translation", MethodArg::Direct),
+                    ("Hungarian", MethodArg::Hungarian),
+                ],
+                m => vec![(label_of(m), m)],
+            };
+            for (name, m) in runs {
+                let out = run_method(&problem, m, &config)?;
+                print_outcome(name, &out);
+            }
+            Ok(())
+        }
+        Command::Sweep { id, quick, charts } => {
+            let separations: Vec<f64> = if quick {
+                vec![10.0, 40.0, 100.0]
+            } else {
+                (1..=10).map(|k| 10.0 * k as f64).collect()
+            };
+            let config = MarchConfig::default();
+            println!("scenario,separation_ranges,method,total_distance_m,stable_link_ratio,global_connectivity");
+            let mut rows: Vec<(f64, &str, f64, f64)> = Vec::new();
+            for &sep in &separations {
+                let problem = scenario_problem(id, sep, 144)?;
+                for (name, m) in [
+                    ("ours_a", MethodArg::OursA),
+                    ("ours_b", MethodArg::OursB),
+                    ("direct_translation", MethodArg::Direct),
+                    ("hungarian", MethodArg::Hungarian),
+                ] {
+                    let out = run_method(&problem, m, &config)?;
+                    println!(
+                        "{id},{sep},{name},{:.1},{:.4},{}",
+                        out.metrics.total_distance,
+                        out.metrics.stable_link_ratio,
+                        out.metrics.global_connectivity,
+                    );
+                    rows.push((
+                        sep,
+                        name,
+                        out.metrics.total_distance,
+                        out.metrics.stable_link_ratio,
+                    ));
+                }
+            }
+            if let Some(dir) = charts {
+                std::fs::create_dir_all(&dir)?;
+                let mut chart = anr_viz::LineChart::new(
+                    &format!("Scenario {id}: stable link ratio"),
+                    "separation (× r_c)",
+                    "L",
+                );
+                chart.y_from_zero(true);
+                for name in ["ours_a", "ours_b", "direct_translation", "hungarian"] {
+                    chart.add_series(
+                        name,
+                        rows.iter()
+                            .filter(|(_, n, _, _)| *n == name)
+                            .map(|&(s, _, _, l)| (s, l))
+                            .collect(),
+                    );
+                }
+                chart.save(dir.join(format!("scenario{id}_link_ratio.svg")))?;
+                println!("chart written to {}", dir.display());
+            }
+            Ok(())
+        }
+        Command::Render {
+            id,
+            out,
+            separation,
+        } => {
+            let problem = scenario_problem(id, separation, 144)?;
+            let outcome = march(&problem, Method::MaxStableLinks, &MarchConfig::default())?;
+            std::fs::create_dir_all(&out)?;
+
+            let initial = UnitDiskGraph::new(&problem.positions, problem.range);
+            let mut svg = SvgCanvas::fitting([problem.m1.bbox()], 800.0);
+            svg.deployment(&problem.m1, &problem.positions, &initial.links(), |_, _| {
+                true
+            });
+            svg.save(out.join(format!("scenario{id}_before.svg")))?;
+
+            let after = UnitDiskGraph::new(&outcome.final_positions, problem.range);
+            let mut svg = SvgCanvas::fitting([problem.m2.bbox()], 800.0);
+            svg.deployment(
+                &problem.m2,
+                &outcome.final_positions,
+                &after.links(),
+                |i, j| initial.has_link(i, j),
+            );
+            svg.save(out.join(format!("scenario{id}_after.svg")))?;
+
+            let mut svg = SvgCanvas::fitting([problem.m1.bbox(), problem.m2.bbox()], 1200.0);
+            svg.region(&problem.m1, palette::FOI_FILL, palette::FOI_STROKE);
+            svg.region(&problem.m2, palette::FOI_FILL, palette::FOI_STROKE);
+            for path in outcome.transition.paths() {
+                svg.polyline(path.waypoints(), palette::TRAJECTORY, 0.5);
+            }
+            svg.save(out.join(format!("scenario{id}_trajectories.svg")))?;
+
+            println!(
+                "rendered scenario {id} to {} (L = {:.3}, C = {})",
+                out.display(),
+                outcome.metrics.stable_link_ratio,
+                outcome.metrics.global_connectivity,
+            );
+            Ok(())
+        }
+        Command::Mission { stops, robots } => {
+            if stops < 2 {
+                return Err(CliError::BadParameter(
+                    "--stops must be at least 2".to_string(),
+                ));
+            }
+            // A seeded chain of blob FoIs spaced ~2.2 km apart.
+            let fois = (0..stops)
+                .map(|k| {
+                    let center =
+                        Point::new(2200.0 * k as f64, if k % 2 == 0 { 0.0 } else { 500.0 });
+                    blob(center, 260_000.0, 100 + k as u64, 56)
+                        .map(anr_geom::PolygonWithHoles::without_holes)
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let mission = Mission::new(fois, robots, 80.0);
+            let outcome = march_mission(&mission, Method::MaxStableLinks, &MarchConfig::default())?;
+            for (k, leg) in outcome.legs.iter().enumerate() {
+                print_outcome(&format!("leg {} → {}", k + 1, k + 2), leg);
+            }
+            println!(
+                "mission: D = {:.0} m, mean L = {:.3}, all legs connected = {}",
+                outcome.metrics.total_distance,
+                outcome.metrics.mean_stable_link_ratio,
+                outcome.metrics.global_connectivity == 1,
+            );
+            Ok(())
+        }
+    }
+}
+
+fn label_of(m: MethodArg) -> &'static str {
+    match m {
+        MethodArg::OursA => "our method (a)",
+        MethodArg::OursB => "our method (b)",
+        MethodArg::Direct => "direct translation",
+        MethodArg::Hungarian => "Hungarian",
+        MethodArg::All => "all",
+    }
+}
+
+fn run_method(
+    problem: &MarchProblem,
+    method: MethodArg,
+    config: &MarchConfig,
+) -> Result<MarchOutcome, CliError> {
+    Ok(match method {
+        MethodArg::OursA => march(problem, Method::MaxStableLinks, config)?,
+        MethodArg::OursB => march(problem, Method::MinMovingDistance, config)?,
+        MethodArg::Direct => direct_translation(problem, config)?,
+        MethodArg::Hungarian => hungarian_direct(problem, config)?,
+        MethodArg::All => unreachable!("expanded by the caller"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_runs() {
+        run_command(Command::Help).unwrap();
+    }
+
+    #[test]
+    fn info_runs() {
+        run_command(Command::Info).unwrap();
+    }
+
+    #[test]
+    fn scenario_single_method_runs() {
+        run_command(Command::Scenario {
+            id: 1,
+            method: MethodArg::Hungarian,
+            separation: 12.0,
+            robots: 144,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn mission_too_few_stops_rejected() {
+        assert!(matches!(
+            run_command(Command::Mission {
+                stops: 1,
+                robots: 36
+            }),
+            Err(CliError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn render_writes_files() {
+        let dir = std::env::temp_dir().join("anr_cli_render_test");
+        run_command(Command::Render {
+            id: 1,
+            out: dir.clone(),
+            separation: 12.0,
+        })
+        .unwrap();
+        assert!(dir.join("scenario1_before.svg").exists());
+        assert!(dir.join("scenario1_after.svg").exists());
+        assert!(dir.join("scenario1_trajectories.svg").exists());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = CliError::BadParameter("x".into());
+        assert!(!e.to_string().is_empty());
+    }
+}

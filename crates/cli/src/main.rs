@@ -1,0 +1,19 @@
+//! The `anr` binary: see `anr help`.
+
+use anr_cli::{parse_args, run_command, Command};
+
+fn main() {
+    let command = match parse_args(std::env::args().skip(1)) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            let _ = run_command(Command::Help);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run_command(command) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

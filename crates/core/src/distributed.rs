@@ -1,0 +1,303 @@
+//! Distributed evaluation of the rotation-search objectives
+//! (paper Sec. III-B and III-D-2).
+//!
+//! During the rotation search "the mobile robot computes its mapped
+//! position in M2 and exchanges the position with its one-range
+//! neighbors. After calculating its own stable link ratio, the mobile
+//! robot then floods the information to other mobile robots." This
+//! module runs exactly that protocol on the message-passing simulator:
+//! one target-exchange round, a local count, then a network-wide flood —
+//! so every robot ends up knowing the *global* stable link ratio (or
+//! total moving distance for method (b)) of the candidate rotation.
+//!
+//! The pipeline itself uses the centralized evaluation (identical by
+//! construction, verified in tests); this protocol documents — with
+//! round and message accounting — what the swarm would actually run.
+
+use anr_distsim::{Envelope, Node, Outbox, SimError, Simulator};
+use anr_geom::Point;
+use anr_netgraph::UnitDiskGraph;
+
+/// Message of the objective-evaluation protocol.
+#[derive(Debug, Clone, PartialEq)]
+enum ObjectiveMsg {
+    /// Round 0: my mapped target position.
+    Target(Point),
+    /// Flood: (robot id, locally preserved incident links, degree,
+    /// my moving distance).
+    Local {
+        id: usize,
+        preserved: usize,
+        degree: usize,
+        distance: f64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct ObjectiveNode {
+    id: usize,
+    n: usize,
+    position: Point,
+    target: Point,
+    range: f64,
+    /// Neighbor targets learned in round 0: (id, target).
+    neighbor_targets: Vec<(usize, Point)>,
+    counted: bool,
+    /// Which robots' local reports this robot has seen.
+    seen: Vec<bool>,
+    total_preserved: usize,
+    total_degree: usize,
+    total_distance: f64,
+}
+
+impl Node for ObjectiveNode {
+    type Msg = ObjectiveMsg;
+
+    fn on_start(&mut self, out: &mut Outbox<ObjectiveMsg>) {
+        out.broadcast(ObjectiveMsg::Target(self.target));
+    }
+
+    fn on_round(
+        &mut self,
+        _round: usize,
+        inbox: &[Envelope<ObjectiveMsg>],
+        out: &mut Outbox<ObjectiveMsg>,
+    ) {
+        for env in inbox {
+            match env.msg {
+                ObjectiveMsg::Target(t) => self.neighbor_targets.push((env.from, t)),
+                ObjectiveMsg::Local {
+                    id,
+                    preserved,
+                    degree,
+                    distance,
+                } => {
+                    if !self.seen[id] {
+                        self.seen[id] = true;
+                        self.total_preserved += preserved;
+                        self.total_degree += degree;
+                        self.total_distance += distance;
+                        out.broadcast(ObjectiveMsg::Local {
+                            id,
+                            preserved,
+                            degree,
+                            distance,
+                        });
+                    }
+                }
+            }
+        }
+        if !self.counted && !self.neighbor_targets.is_empty() {
+            self.counted = true;
+            // For synchronized straight-line motion, a link survives iff
+            // it holds at both endpoints; the start holds by definition.
+            let preserved = self
+                .neighbor_targets
+                .iter()
+                .filter(|&&(_, t)| self.target.distance(t) <= self.range)
+                .count();
+            let degree = self.neighbor_targets.len();
+            let distance = self.position.distance(self.target);
+            self.seen[self.id] = true;
+            self.total_preserved += preserved;
+            self.total_degree += degree;
+            self.total_distance += distance;
+            out.broadcast(ObjectiveMsg::Local {
+                id: self.id,
+                preserved,
+                degree,
+                distance,
+            });
+        }
+        let _ = self.n;
+    }
+}
+
+/// The globally agreed objective values after the protocol runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributedObjective {
+    /// The total stable link ratio `L` every robot computed.
+    pub stable_link_ratio: f64,
+    /// The total moving distance `D` every robot computed (straight-line
+    /// leg only, as used by method (b)'s search).
+    pub total_distance: f64,
+    /// Synchronous rounds used.
+    pub rounds: usize,
+    /// Messages delivered.
+    pub messages: usize,
+}
+
+/// Runs the distributed objective-evaluation protocol for one candidate
+/// rotation: `targets[i]` is robot `i`'s mapped destination.
+///
+/// Returns the values **all** robots agree on; the function asserts the
+/// agreement (any two robots computing different totals is a protocol
+/// bug, not an input error).
+///
+/// # Errors
+///
+/// Propagates simulator errors (e.g. the round budget when the network
+/// is disconnected).
+///
+/// # Panics
+///
+/// Panics when `positions.len() != targets.len()` or `range <= 0`.
+pub fn distributed_objective(
+    positions: &[Point],
+    targets: &[Point],
+    range: f64,
+) -> Result<DistributedObjective, SimError> {
+    assert_eq!(positions.len(), targets.len(), "one target per robot");
+    assert!(range > 0.0, "communication range must be positive");
+    let n = positions.len();
+    let graph = UnitDiskGraph::new(positions, range);
+
+    let nodes: Vec<ObjectiveNode> = (0..n)
+        .map(|id| ObjectiveNode {
+            id,
+            n,
+            position: positions[id],
+            target: targets[id],
+            range,
+            neighbor_targets: Vec::new(),
+            counted: false,
+            seen: vec![false; n],
+            total_preserved: 0,
+            total_degree: 0,
+            total_distance: 0.0,
+        })
+        .collect();
+    let mut sim = Simulator::new(nodes, graph.adjacency().to_vec())?;
+    let stats = sim.run_until_quiet(4 * n + 16)?;
+
+    let nodes = sim.into_nodes();
+    let first = &nodes[0];
+    for node in &nodes[1..] {
+        assert_eq!(
+            node.total_preserved, first.total_preserved,
+            "protocol disagreement on preserved links"
+        );
+        assert_eq!(node.total_degree, first.total_degree);
+        assert!((node.total_distance - first.total_distance).abs() < 1e-9);
+    }
+    let ratio = if first.total_degree == 0 {
+        1.0
+    } else {
+        first.total_preserved as f64 / first.total_degree as f64
+    };
+    Ok(DistributedObjective {
+        stable_link_ratio: ratio,
+        total_distance: first.total_distance,
+        rounds: stats.rounds,
+        messages: stats.messages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn lattice(rows: usize, cols: usize, s: f64) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let x = c as f64 * s + if r % 2 == 1 { s / 2.0 } else { 0.0 };
+                pts.push(p(x, r as f64 * s * 3f64.sqrt() / 2.0));
+            }
+        }
+        pts
+    }
+
+    /// Centralized reference: Definition 1's L from endpoints.
+    fn central_ratio(positions: &[Point], targets: &[Point], range: f64) -> f64 {
+        let g = UnitDiskGraph::new(positions, range);
+        let links = g.links();
+        if links.is_empty() {
+            return 1.0;
+        }
+        links
+            .iter()
+            .filter(|&&(i, j)| targets[i].distance(targets[j]) <= range)
+            .count() as f64
+            / links.len() as f64
+    }
+
+    #[test]
+    fn matches_centralized_on_rigid_translation() {
+        let positions = lattice(4, 5, 60.0);
+        let targets: Vec<Point> = positions.iter().map(|q| p(q.x + 700.0, q.y)).collect();
+        let obj = distributed_objective(&positions, &targets, 80.0).unwrap();
+        assert_eq!(obj.stable_link_ratio, 1.0);
+        assert_eq!(
+            obj.stable_link_ratio,
+            central_ratio(&positions, &targets, 80.0)
+        );
+        let expect_d: f64 = positions
+            .iter()
+            .zip(&targets)
+            .map(|(a, b)| a.distance(*b))
+            .sum();
+        assert!((obj.total_distance - expect_d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_centralized_on_scrambled_targets() {
+        let positions = lattice(4, 5, 60.0);
+        // Scramble the assignment with a deterministic non-isometric
+        // permutation (stride map): massive link breakage.
+        let n = positions.len();
+        let targets: Vec<Point> = (0..n)
+            .map(|i| {
+                let q = positions[(i * 7) % n];
+                p(q.x + 700.0, q.y + 100.0)
+            })
+            .collect();
+        let obj = distributed_objective(&positions, &targets, 80.0).unwrap();
+        let central = central_ratio(&positions, &targets, 80.0);
+        assert!(
+            (obj.stable_link_ratio - central).abs() < 1e-12,
+            "distributed {} vs centralized {central}",
+            obj.stable_link_ratio
+        );
+        assert!(obj.stable_link_ratio < 1.0);
+    }
+
+    #[test]
+    fn message_accounting_reported() {
+        let positions = lattice(3, 3, 60.0);
+        let targets: Vec<Point> = positions.iter().map(|q| p(q.x + 500.0, q.y)).collect();
+        let obj = distributed_objective(&positions, &targets, 80.0).unwrap();
+        // At least one target broadcast and one flood per robot.
+        assert!(obj.messages >= 2 * positions.len());
+        assert!(obj.rounds >= 2);
+    }
+
+    #[test]
+    fn agrees_for_every_rotation_candidate() {
+        // Evaluate several candidate rotations of the target pattern and
+        // check distributed = centralized for each.
+        let positions = lattice(3, 4, 60.0);
+        let centroid = Point::centroid_of(positions.iter().copied()).unwrap();
+        for k in 0..6 {
+            let theta = std::f64::consts::TAU * k as f64 / 6.0;
+            let rot = anr_geom::Rotation::about(centroid, theta);
+            let targets: Vec<Point> = positions
+                .iter()
+                .map(|&q| {
+                    let r = rot.apply(q);
+                    p(r.x + 900.0, r.y)
+                })
+                .collect();
+            let obj = distributed_objective(&positions, &targets, 80.0).unwrap();
+            let central = central_ratio(&positions, &targets, 80.0);
+            assert!(
+                (obj.stable_link_ratio - central).abs() < 1e-12,
+                "θ = {theta}"
+            );
+        }
+    }
+}

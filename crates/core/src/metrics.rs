@@ -1,0 +1,282 @@
+//! Transition metrics: total moving distance `D`, total stable link
+//! ratio `L` (Definition 1) and global connectivity `C` (Definition 2).
+
+use anr_geom::Point;
+use anr_netgraph::UnitDiskGraph;
+
+/// Edge-stretch statistics of a proposed relocation: for every initial
+/// communication link `(i, j)`, the ratio `‖qᵢ − qⱼ‖ / ‖pᵢ − pⱼ‖`.
+///
+/// The harmonic map is "proved least-stretched" (paper Sec. II-B); these
+/// statistics let that claim be measured against the baselines: a
+/// method with smaller maximum stretch breaks fewer links for the same
+/// communication range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StretchStats {
+    /// Smallest link stretch (compression < 1).
+    pub min: f64,
+    /// Largest link stretch.
+    pub max: f64,
+    /// Mean link stretch.
+    pub mean: f64,
+    /// Fraction of links with stretch ≤ 1 (not stretched at all).
+    pub fraction_compressed: f64,
+    /// Number of links measured.
+    pub links: usize,
+}
+
+/// Measures the stretch of every initial link under the relocation
+/// `positions[i] → targets[i]`.
+///
+/// Returns `None` when the initial graph has no links.
+///
+/// # Panics
+///
+/// Panics when the slices disagree in length or `range <= 0`.
+pub fn edge_stretch_stats(
+    positions: &[Point],
+    targets: &[Point],
+    range: f64,
+) -> Option<StretchStats> {
+    assert_eq!(positions.len(), targets.len(), "one target per robot");
+    assert!(range > 0.0, "communication range must be positive");
+    let g = UnitDiskGraph::new(positions, range);
+    let links = g.links();
+    if links.is_empty() {
+        return None;
+    }
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    let mut sum = 0.0;
+    let mut compressed = 0usize;
+    for &(i, j) in &links {
+        let before = positions[i].distance(positions[j]);
+        let after = targets[i].distance(targets[j]);
+        let stretch = if before > 0.0 { after / before } else { 1.0 };
+        min = min.min(stretch);
+        max = max.max(stretch);
+        sum += stretch;
+        if stretch <= 1.0 {
+            compressed += 1;
+        }
+    }
+    Some(StretchStats {
+        min,
+        max,
+        mean: sum / links.len() as f64,
+        fraction_compressed: compressed as f64 / links.len() as f64,
+        links: links.len(),
+    })
+}
+
+/// Metrics of one completed transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionMetrics {
+    /// Total moving distance `D = Σ dᵢ` over the whole relocation
+    /// (transition leg plus coverage adjustment).
+    pub total_distance: f64,
+    /// Total stable link ratio `L` (Definition 1): the fraction of `M1`
+    /// communication links that stayed within range at **every** sampled
+    /// instant.
+    pub stable_link_ratio: f64,
+    /// Global connectivity `C` (Definition 2): 1 when the network was
+    /// connected at every sampled instant, else 0.
+    pub global_connectivity: u8,
+    /// Number of `M1` links that survived the whole transition.
+    pub preserved_links: usize,
+    /// Number of `M1` links (the denominator of `L`).
+    pub initial_links: usize,
+    /// Links present at the end that did not exist in `M1` ("red edges"
+    /// in the paper's figures).
+    pub new_links: usize,
+    /// Number of sampled instants that were evaluated.
+    pub samples: usize,
+}
+
+/// Evaluates `L`, `C` and link counts over a sampled position timeline.
+///
+/// `timeline[k][i]` is robot `i`'s position at sample `k`; `timeline[0]`
+/// must be the initial `M1` deployment (whose unit-disk graph defines
+/// the links being tracked). `total_distance` is **not** computed here —
+/// it depends on the exact paths, not the samples — and must be supplied
+/// by the caller.
+///
+/// # Panics
+///
+/// Panics when the timeline is empty, rows have inconsistent lengths, or
+/// `range <= 0`.
+pub fn evaluate_timeline(
+    timeline: &[Vec<Point>],
+    range: f64,
+    total_distance: f64,
+) -> TransitionMetrics {
+    assert!(
+        !timeline.is_empty(),
+        "timeline must have at least one sample"
+    );
+    assert!(range > 0.0, "communication range must be positive");
+    let n = timeline[0].len();
+    assert!(
+        timeline.iter().all(|row| row.len() == n),
+        "every sample must cover every robot"
+    );
+
+    let initial = UnitDiskGraph::new(&timeline[0], range);
+    let links = initial.links();
+    let initial_links = links.len();
+
+    let r2 = range * range;
+    let mut alive = vec![true; links.len()];
+    let mut connected_everywhere = true;
+
+    for row in timeline {
+        for (k, &(i, j)) in links.iter().enumerate() {
+            if alive[k] && row[i].distance_sq(row[j]) > r2 {
+                alive[k] = false;
+            }
+        }
+        if connected_everywhere && !UnitDiskGraph::new(row, range).is_connected() {
+            connected_everywhere = false;
+        }
+    }
+
+    let preserved_links = alive.iter().filter(|&&a| a).count();
+    let stable_link_ratio = if initial_links == 0 {
+        1.0
+    } else {
+        preserved_links as f64 / initial_links as f64
+    };
+
+    // New links: present in the final graph but not initially.
+    let last = timeline.last().expect("non-empty");
+    let final_graph = UnitDiskGraph::new(last, range);
+    let new_links = final_graph
+        .links()
+        .iter()
+        .filter(|&&(i, j)| !initial.has_link(i, j))
+        .count();
+
+    TransitionMetrics {
+        total_distance,
+        stable_link_ratio,
+        global_connectivity: u8::from(connected_everywhere),
+        preserved_links,
+        initial_links,
+        new_links,
+        samples: timeline.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn stationary_swarm_preserves_everything() {
+        let row = vec![p(0.0, 0.0), p(50.0, 0.0), p(100.0, 0.0)];
+        let timeline = vec![row.clone(), row.clone(), row];
+        let m = evaluate_timeline(&timeline, 80.0, 0.0);
+        assert_eq!(m.stable_link_ratio, 1.0);
+        assert_eq!(m.global_connectivity, 1);
+        assert_eq!(m.preserved_links, 2);
+        assert_eq!(m.initial_links, 2);
+        assert_eq!(m.new_links, 0);
+    }
+
+    #[test]
+    fn link_broken_mid_transition_counts_broken() {
+        // Two robots drift apart then come back: the link is NOT stable
+        // (e_ij requires e_ij(t) = 1 for all t).
+        let timeline = vec![
+            vec![p(0.0, 0.0), p(50.0, 0.0)],
+            vec![p(0.0, 0.0), p(200.0, 0.0)],
+            vec![p(0.0, 0.0), p(50.0, 0.0)],
+        ];
+        let m = evaluate_timeline(&timeline, 80.0, 300.0);
+        assert_eq!(m.stable_link_ratio, 0.0);
+        assert_eq!(m.global_connectivity, 0);
+        assert_eq!(m.total_distance, 300.0);
+    }
+
+    #[test]
+    fn new_links_counted() {
+        // Robots far apart come together: one new link appears.
+        let timeline = vec![
+            vec![p(0.0, 0.0), p(500.0, 0.0)],
+            vec![p(0.0, 0.0), p(50.0, 0.0)],
+        ];
+        let m = evaluate_timeline(&timeline, 80.0, 450.0);
+        assert_eq!(m.initial_links, 0);
+        assert_eq!(m.stable_link_ratio, 1.0); // vacuous: no links to lose
+        assert_eq!(m.new_links, 1);
+        assert_eq!(m.global_connectivity, 0); // started disconnected
+    }
+
+    #[test]
+    fn partial_preservation() {
+        // Three in a line; the end robot walks away, the other two hold.
+        let timeline = vec![
+            vec![p(0.0, 0.0), p(60.0, 0.0), p(120.0, 0.0)],
+            vec![p(0.0, 0.0), p(60.0, 0.0), p(400.0, 0.0)],
+        ];
+        let m = evaluate_timeline(&timeline, 80.0, 280.0);
+        assert_eq!(m.initial_links, 2);
+        assert_eq!(m.preserved_links, 1);
+        assert!((m.stable_link_ratio - 0.5).abs() < 1e-12);
+        assert_eq!(m.global_connectivity, 0);
+    }
+
+    #[test]
+    fn rigid_translation_is_perfect() {
+        let row0 = [p(0.0, 0.0), p(50.0, 0.0), p(25.0, 40.0)];
+        let timeline: Vec<Vec<Point>> = (0..=10)
+            .map(|k| {
+                let dx = 100.0 * k as f64;
+                row0.iter().map(|q| p(q.x + dx, q.y)).collect()
+            })
+            .collect();
+        let m = evaluate_timeline(&timeline, 80.0, 3000.0);
+        assert_eq!(m.stable_link_ratio, 1.0);
+        assert_eq!(m.global_connectivity, 1);
+        assert_eq!(m.new_links, 0);
+    }
+
+    #[test]
+    fn stretch_of_rigid_translation_is_one() {
+        let from = vec![p(0.0, 0.0), p(50.0, 0.0), p(25.0, 40.0)];
+        let to: Vec<Point> = from.iter().map(|q| p(q.x + 500.0, q.y)).collect();
+        let s = edge_stretch_stats(&from, &to, 80.0).unwrap();
+        assert!((s.min - 1.0).abs() < 1e-9);
+        assert!((s.max - 1.0).abs() < 1e-9);
+        assert_eq!(s.fraction_compressed, 1.0);
+        assert_eq!(s.links, 3);
+    }
+
+    #[test]
+    fn stretch_detects_expansion() {
+        let from = vec![p(0.0, 0.0), p(50.0, 0.0)];
+        let to = vec![p(0.0, 0.0), p(150.0, 0.0)];
+        let s = edge_stretch_stats(&from, &to, 80.0).unwrap();
+        assert!((s.max - 3.0).abs() < 1e-9);
+        assert_eq!(s.fraction_compressed, 0.0);
+    }
+
+    #[test]
+    fn stretch_none_without_links() {
+        let from = vec![p(0.0, 0.0), p(500.0, 0.0)];
+        let to = from.clone();
+        assert!(edge_stretch_stats(&from, &to, 80.0).is_none());
+    }
+
+    #[test]
+    fn samples_counted() {
+        let row = vec![p(0.0, 0.0)];
+        let m = evaluate_timeline(&[row.clone(), row.clone(), row], 10.0, 0.0);
+        assert_eq!(m.samples, 3);
+        assert_eq!(m.stable_link_ratio, 1.0); // no links at all
+    }
+}

@@ -1,0 +1,322 @@
+//! The optimal-marching pipeline (paper Sec. III).
+
+use crate::{
+    evaluate_timeline, repair_connectivity_strict, MarchConfig, MarchError, MarchProblem,
+    RepairReport, TrajectorySet, TransitionMetrics,
+};
+use anr_coverage::{run_lloyd_guarded, GridPartition};
+use anr_geom::Point;
+use anr_harmonic::{fill_holes, harmonic_map_to_disk, DiskOverlay};
+use anr_mesh::FoiMesher;
+use anr_netgraph::{extract_triangulation, UnitDiskGraph};
+
+/// Which objective the rotation search optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Method (a): maximize the total stable link ratio subject to
+    /// global connectivity — the optimal-marching objective
+    /// (Definition 6).
+    MaxStableLinks,
+    /// Method (b): minimize the total moving distance, trading "a little
+    /// total stable link ratio" (Sec. III-D-2).
+    MinMovingDistance,
+}
+
+/// Everything produced by one marching run.
+#[derive(Debug, Clone)]
+pub struct MarchOutcome {
+    /// Initial positions (copied from the problem).
+    pub initial: Vec<Point>,
+    /// Positions after the harmonic-map transition, before the coverage
+    /// refinement (the second row of the paper's Fig. 3).
+    pub mapped: Vec<Point>,
+    /// Final optimal coverage positions (the third row of Fig. 3).
+    pub final_positions: Vec<Point>,
+    /// The chosen disk rotation angle (radians).
+    pub rotation: f64,
+    /// The transition trajectories `M1 → M2`.
+    pub transition: TrajectorySet,
+    /// The sampled position timeline (transition samples followed by one
+    /// row per Lloyd iteration) the metrics were computed on.
+    pub timeline: Vec<Vec<Point>>,
+    /// `D`, `L`, `C` and link accounting.
+    pub metrics: TransitionMetrics,
+    /// What the connectivity repair did.
+    pub repair: RepairReport,
+    /// Lloyd iterations used by the coverage refinement.
+    pub lloyd_iterations: usize,
+}
+
+/// Runs the paper's marching pipeline on `problem` with the given
+/// `method` and configuration.
+///
+/// Pipeline (Fig. 2): extract the triangulation `T` of the deployment →
+/// fill holes → harmonic-map `T` and the meshed target FoI onto unit
+/// disks → search the disk rotation (max `L` for method (a), min `D` for
+/// method (b)) → compose the maps to get destinations → repair predicted
+/// isolation → move along straight hole-avoiding paths → guarded Lloyd
+/// to optimal coverage positions.
+///
+/// # Errors
+///
+/// Any [`MarchError`]; most commonly a disconnected deployment, a robot
+/// outside the triangulation, or a meshing failure on a degenerate FoI.
+pub fn march(
+    problem: &MarchProblem,
+    method: Method,
+    config: &MarchConfig,
+) -> Result<MarchOutcome, MarchError> {
+    let n = problem.num_robots();
+    let positions = &problem.positions;
+    let range = problem.range;
+
+    // ------------------------------------------------------------------
+    // 1. Triangulation T of the deployment (Sec. III-A).
+    // ------------------------------------------------------------------
+    let t_mesh = extract_triangulation(positions, range)?;
+    if let Some(robot) = (0..n).find(|&v| t_mesh.vertex_neighbors(v).is_empty()) {
+        return Err(MarchError::RobotOutsideTriangulation { robot });
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Harmonic map of T to the unit disk (holes filled first when M1
+    //    itself has holes, Sec. III-D-3).
+    // ------------------------------------------------------------------
+    let filled_t = fill_holes(&t_mesh)?;
+    let disk_t = harmonic_map_to_disk(filled_t.mesh(), &config.harmonic)?;
+    let robot_disk: Vec<Point> = (0..n).map(|v| disk_t.position(v)).collect();
+
+    // ------------------------------------------------------------------
+    // 3. Grid + triangulate + harmonic-map the target FoI (Sec. III-B).
+    // ------------------------------------------------------------------
+    let spacing = config.resolve_mesh_spacing(problem.m2.area(), n);
+    let foi2 = FoiMesher::new(spacing).mesh(&problem.m2)?;
+    let filled2 = fill_holes(foi2.mesh())?;
+    let disk2 = harmonic_map_to_disk(filled2.mesh(), &config.harmonic)?;
+    let overlay = DiskOverlay::new(
+        filled2.mesh(),
+        disk2.positions(),
+        filled2.virtual_vertices(),
+    );
+
+    // ------------------------------------------------------------------
+    // 4. Rotation search (Sec. III-B for (a), III-D-2 for (b)).
+    //
+    // For synchronized straight-line motion the inter-robot distance is
+    // convex in t, so a link survives the whole transition iff it holds
+    // at both endpoints; the link objective therefore only needs the
+    // mapped endpoint positions.
+    // ------------------------------------------------------------------
+    let links = UnitDiskGraph::new(positions, range).links();
+    // Destinations are clamped into M2: mesh-boundary jitter can place
+    // an interpolated position a millimetre outside the polygon.
+    let map_at = |theta: f64| -> Vec<Point> {
+        overlay
+            .map_all(&robot_disk, theta)
+            .into_iter()
+            .map(|m| problem.m2.clamp_inside(m.position))
+            .collect()
+    };
+
+    let (rotation, _score, _evals) = match method {
+        Method::MaxStableLinks => config.rotation.maximize(|theta| {
+            let q = map_at(theta);
+            if links.is_empty() {
+                return 1.0;
+            }
+            links
+                .iter()
+                .filter(|&&(i, j)| q[i].distance(q[j]) <= range)
+                .count() as f64
+                / links.len() as f64
+        }),
+        Method::MinMovingDistance => config.rotation.minimize(|theta| {
+            let q = map_at(theta);
+            positions
+                .iter()
+                .zip(&q)
+                .map(|(p, t)| p.distance(*t))
+                .sum::<f64>()
+        }),
+    };
+
+    let mut targets = map_at(rotation);
+
+    // ------------------------------------------------------------------
+    // 5. Global-connectivity repair (Sec. III-D-1): isolated subgroups
+    //    adopt parallel motion. The network boundary is T's outer loop.
+    // ------------------------------------------------------------------
+    let boundary: Vec<usize> = filled_t
+        .mesh()
+        .boundary_loops()
+        .into_iter()
+        .next()
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|&v| v < n)
+        .collect();
+    let repair = repair_connectivity_strict(positions, &mut targets, &boundary, range);
+
+    // ------------------------------------------------------------------
+    // 6. Transition trajectories (Eqn. 2) with hole avoidance.
+    // ------------------------------------------------------------------
+    let obstacles = problem.obstacles();
+    let transition = TrajectorySet::straight(positions, &targets, &obstacles);
+    let mut timeline = transition.sample(config.time_samples);
+    let mut total_distance = transition.total_length();
+    let mapped = targets.clone();
+
+    // ------------------------------------------------------------------
+    // 7. Minor local adjustment: connectivity-guarded Lloyd (Sec. III-C).
+    // ------------------------------------------------------------------
+    let (final_positions, lloyd_iterations) = if config.refine_coverage {
+        // Fine partition: ≥ ~50 samples per robot cell, so the weighted
+        // centroids resolve the density gradient instead of locking into
+        // a coarse discrete fixed point.
+        let partition = GridPartition::new(&problem.m2, spacing * 0.2);
+        let lloyd = run_lloyd_guarded(&targets, &partition, &config.density, &config.lloyd, range);
+        total_distance += lloyd.total_movement;
+        timeline.extend(lloyd.history.iter().cloned());
+        (lloyd.sites, lloyd.iterations)
+    } else {
+        (targets, 0)
+    };
+
+    // ------------------------------------------------------------------
+    // 8. Metrics (Definitions 1 and 2) over the sampled timeline.
+    // ------------------------------------------------------------------
+    let metrics = evaluate_timeline(&timeline, range, total_distance);
+
+    Ok(MarchOutcome {
+        initial: positions.clone(),
+        mapped,
+        final_positions,
+        rotation,
+        transition,
+        timeline,
+        metrics,
+        repair,
+        lloyd_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anr_geom::{Polygon, PolygonWithHoles};
+
+    fn square_region(side: f64, origin: Point) -> PolygonWithHoles {
+        PolygonWithHoles::without_holes(Polygon::rectangle(origin, side, side))
+    }
+
+    /// A small but realistic problem: 36 robots, square → square.
+    fn small_problem(separation: f64) -> MarchProblem {
+        let m1 = square_region(300.0, Point::ORIGIN);
+        let m2 = square_region(300.0, Point::new(separation, 0.0));
+        MarchProblem::with_lattice_deployment(m1, m2, 36, 80.0).unwrap()
+    }
+
+    fn fast_config() -> MarchConfig {
+        MarchConfig {
+            time_samples: 20,
+            lloyd: anr_coverage::LloydConfig {
+                tolerance: 2.0,
+                max_iterations: 10,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn method_a_maintains_global_connectivity() {
+        let problem = small_problem(800.0);
+        let out = march(&problem, Method::MaxStableLinks, &fast_config()).unwrap();
+        assert_eq!(out.metrics.global_connectivity, 1);
+        assert!(
+            out.metrics.stable_link_ratio > 0.5,
+            "L = {}",
+            out.metrics.stable_link_ratio
+        );
+        assert_eq!(out.final_positions.len(), 36);
+        // All robots end inside M2.
+        for q in &out.final_positions {
+            assert!(problem.m2.contains(*q), "{q} outside M2");
+        }
+    }
+
+    #[test]
+    fn method_b_moves_no_more_than_method_a() {
+        let problem = small_problem(700.0);
+        let cfg = fast_config();
+        let a = march(&problem, Method::MaxStableLinks, &cfg).unwrap();
+        let b = march(&problem, Method::MinMovingDistance, &cfg).unwrap();
+        // (b) optimizes distance; allow a small tolerance because the
+        // final Lloyd cost differs between rotations.
+        assert!(
+            b.metrics.total_distance <= a.metrics.total_distance * 1.10,
+            "D(b) = {} vs D(a) = {}",
+            b.metrics.total_distance,
+            a.metrics.total_distance
+        );
+        assert_eq!(b.metrics.global_connectivity, 1);
+    }
+
+    #[test]
+    fn distance_scales_with_separation() {
+        let cfg = fast_config();
+        let near = march(&small_problem(600.0), Method::MaxStableLinks, &cfg).unwrap();
+        let far = march(&small_problem(2000.0), Method::MaxStableLinks, &cfg).unwrap();
+        assert!(far.metrics.total_distance > near.metrics.total_distance + 30_000.0);
+    }
+
+    #[test]
+    fn timeline_starts_at_initial_positions() {
+        let problem = small_problem(600.0);
+        let out = march(&problem, Method::MaxStableLinks, &fast_config()).unwrap();
+        assert_eq!(out.timeline[0], problem.positions);
+        assert_eq!(out.metrics.samples, out.timeline.len());
+    }
+
+    #[test]
+    fn disconnected_deployment_rejected() {
+        let m1 = square_region(300.0, Point::ORIGIN);
+        let m2 = square_region(300.0, Point::new(900.0, 0.0));
+        let positions = vec![
+            Point::new(10.0, 10.0),
+            Point::new(60.0, 10.0),
+            Point::new(35.0, 50.0),
+            Point::new(290.0, 290.0), // alone in the corner
+        ];
+        assert!(matches!(
+            MarchProblem::new(m1, m2, positions, 80.0),
+            Err(MarchError::DisconnectedDeployment { .. })
+        ));
+    }
+
+    #[test]
+    fn refine_coverage_can_be_disabled() {
+        let problem = small_problem(600.0);
+        let cfg = MarchConfig {
+            refine_coverage: false,
+            ..fast_config()
+        };
+        let out = march(&problem, Method::MaxStableLinks, &cfg).unwrap();
+        assert_eq!(out.lloyd_iterations, 0);
+        assert_eq!(out.mapped, out.final_positions);
+    }
+
+    #[test]
+    fn marching_into_foi_with_hole() {
+        let m1 = square_region(300.0, Point::ORIGIN);
+        let outer = Polygon::rectangle(Point::new(800.0, 0.0), 340.0, 340.0);
+        let hole = Polygon::regular(Point::new(970.0, 170.0), 50.0, 12);
+        let m2 = PolygonWithHoles::new(outer, vec![hole.clone()]).unwrap();
+        let problem = MarchProblem::with_lattice_deployment(m1, m2, 36, 80.0).unwrap();
+        let out = march(&problem, Method::MaxStableLinks, &fast_config()).unwrap();
+        assert_eq!(out.metrics.global_connectivity, 1);
+        // Nobody ends up inside the hole.
+        for q in &out.final_positions {
+            assert!(!problem.m2.in_hole(*q), "robot inside hole at {q}");
+        }
+    }
+}

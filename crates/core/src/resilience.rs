@@ -1,0 +1,145 @@
+//! Deployment resilience: how much robot failure a network tolerates.
+//!
+//! The paper motivates ANR systems with fault tolerance — "the failure
+//! of an individual robot can be recovered by its peers" (Sec. I) — and
+//! keeps the swarm connected so no robot is "excluded from the new plan
+//! and thus become permanently lost". This module quantifies the margin:
+//! articulation robots (single points of failure), biconnectivity, and
+//! an explicit failure-injection check.
+
+use anr_geom::Point;
+use anr_netgraph::{
+    articulation_points, is_biconnected, vertex_connectivity_estimate, UnitDiskGraph,
+};
+
+/// Robustness summary of one deployment snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Is the network connected at all?
+    pub connected: bool,
+    /// Robots whose single failure would split the network.
+    pub articulation_robots: Vec<usize>,
+    /// Does the network survive any single robot failure?
+    pub biconnected: bool,
+    /// Lower-bound estimate of the vertex connectivity.
+    pub vertex_connectivity: usize,
+    /// Minimum robot degree.
+    pub min_degree: usize,
+}
+
+impl ResilienceReport {
+    /// Analyzes a deployment with communication range `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range <= 0`.
+    pub fn of(positions: &[Point], range: f64) -> ResilienceReport {
+        let g = UnitDiskGraph::new(positions, range);
+        ResilienceReport {
+            connected: g.is_connected(),
+            articulation_robots: articulation_points(&g),
+            biconnected: is_biconnected(&g),
+            vertex_connectivity: vertex_connectivity_estimate(&g),
+            min_degree: (0..g.len()).map(|v| g.degree(v)).min().unwrap_or(0),
+        }
+    }
+}
+
+/// Removes the given robots from a deployment and reports whether the
+/// survivors remain connected — direct failure injection against
+/// Definition 2's motivation.
+///
+/// Robots listed in `failed` are excluded; duplicate or out-of-range
+/// indices are ignored. A network with fewer than two survivors counts
+/// as connected.
+///
+/// # Panics
+///
+/// Panics when `range <= 0`.
+pub fn survives_failures(positions: &[Point], range: f64, failed: &[usize]) -> bool {
+    let survivors: Vec<Point> = positions
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !failed.contains(i))
+        .map(|(_, &p)| p)
+        .collect();
+    if survivors.len() < 2 {
+        return true;
+    }
+    UnitDiskGraph::new(&survivors, range).is_connected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn line(n: usize) -> Vec<Point> {
+        (0..n).map(|i| p(i as f64 * 60.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn line_deployment_is_fragile() {
+        let report = ResilienceReport::of(&line(5), 80.0);
+        assert!(report.connected);
+        assert!(!report.biconnected);
+        assert_eq!(report.articulation_robots, vec![1, 2, 3]);
+        assert_eq!(report.vertex_connectivity, 1);
+        assert_eq!(report.min_degree, 1);
+    }
+
+    #[test]
+    fn lattice_deployment_is_robust() {
+        let mut pts = Vec::new();
+        for r in 0..4 {
+            for c in 0..5 {
+                let x = c as f64 * 55.0 + if r % 2 == 1 { 27.5 } else { 0.0 };
+                let y = r as f64 * 48.0;
+                pts.push(p(x, y));
+            }
+        }
+        let report = ResilienceReport::of(&pts, 80.0);
+        assert!(report.biconnected);
+        assert!(report.articulation_robots.is_empty());
+        assert!(report.vertex_connectivity >= 2);
+    }
+
+    #[test]
+    fn failure_injection_on_line() {
+        let pts = line(5);
+        // Killing an endpoint keeps the rest connected.
+        assert!(survives_failures(&pts, 80.0, &[0]));
+        assert!(survives_failures(&pts, 80.0, &[4]));
+        // Killing an interior robot splits the chain.
+        assert!(!survives_failures(&pts, 80.0, &[2]));
+        // Killing all but one survivor is trivially fine.
+        assert!(survives_failures(&pts, 80.0, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn failure_injection_matches_articulation_points() {
+        let mut pts = Vec::new();
+        for r in 0..3 {
+            for c in 0..4 {
+                let x = c as f64 * 55.0 + if r % 2 == 1 { 27.5 } else { 0.0 };
+                let y = r as f64 * 48.0;
+                pts.push(p(x, y));
+            }
+        }
+        let report = ResilienceReport::of(&pts, 80.0);
+        for v in 0..pts.len() {
+            let survives = survives_failures(&pts, 80.0, &[v]);
+            let is_cut = report.articulation_robots.contains(&v);
+            assert_eq!(survives, !is_cut, "robot {v}");
+        }
+    }
+
+    #[test]
+    fn bad_indices_ignored() {
+        let pts = line(3);
+        assert!(survives_failures(&pts, 80.0, &[99, 99]));
+    }
+}

@@ -1,0 +1,162 @@
+//! Analytic (polygon-clipped) Voronoi cells for hole-free FoIs.
+//!
+//! The sample-grid partition ([`crate::GridPartition`]) is the workhorse
+//! for concave, multiply-connected FoIs; for hole-free regions the exact
+//! Voronoi cell of a site is the FoI polygon successively clipped by the
+//! perpendicular-bisector half-planes against every other site. Exact
+//! cells give exact (uniform-density) centroids, used to validate the
+//! grid partition's accuracy in tests and available to callers who need
+//! polygon cells (e.g. rendering).
+
+use anr_geom::{Point, Polygon};
+
+/// The exact Voronoi cell of `sites[index]` within the convex-or-concave
+/// boundary `region`, as a clipped polygon.
+///
+/// Returns `None` when the cell is empty (possible when the site lies
+/// outside `region`). For concave regions the result is the clip of the
+/// region by the bisector half-planes, which equals the true geodesic
+/// Voronoi cell only when the cell is a single piece — exact for convex
+/// regions, a standard approximation otherwise.
+///
+/// # Panics
+///
+/// Panics when `index` is out of range.
+pub fn voronoi_cell(region: &Polygon, sites: &[Point], index: usize) -> Option<Polygon> {
+    assert!(index < sites.len(), "site index out of range");
+    let me = sites[index];
+    let mut cell = region.to_ccw();
+    for (j, &other) in sites.iter().enumerate() {
+        if j == index || other.distance_sq(me) == 0.0 {
+            continue;
+        }
+        // Perpendicular bisector of (me, other): keep the side of `me`.
+        // The half-plane kept by clip_half_plane is the left of a → b;
+        // choose the directed bisector line so `me` is on its left.
+        let mid = me.midpoint(other);
+        let dir = (other - me).perp(); // along the bisector
+        let a = mid;
+        let b = mid + dir;
+        // orient2d(a, b, me) = cross(dir, me − mid); me − mid = (me−other)/2,
+        // and cross(perp(v), −v/2) = ... sign-check at runtime instead:
+        let keeps_me = anr_geom::orient2d(a, b, me) >= 0.0;
+        let (a, b) = if keeps_me { (a, b) } else { (b, a) };
+        cell = cell.clip_half_plane(a, b)?;
+    }
+    Some(cell)
+}
+
+/// All Voronoi cells of `sites` within `region`; entries are `None` for
+/// empty cells.
+pub fn voronoi_cells(region: &Polygon, sites: &[Point]) -> Vec<Option<Polygon>> {
+    (0..sites.len())
+        .map(|i| voronoi_cell(region, sites, i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{triangular_lattice, GridPartition};
+    use anr_geom::PolygonWithHoles;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn two_sites_split_the_square() {
+        let region = Polygon::rectangle(Point::ORIGIN, 10.0, 10.0);
+        let sites = vec![p(2.5, 5.0), p(7.5, 5.0)];
+        let left = voronoi_cell(&region, &sites, 0).unwrap();
+        let right = voronoi_cell(&region, &sites, 1).unwrap();
+        assert!((left.area() - 50.0).abs() < 1e-9);
+        assert!((right.area() - 50.0).abs() < 1e-9);
+        assert!(left.contains(p(1.0, 5.0)));
+        assert!(!left.contains(p(9.0, 5.0)));
+        assert!(right.contains(p(9.0, 5.0)));
+    }
+
+    #[test]
+    fn cells_partition_the_region() {
+        let region = Polygon::rectangle(Point::ORIGIN, 100.0, 80.0);
+        let foi = PolygonWithHoles::without_holes(region.clone());
+        let sites = triangular_lattice(&foi, 25.0);
+        let cells = voronoi_cells(&region, &sites);
+        let total: f64 = cells.iter().flatten().map(Polygon::area).sum();
+        assert!(
+            (total - region.area()).abs() / region.area() < 1e-6,
+            "cells cover {total} of {}",
+            region.area()
+        );
+        // Each site is inside its own cell.
+        for (i, cell) in cells.iter().enumerate() {
+            let cell = cell.as_ref().expect("non-empty cell");
+            assert!(cell.contains(sites[i]), "site {i} outside its cell");
+        }
+    }
+
+    #[test]
+    fn cell_points_are_nearest_to_their_site() {
+        let region = Polygon::rectangle(Point::ORIGIN, 60.0, 60.0);
+        let sites = vec![p(10.0, 10.0), p(50.0, 15.0), p(30.0, 50.0), p(25.0, 30.0)];
+        for (i, cell) in voronoi_cells(&region, &sites).into_iter().enumerate() {
+            let cell = cell.expect("non-empty");
+            let c = cell.centroid();
+            let my_d = c.distance(sites[i]);
+            for (j, &s) in sites.iter().enumerate() {
+                if j != i {
+                    assert!(
+                        my_d <= c.distance(s) + 1e-9,
+                        "cell {i} centroid closer to site {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_centroids_match_grid_partition() {
+        // The grid partition's density-weighted centroids approximate
+        // the exact polygon centroids at its sampling resolution.
+        let region = Polygon::rectangle(Point::ORIGIN, 120.0, 90.0);
+        let foi = PolygonWithHoles::without_holes(region.clone());
+        let sites = vec![p(25.0, 30.0), p(80.0, 20.0), p(60.0, 70.0), p(100.0, 60.0)];
+        let grid = GridPartition::new(&foi, 1.5);
+        let approx = grid.centroids(&sites, &crate::Density::Uniform);
+        for (i, cell) in voronoi_cells(&region, &sites).into_iter().enumerate() {
+            let exact = cell.expect("non-empty").centroid();
+            let err = exact.distance(approx[i]);
+            assert!(
+                err < 1.5,
+                "site {i}: exact {exact} vs grid {approx:?} (err {err})"
+            );
+        }
+    }
+
+    #[test]
+    fn single_site_owns_everything() {
+        let region = Polygon::rectangle(Point::ORIGIN, 10.0, 10.0);
+        let cell = voronoi_cell(&region, &[p(3.0, 3.0)], 0).unwrap();
+        assert!((cell.area() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn far_outside_site_gets_no_cell() {
+        let region = Polygon::rectangle(Point::ORIGIN, 10.0, 10.0);
+        // Site 1 is far outside; every region point is closer to site 0.
+        let sites = vec![p(5.0, 5.0), p(500.0, 500.0)];
+        assert!(voronoi_cell(&region, &sites, 1).is_none());
+        let c0 = voronoi_cell(&region, &sites, 0).unwrap();
+        assert!((c0.area() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coincident_sites_do_not_panic() {
+        let region = Polygon::rectangle(Point::ORIGIN, 10.0, 10.0);
+        let sites = vec![p(5.0, 5.0), p(5.0, 5.0)];
+        // Degenerate duplicate sites: both claim the full region.
+        let c = voronoi_cell(&region, &sites, 0).unwrap();
+        assert!((c.area() - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,225 @@
+//! Sample-grid Voronoi partition of a field of interest.
+
+use crate::Density;
+use anr_geom::{Point, PolygonWithHoles};
+
+/// A dense sample grid over a FoI used to evaluate Voronoi regions,
+/// centroids and coverage integrals on concave, multiply-connected
+/// regions.
+///
+/// Build once per FoI and reuse across Lloyd iterations; each
+/// [`GridPartition::assign`] is a nearest-site query per sample
+/// accelerated by a bucket grid over the sites.
+#[derive(Debug, Clone)]
+pub struct GridPartition {
+    region: PolygonWithHoles,
+    samples: Vec<Point>,
+    /// Area represented by each sample (spacing²).
+    cell_area: f64,
+}
+
+impl GridPartition {
+    /// Samples `region` on a square grid with the given spacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `spacing <= 0` or when the region is so thin that no
+    /// sample lands inside it.
+    pub fn new(region: &PolygonWithHoles, spacing: f64) -> Self {
+        assert!(spacing > 0.0, "spacing must be positive");
+        let samples = region.grid_points(spacing);
+        assert!(
+            !samples.is_empty(),
+            "no grid samples inside the region; decrease the spacing"
+        );
+        GridPartition {
+            region: region.clone(),
+            samples,
+            cell_area: spacing * spacing,
+        }
+    }
+
+    /// The sampled region.
+    #[inline]
+    pub fn region(&self) -> &PolygonWithHoles {
+        &self.region
+    }
+
+    /// The sample points.
+    #[inline]
+    pub fn samples(&self) -> &[Point] {
+        &self.samples
+    }
+
+    /// Area represented by one sample.
+    #[inline]
+    pub fn cell_area(&self) -> f64 {
+        self.cell_area
+    }
+
+    /// Assigns every sample to its nearest site; returns per-site sample
+    /// index lists (the discrete Voronoi regions).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sites` is empty.
+    pub fn assign(&self, sites: &[Point]) -> Vec<Vec<usize>> {
+        assert!(!sites.is_empty(), "need at least one site");
+        let mut regions: Vec<Vec<usize>> = vec![Vec::new(); sites.len()];
+        for (k, &s) in self.samples.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (i, &site) in sites.iter().enumerate() {
+                let d = site.distance_sq(s);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            regions[best].push(k);
+        }
+        regions
+    }
+
+    /// Density-weighted centroid of each site's Voronoi region.
+    ///
+    /// Sites whose region is empty keep their current position. Centroids
+    /// that fall outside the region (possible for concave regions and
+    /// holes) are snapped to the nearest region point, per Sec. III-D-3.
+    pub fn centroids(&self, sites: &[Point], density: &Density) -> Vec<Point> {
+        let regions = self.assign(sites);
+        sites
+            .iter()
+            .enumerate()
+            .map(|(i, &site)| {
+                if regions[i].is_empty() {
+                    return site;
+                }
+                let mut wx = 0.0;
+                let mut wy = 0.0;
+                let mut w = 0.0;
+                for &k in &regions[i] {
+                    let p = self.samples[k];
+                    let rho = density.eval(&self.region, p);
+                    wx += rho * p.x;
+                    wy += rho * p.y;
+                    w += rho;
+                }
+                let c = Point::new(wx / w, wy / w);
+                self.region.clamp_inside(c)
+            })
+            .collect()
+    }
+
+    /// The sample point nearest to `p` — the "nearest grid point" rule
+    /// for hole-avoidance fallbacks.
+    ///
+    /// # Panics
+    ///
+    /// Never (construction guarantees at least one sample).
+    pub fn nearest_sample(&self, p: Point) -> Point {
+        *self
+            .samples
+            .iter()
+            .min_by(|a, b| {
+                a.distance_sq(p)
+                    .partial_cmp(&b.distance_sq(p))
+                    .expect("finite")
+            })
+            .expect("non-empty samples")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anr_geom::Polygon;
+
+    fn square(side: f64) -> PolygonWithHoles {
+        PolygonWithHoles::without_holes(Polygon::rectangle(Point::ORIGIN, side, side))
+    }
+
+    #[test]
+    fn sample_count_tracks_area() {
+        let part = GridPartition::new(&square(100.0), 5.0);
+        let expect = (100.0f64 / 5.0).powi(2);
+        assert!((part.samples().len() as f64 - expect).abs() / expect < 0.1);
+        assert_eq!(part.cell_area(), 25.0);
+    }
+
+    #[test]
+    fn assign_partitions_all_samples() {
+        let part = GridPartition::new(&square(60.0), 4.0);
+        let sites = vec![Point::new(15.0, 30.0), Point::new(45.0, 30.0)];
+        let regions = part.assign(&sites);
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].len() + regions[1].len(), part.samples().len());
+        // Symmetric split.
+        let diff = regions[0].len() as isize - regions[1].len() as isize;
+        assert!(diff.abs() < 20, "unbalanced split: {diff}");
+        // Every sample assigned to its nearer site.
+        for &k in &regions[0] {
+            let s = part.samples()[k];
+            assert!(s.distance(sites[0]) <= s.distance(sites[1]) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_centroid_of_single_site_is_region_center() {
+        let part = GridPartition::new(&square(80.0), 2.0);
+        let c = part.centroids(&[Point::new(7.0, 9.0)], &Density::Uniform);
+        assert!(c[0].distance(Point::new(40.0, 40.0)) < 2.0);
+    }
+
+    #[test]
+    fn density_pulls_centroid() {
+        let part = GridPartition::new(&square(80.0), 2.0);
+        let dens = Density::Radial {
+            center: Point::new(70.0, 40.0),
+            falloff: 15.0,
+            gain: 20.0,
+        };
+        let c = part.centroids(&[Point::new(40.0, 40.0)], &dens);
+        assert!(c[0].x > 45.0, "centroid {} not pulled toward density", c[0]);
+    }
+
+    #[test]
+    fn centroid_snapped_out_of_hole() {
+        let outer = Polygon::rectangle(Point::ORIGIN, 100.0, 100.0);
+        let hole = Polygon::rectangle(Point::new(35.0, 35.0), 30.0, 30.0);
+        let region = PolygonWithHoles::new(outer, vec![hole]).unwrap();
+        let part = GridPartition::new(&region, 2.5);
+        // One site centered: its region is the whole FoI, whose centroid
+        // is the hole center — must be snapped to the hole boundary.
+        let c = part.centroids(&[Point::new(50.0, 48.0)], &Density::Uniform);
+        assert!(region.contains(c[0]));
+        assert!(!region.in_hole(c[0]));
+    }
+
+    #[test]
+    fn empty_region_site_keeps_position() {
+        let part = GridPartition::new(&square(50.0), 2.0);
+        // Second site is far outside; all samples go to the first.
+        let sites = vec![Point::new(25.0, 25.0), Point::new(4000.0, 4000.0)];
+        let c = part.centroids(&sites, &Density::Uniform);
+        assert_eq!(c[1], sites[1]);
+    }
+
+    #[test]
+    fn nearest_sample_is_in_region() {
+        let outer = Polygon::rectangle(Point::ORIGIN, 100.0, 100.0);
+        let hole = Polygon::rectangle(Point::new(40.0, 40.0), 20.0, 20.0);
+        let region = PolygonWithHoles::new(outer, vec![hole]).unwrap();
+        let part = GridPartition::new(&region, 3.0);
+        let s = part.nearest_sample(Point::new(50.0, 50.0)); // hole center
+        assert!(region.contains(s));
+        assert!(!region.in_hole(s));
+    }
+
+    #[test]
+    #[should_panic]
+    fn assign_empty_sites_panics() {
+        let part = GridPartition::new(&square(10.0), 1.0);
+        let _ = part.assign(&[]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Angles and rotations about a center point.
+//!
+//! The modified harmonic map (Sec. III-B) overlays two unit disks and
+//! searches for the rotation angle of one disk that maximises the stable
+//! link ratio; [`Rotation`] is that disk rotation.
+
+use crate::Point;
+use std::f64::consts::TAU;
+
+/// Normalizes an angle to `[0, 2π)`.
+///
+/// ```
+/// use anr_geom::normalize_angle;
+/// use std::f64::consts::{PI, TAU};
+/// assert!((normalize_angle(-PI) - PI).abs() < 1e-12);
+/// assert!(normalize_angle(TAU) < 1e-12);
+/// ```
+pub fn normalize_angle(theta: f64) -> f64 {
+    let r = theta.rem_euclid(TAU);
+    if r == TAU {
+        0.0
+    } else {
+        r
+    }
+}
+
+/// Rotates point `p` by `theta` radians (counter-clockwise) about `center`.
+pub fn rotate_point(p: Point, center: Point, theta: f64) -> Point {
+    let (s, c) = theta.sin_cos();
+    let v = p - center;
+    Point::new(center.x + c * v.x - s * v.y, center.y + s * v.x + c * v.y)
+}
+
+/// A rotation about a fixed center, precomputing `sin`/`cos`.
+///
+/// ```
+/// use anr_geom::{Point, Rotation};
+/// use std::f64::consts::FRAC_PI_2;
+/// let r = Rotation::about(Point::ORIGIN, FRAC_PI_2);
+/// let q = r.apply(Point::new(1.0, 0.0));
+/// assert!(q.distance(Point::new(0.0, 1.0)) < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rotation {
+    center: Point,
+    angle: f64,
+    sin: f64,
+    cos: f64,
+}
+
+impl Rotation {
+    /// Creates a rotation by `angle` radians about `center`.
+    pub fn about(center: Point, angle: f64) -> Self {
+        let (sin, cos) = angle.sin_cos();
+        Rotation {
+            center,
+            angle,
+            sin,
+            cos,
+        }
+    }
+
+    /// The identity rotation about the origin.
+    pub fn identity() -> Self {
+        Rotation::about(Point::ORIGIN, 0.0)
+    }
+
+    /// The rotation angle in radians.
+    #[inline]
+    pub fn angle(&self) -> f64 {
+        self.angle
+    }
+
+    /// The rotation center.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// Applies the rotation to a point.
+    #[inline]
+    pub fn apply(&self, p: Point) -> Point {
+        let v = p - self.center;
+        Point::new(
+            self.center.x + self.cos * v.x - self.sin * v.y,
+            self.center.y + self.sin * v.x + self.cos * v.y,
+        )
+    }
+
+    /// The inverse rotation (same center, negated angle).
+    pub fn inverse(&self) -> Rotation {
+        Rotation::about(self.center, -self.angle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI, TAU};
+
+    #[test]
+    fn normalize_into_range() {
+        for theta in [-10.0, -PI, 0.0, 1.0, PI, TAU, 17.5] {
+            let n = normalize_angle(theta);
+            assert!((0.0..TAU).contains(&n), "{theta} -> {n}");
+        }
+    }
+
+    #[test]
+    fn normalize_preserves_direction() {
+        let a = normalize_angle(-FRAC_PI_2);
+        assert!((a - 3.0 * FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotate_quarter_turn() {
+        let q = rotate_point(Point::new(1.0, 0.0), Point::ORIGIN, FRAC_PI_2);
+        assert!(q.distance(Point::new(0.0, 1.0)) < 1e-12);
+    }
+
+    #[test]
+    fn rotate_about_noncentral_point() {
+        let q = rotate_point(Point::new(2.0, 1.0), Point::new(1.0, 1.0), PI);
+        assert!(q.distance(Point::new(0.0, 1.0)) < 1e-12);
+    }
+
+    #[test]
+    fn rotation_struct_matches_free_function() {
+        let r = Rotation::about(Point::new(0.5, -0.5), 1.234);
+        let p = Point::new(3.0, 4.0);
+        assert!(r.apply(p).distance(rotate_point(p, r.center(), r.angle())) < 1e-12);
+    }
+
+    #[test]
+    fn rotation_inverse_roundtrips() {
+        let r = Rotation::about(Point::new(1.0, 2.0), 0.7);
+        let p = Point::new(-3.0, 5.0);
+        assert!(r.inverse().apply(r.apply(p)).distance(p) < 1e-12);
+    }
+
+    #[test]
+    fn identity_rotation_fixes_points() {
+        let p = Point::new(9.0, -9.0);
+        assert_eq!(Rotation::identity().apply(p), p);
+    }
+
+    #[test]
+    fn rotation_preserves_distance_to_center() {
+        let c = Point::new(2.0, 2.0);
+        let r = Rotation::about(c, 2.1);
+        let p = Point::new(5.0, 6.0);
+        assert!((r.apply(p).distance(c) - p.distance(c)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,234 @@
+//! Triangles and barycentric coordinates (paper Appendix A).
+//!
+//! The harmonic-map composition step (Sec. III-B, Eqn. 1) interpolates a
+//! robot's target position from the three grid points surrounding it in
+//! the overlapped unit disks; that interpolation is exactly
+//! [`barycentric_interpolate`].
+
+use crate::{orient2d, Point, EPS};
+
+/// A triangle given by its three corner points.
+///
+/// ```
+/// use anr_geom::{Point, Triangle};
+/// let t = Triangle::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(0.0, 2.0));
+/// assert_eq!(t.area(), 2.0);
+/// assert!(t.contains(Point::new(0.5, 0.5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// First corner.
+    pub a: Point,
+    /// Second corner.
+    pub b: Point,
+    /// Third corner.
+    pub c: Point,
+}
+
+impl Triangle {
+    /// Creates a triangle from its corners.
+    #[inline]
+    pub const fn new(a: Point, b: Point, c: Point) -> Self {
+        Triangle { a, b, c }
+    }
+
+    /// Signed area: positive for counter-clockwise corners.
+    #[inline]
+    pub fn signed_area(&self) -> f64 {
+        0.5 * orient2d(self.a, self.b, self.c)
+    }
+
+    /// Absolute area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Centroid (mean of the corners).
+    #[inline]
+    pub fn centroid(&self) -> Point {
+        Point::new(
+            (self.a.x + self.b.x + self.c.x) / 3.0,
+            (self.a.y + self.b.y + self.c.y) / 3.0,
+        )
+    }
+
+    /// Is the triangle numerically degenerate (near-zero area)?
+    pub fn is_degenerate(&self) -> bool {
+        let scale = (self.b - self.a).norm() * (self.c - self.a).norm();
+        self.area() * 2.0 <= EPS * scale.max(f64::MIN_POSITIVE)
+    }
+
+    /// Does the triangle contain `p` (boundary inclusive)?
+    ///
+    /// Works for either corner orientation.
+    pub fn contains(&self, p: Point) -> bool {
+        match barycentric_coords(self, p) {
+            Some((t1, t2, t3)) => {
+                let lo = -1e-9;
+                t1 >= lo && t2 >= lo && t3 >= lo
+            }
+            None => false,
+        }
+    }
+
+    /// Longest edge length.
+    pub fn longest_edge(&self) -> f64 {
+        self.a
+            .distance(self.b)
+            .max(self.b.distance(self.c))
+            .max(self.c.distance(self.a))
+    }
+
+    /// Shortest edge length.
+    pub fn shortest_edge(&self) -> f64 {
+        self.a
+            .distance(self.b)
+            .min(self.b.distance(self.c))
+            .min(self.c.distance(self.a))
+    }
+}
+
+/// Barycentric coordinates `(t1, t2, t3)` of `p` with respect to `tri`.
+///
+/// `t1` weights corner `a`, `t2` corner `b`, `t3` corner `c`; they always
+/// satisfy `t1 + t2 + t3 = 1`. All three are in `[0, 1]` exactly when `p`
+/// lies inside the triangle.
+///
+/// Returns `None` when the triangle is degenerate.
+///
+/// ```
+/// use anr_geom::{barycentric_coords, Point, Triangle};
+/// let t = Triangle::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+/// let (t1, t2, t3) = barycentric_coords(&t, t.centroid()).unwrap();
+/// assert!((t1 - 1.0 / 3.0).abs() < 1e-12);
+/// assert!((t1 + t2 + t3 - 1.0).abs() < 1e-12);
+/// # let _ = (t2, t3);
+/// ```
+pub fn barycentric_coords(tri: &Triangle, p: Point) -> Option<(f64, f64, f64)> {
+    let denom = orient2d(tri.a, tri.b, tri.c);
+    let scale = (tri.b - tri.a).norm() * (tri.c - tri.a).norm();
+    if denom.abs() <= EPS * scale.max(f64::MIN_POSITIVE) {
+        return None;
+    }
+    let t1 = orient2d(p, tri.b, tri.c) / denom;
+    let t2 = orient2d(tri.a, p, tri.c) / denom;
+    let t3 = 1.0 - t1 - t2;
+    Some((t1, t2, t3))
+}
+
+/// Interpolates values attached to the triangle corners at point `p`
+/// (paper Eqn. 1): `f(p) = t1·f(a) + t2·f(b) + t3·f(c)`.
+///
+/// The values interpolated here are themselves [`Point`]s — the original
+/// geographic coordinates of grid points in the target field of interest.
+///
+/// Returns `None` when the triangle is degenerate.
+pub fn barycentric_interpolate(
+    tri: &Triangle,
+    p: Point,
+    fa: Point,
+    fb: Point,
+    fc: Point,
+) -> Option<Point> {
+    let (t1, t2, t3) = barycentric_coords(tri, p)?;
+    Some(Point::new(
+        t1 * fa.x + t2 * fb.x + t3 * fc.x,
+        t1 * fa.y + t2 * fb.y + t3 * fc.y,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn tri() -> Triangle {
+        Triangle::new(p(0.0, 0.0), p(4.0, 0.0), p(0.0, 4.0))
+    }
+
+    #[test]
+    fn corner_coordinates_are_unit_vectors() {
+        let t = tri();
+        let (t1, t2, t3) = barycentric_coords(&t, t.a).unwrap();
+        assert!((t1 - 1.0).abs() < 1e-12 && t2.abs() < 1e-12 && t3.abs() < 1e-12);
+        let (t1, t2, _) = barycentric_coords(&t, t.b).unwrap();
+        assert!(t1.abs() < 1e-12 && (t2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coords_sum_to_one_everywhere() {
+        let t = tri();
+        for q in [p(1.0, 1.0), p(-3.0, 7.0), p(10.0, 10.0)] {
+            let (t1, t2, t3) = barycentric_coords(&t, q).unwrap();
+            assert!((t1 + t2 + t3 - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn outside_point_has_negative_coordinate() {
+        let (t1, t2, t3) = barycentric_coords(&tri(), p(-1.0, -1.0)).unwrap();
+        assert!(t1 < 0.0 || t2 < 0.0 || t3 < 0.0);
+    }
+
+    #[test]
+    fn contains_matches_coords() {
+        let t = tri();
+        assert!(t.contains(p(1.0, 1.0)));
+        assert!(t.contains(p(0.0, 0.0))); // corner
+        assert!(t.contains(p(2.0, 0.0))); // edge
+        assert!(!t.contains(p(3.0, 3.0)));
+    }
+
+    #[test]
+    fn contains_works_for_clockwise_triangles() {
+        let t = Triangle::new(p(0.0, 0.0), p(0.0, 4.0), p(4.0, 0.0)); // CW
+        assert!(t.contains(p(1.0, 1.0)));
+        assert!(!t.contains(p(5.0, 5.0)));
+    }
+
+    #[test]
+    fn interpolation_reproduces_identity() {
+        // Interpolating the corner positions themselves must return p.
+        let t = tri();
+        let q = p(1.0, 0.5);
+        let r = barycentric_interpolate(&t, q, t.a, t.b, t.c).unwrap();
+        assert!(r.distance(q) < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_is_affine() {
+        // Interpolating an affine map's corner values equals applying the map.
+        let t = tri();
+        let f = |q: Point| p(2.0 * q.x - q.y + 1.0, 0.5 * q.x + 3.0 * q.y - 2.0);
+        let q = p(1.3, 0.7);
+        let r = barycentric_interpolate(&t, q, f(t.a), f(t.b), f(t.c)).unwrap();
+        assert!(r.distance(f(q)) < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_triangle_returns_none() {
+        let t = Triangle::new(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0));
+        assert!(t.is_degenerate());
+        assert!(barycentric_coords(&t, p(0.5, 0.5)).is_none());
+    }
+
+    #[test]
+    fn area_and_centroid() {
+        let t = tri();
+        assert_eq!(t.area(), 8.0);
+        assert_eq!(t.signed_area(), 8.0);
+        let c = t.centroid();
+        assert!((c.x - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_extremes() {
+        let t = tri();
+        assert!((t.longest_edge() - 32f64.sqrt()).abs() < 1e-12);
+        assert_eq!(t.shortest_edge(), 4.0);
+    }
+}

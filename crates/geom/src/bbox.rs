@@ -1,0 +1,154 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Point;
+
+/// An axis-aligned bounding box.
+///
+/// ```
+/// use anr_geom::{Aabb, Point};
+/// let b = Aabb::from_points([Point::new(0.0, 1.0), Point::new(4.0, -2.0)]).unwrap();
+/// assert_eq!(b.width(), 4.0);
+/// assert_eq!(b.height(), 3.0);
+/// assert!(b.contains(Point::new(2.0, 0.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Aabb {
+    /// Creates a box from two opposite corners (in any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        Aabb {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Smallest box containing all `points`; `None` when empty.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = Aabb {
+            min: first,
+            max: first,
+        };
+        for p in it {
+            bb.expand(p);
+        }
+        Some(bb)
+    }
+
+    /// Grows the box (in place) to include `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Box width (x extent).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Box height (y extent).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Center of the box.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Length of the box diagonal.
+    #[inline]
+    pub fn diagonal(&self) -> f64 {
+        self.min.distance(self.max)
+    }
+
+    /// Is `p` inside (inclusive of the boundary)?
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Box grown by `margin` on every side.
+    pub fn inflated(&self, margin: f64) -> Aabb {
+        Aabb {
+            min: Point::new(self.min.x - margin, self.min.y - margin),
+            max: Point::new(self.max.x + margin, self.max.y + margin),
+        }
+    }
+
+    /// Does this box overlap `other` (inclusive)?
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_corners() {
+        let b = Aabb::new(Point::new(4.0, -2.0), Point::new(0.0, 1.0));
+        assert_eq!(b.min, Point::new(0.0, -2.0));
+        assert_eq!(b.max, Point::new(4.0, 1.0));
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(Aabb::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn expand_grows() {
+        let mut b = Aabb::new(Point::ORIGIN, Point::ORIGIN);
+        b.expand(Point::new(-1.0, 5.0));
+        assert_eq!(b.min, Point::new(-1.0, 0.0));
+        assert_eq!(b.max, Point::new(0.0, 5.0));
+    }
+
+    #[test]
+    fn contains_boundary() {
+        let b = Aabb::new(Point::ORIGIN, Point::new(1.0, 1.0));
+        assert!(b.contains(Point::new(1.0, 1.0)));
+        assert!(b.contains(Point::new(0.0, 0.5)));
+        assert!(!b.contains(Point::new(1.1, 0.5)));
+    }
+
+    #[test]
+    fn inflated_adds_margin() {
+        let b = Aabb::new(Point::ORIGIN, Point::new(1.0, 1.0)).inflated(0.5);
+        assert_eq!(b.min, Point::new(-0.5, -0.5));
+        assert_eq!(b.max, Point::new(1.5, 1.5));
+    }
+
+    #[test]
+    fn intersects_overlap_and_touch() {
+        let a = Aabb::new(Point::ORIGIN, Point::new(1.0, 1.0));
+        let b = Aabb::new(Point::new(1.0, 1.0), Point::new(2.0, 2.0));
+        let c = Aabb::new(Point::new(1.5, 1.5), Point::new(2.0, 2.0));
+        assert!(a.intersects(&b)); // touching counts
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn center_and_diagonal() {
+        let b = Aabb::new(Point::ORIGIN, Point::new(3.0, 4.0));
+        assert_eq!(b.center(), Point::new(1.5, 2.0));
+        assert_eq!(b.diagonal(), 5.0);
+    }
+}

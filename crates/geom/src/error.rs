@@ -1,0 +1,81 @@
+//! Error type for geometry construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or validating geometric objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// A polygon needs at least three vertices.
+    TooFewVertices {
+        /// Number of vertices supplied.
+        got: usize,
+    },
+    /// The polygon's signed area is numerically zero.
+    DegeneratePolygon,
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate,
+    /// A hole is not strictly inside the outer boundary.
+    HoleOutsideBoundary {
+        /// Index of the offending hole.
+        hole: usize,
+    },
+    /// Two holes (or a hole and the outer boundary) overlap.
+    OverlappingHoles {
+        /// Indices of the offending holes (`usize::MAX` = outer boundary).
+        first: usize,
+        /// See `first`.
+        second: usize,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::TooFewVertices { got } => {
+                write!(f, "polygon needs at least 3 vertices, got {got}")
+            }
+            GeomError::DegeneratePolygon => write!(f, "polygon has (near) zero area"),
+            GeomError::NonFiniteCoordinate => write!(f, "coordinate is NaN or infinite"),
+            GeomError::HoleOutsideBoundary { hole } => {
+                write!(f, "hole {hole} is not inside the outer boundary")
+            }
+            GeomError::OverlappingHoles { first, second } => {
+                write!(f, "holes {first} and {second} overlap")
+            }
+        }
+    }
+}
+
+impl Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errs = [
+            GeomError::TooFewVertices { got: 2 },
+            GeomError::DegeneratePolygon,
+            GeomError::NonFiniteCoordinate,
+            GeomError::HoleOutsideBoundary { hole: 0 },
+            GeomError::OverlappingHoles {
+                first: 0,
+                second: 1,
+            },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeomError>();
+    }
+}

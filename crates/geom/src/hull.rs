@@ -1,0 +1,152 @@
+//! Convex hulls (Andrew's monotone chain).
+
+use crate::{orient2d, GeomError, Point, Polygon};
+
+/// Computes the convex hull of a point set as a counter-clockwise
+/// [`Polygon`] (Andrew's monotone chain, O(n log n)).
+///
+/// Collinear points on hull edges are dropped; the result's vertices are
+/// the extreme points only.
+///
+/// # Errors
+///
+/// [`GeomError::TooFewVertices`] for fewer than 3 distinct points and
+/// [`GeomError::DegeneratePolygon`] when all points are collinear.
+///
+/// # Example
+///
+/// ```
+/// use anr_geom::{convex_hull, Point};
+///
+/// let hull = convex_hull(&[
+///     Point::new(0.0, 0.0),
+///     Point::new(4.0, 0.0),
+///     Point::new(4.0, 4.0),
+///     Point::new(0.0, 4.0),
+///     Point::new(2.0, 2.0), // interior: not a hull vertex
+/// ])?;
+/// assert_eq!(hull.len(), 4);
+/// assert!(hull.contains(Point::new(2.0, 2.0)));
+/// # Ok::<(), anr_geom::GeomError>(())
+/// ```
+pub fn convex_hull(points: &[Point]) -> Result<Polygon, GeomError> {
+    let mut pts: Vec<Point> = points.to_vec();
+    if pts.iter().any(|p| !p.is_finite()) {
+        return Err(GeomError::NonFiniteCoordinate);
+    }
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .expect("finite")
+            .then(a.y.partial_cmp(&b.y).expect("finite"))
+    });
+    pts.dedup_by(|a, b| a.distance(*b) < f64::MIN_POSITIVE);
+    if pts.len() < 3 {
+        return Err(GeomError::TooFewVertices { got: pts.len() });
+    }
+
+    let mut lower: Vec<Point> = Vec::with_capacity(pts.len());
+    for &p in &pts {
+        while lower.len() >= 2 && orient2d(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0.0
+        {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<Point> = Vec::with_capacity(pts.len());
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2 && orient2d(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0.0
+        {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    Polygon::new(lower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn square_with_interior_points() {
+        let hull = convex_hull(&[
+            p(0.0, 0.0),
+            p(10.0, 0.0),
+            p(10.0, 10.0),
+            p(0.0, 10.0),
+            p(5.0, 5.0),
+            p(2.0, 7.0),
+        ])
+        .unwrap();
+        assert_eq!(hull.len(), 4);
+        assert!(hull.is_ccw());
+        assert_eq!(hull.area(), 100.0);
+    }
+
+    #[test]
+    fn collinear_points_rejected() {
+        let r = convex_hull(&[p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0), p(3.0, 3.0)]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let hull = convex_hull(&[
+            p(0.0, 0.0),
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(4.0, 0.0),
+            p(2.0, 3.0),
+        ])
+        .unwrap();
+        assert_eq!(hull.len(), 3);
+    }
+
+    #[test]
+    fn collinear_edge_points_dropped() {
+        let hull = convex_hull(&[
+            p(0.0, 0.0),
+            p(2.0, 0.0), // on the bottom edge
+            p(4.0, 0.0),
+            p(4.0, 4.0),
+            p(0.0, 4.0),
+        ])
+        .unwrap();
+        assert_eq!(hull.len(), 4);
+    }
+
+    #[test]
+    fn hull_contains_all_inputs() {
+        // Deterministic pseudo-random cloud.
+        let mut seed: u64 = 11;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let pts: Vec<Point> = (0..100).map(|_| p(next() * 50.0, next() * 50.0)).collect();
+        let hull = convex_hull(&pts).unwrap();
+        for q in &pts {
+            assert!(hull.contains(*q), "{q} outside hull");
+        }
+        // Hull vertices are input points.
+        for v in hull.vertices() {
+            assert!(pts.iter().any(|q| q.distance(*v) < 1e-12));
+        }
+    }
+
+    #[test]
+    fn triangle_is_its_own_hull() {
+        let hull = convex_hull(&[p(0.0, 0.0), p(3.0, 0.0), p(0.0, 3.0)]).unwrap();
+        assert_eq!(hull.len(), 3);
+        assert_eq!(hull.area(), 4.5);
+    }
+}

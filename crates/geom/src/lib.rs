@@ -1,0 +1,58 @@
+//! # anr-geom — planar geometry substrate
+//!
+//! Geometry primitives used throughout the optimal-marching reproduction
+//! (ICDCS 2016): points and vectors, orientation / in-circle predicates,
+//! segments, simple polygons and polygons with holes, barycentric
+//! coordinates, axis-aligned boxes and angles.
+//!
+//! Everything is `f64`-based, dependency-free and deterministic. The
+//! predicates are not exact-arithmetic predicates; they use a relative
+//! epsilon that is far below the coordinate noise of the simulated
+//! deployments (metres-scale fields, robots tens of metres apart), which
+//! is the regime this library targets.
+//!
+//! ## Example
+//!
+//! ```
+//! use anr_geom::{Point, Polygon};
+//!
+//! let square = Polygon::new(vec![
+//!     Point::new(0.0, 0.0),
+//!     Point::new(10.0, 0.0),
+//!     Point::new(10.0, 10.0),
+//!     Point::new(0.0, 10.0),
+//! ]).unwrap();
+//! assert!(square.contains(Point::new(5.0, 5.0)));
+//! assert_eq!(square.area(), 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod angle;
+mod barycentric;
+mod bbox;
+mod error;
+mod hull;
+mod point;
+mod polygon;
+mod polygon_holes;
+mod predicates;
+mod segment;
+
+pub use angle::{normalize_angle, rotate_point, Rotation};
+pub use barycentric::{barycentric_coords, barycentric_interpolate, Triangle};
+pub use bbox::Aabb;
+pub use error::GeomError;
+pub use hull::convex_hull;
+pub use point::{Point, Vector};
+pub use polygon::Polygon;
+pub use polygon_holes::PolygonWithHoles;
+pub use predicates::{circumcenter, in_circle, orient2d, orientation, Orientation};
+pub use segment::Segment;
+
+/// Relative epsilon used by the non-exact predicates.
+///
+/// Chosen so that fields spanning ~1000 m with robots tens of metres apart
+/// are handled robustly while still flagging genuinely degenerate input.
+pub const EPS: f64 = 1e-9;

@@ -1,0 +1,413 @@
+//! Points and vectors in the plane.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point in the Euclidean plane, in metres.
+///
+/// `Point` is the position of a robot, a mesh vertex or a polygon corner.
+/// Displacements between points are [`Vector`]s: `Point - Point = Vector`,
+/// `Point + Vector = Point`.
+///
+/// ```
+/// use anr_geom::{Point, Vector};
+/// let p = Point::new(1.0, 2.0);
+/// let q = p + Vector::new(3.0, 4.0);
+/// assert_eq!(p.distance(q), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+/// A displacement (or direction) in the plane.
+///
+/// ```
+/// use anr_geom::Vector;
+/// let v = Vector::new(3.0, 4.0);
+/// assert_eq!(v.norm(), 5.0);
+/// assert!((v.normalized().norm() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vector {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other` (no square root).
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// The midpoint of `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new(0.5 * (self.x + other.x), 0.5 * (self.y + other.y))
+    }
+
+    /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
+    ///
+    /// `t` outside `[0, 1]` extrapolates.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
+    }
+
+    /// Displacement vector from the origin to this point.
+    #[inline]
+    pub fn to_vector(self) -> Vector {
+        Vector::new(self.x, self.y)
+    }
+
+    /// Returns true when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Arithmetic mean of a non-empty set of points.
+    ///
+    /// Returns `None` when the iterator is empty.
+    pub fn centroid_of<I: IntoIterator<Item = Point>>(points: I) -> Option<Point> {
+        let mut sum = Vector::ZERO;
+        let mut n = 0usize;
+        for p in points {
+            sum += p.to_vector();
+            n += 1;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(Point::new(sum.x / n as f64, sum.y / n as f64))
+        }
+    }
+}
+
+impl Vector {
+    /// The zero vector.
+    pub const ZERO: Vector = Vector { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vector { x, y }
+    }
+
+    /// Euclidean norm (length).
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vector) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2D cross product (z-component of the 3D cross product).
+    #[inline]
+    pub fn cross(self, other: Vector) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// The vector rotated by 90° counter-clockwise.
+    #[inline]
+    pub fn perp(self) -> Vector {
+        Vector::new(-self.y, self.x)
+    }
+
+    /// Unit vector in the same direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the vector is (near) zero; in release
+    /// builds a zero vector yields non-finite components.
+    #[inline]
+    pub fn normalized(self) -> Vector {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "cannot normalize a zero vector");
+        Vector::new(self.x / n, self.y / n)
+    }
+
+    /// Angle of the vector in radians, in `(-π, π]`, measured from +x.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Point at the head of the vector when anchored at the origin.
+    #[inline]
+    pub fn to_point(self) -> Point {
+        Point::new(self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.6}, {:.6}>", self.x, self.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, rhs: Point) -> Vector {
+        Vector::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Vector) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Vector) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl AddAssign<Vector> for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vector) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    #[inline]
+    fn add(self, rhs: Vector) -> Vector {
+        Vector::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vector {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vector) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, rhs: Vector) -> Vector {
+        Vector::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vector {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vector) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vector {
+        Vector::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vector> for f64 {
+    type Output = Vector;
+    #[inline]
+    fn mul(self, rhs: Vector) -> Vector {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vector {
+    type Output = Vector;
+    #[inline]
+    fn div(self, rhs: f64) -> Vector {
+        Vector::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    #[inline]
+    fn neg(self) -> Vector {
+        Vector::new(-self.x, -self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    #[inline]
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl From<(f64, f64)> for Vector {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Vector::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let p = Point::new(1.0, 2.0);
+        let q = Point::new(4.0, 6.0);
+        assert_eq!(p.distance(q), 5.0);
+        assert_eq!(q.distance(p), 5.0);
+    }
+
+    #[test]
+    fn distance_sq_avoids_sqrt() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(3.0, 4.0);
+        assert_eq!(p.distance_sq(q), 25.0);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(2.0, 4.0);
+        assert_eq!(p.midpoint(q), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(10.0, -10.0);
+        assert_eq!(p.lerp(q, 0.0), p);
+        assert_eq!(p.lerp(q, 1.0), q);
+        assert_eq!(p.lerp(q, 0.5), Point::new(5.0, -5.0));
+    }
+
+    #[test]
+    fn lerp_extrapolates() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(1.0, 0.0);
+        assert_eq!(p.lerp(q, 2.0), Point::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn vector_cross_orientation() {
+        let e1 = Vector::new(1.0, 0.0);
+        let e2 = Vector::new(0.0, 1.0);
+        assert_eq!(e1.cross(e2), 1.0);
+        assert_eq!(e2.cross(e1), -1.0);
+        assert_eq!(e1.cross(e1), 0.0);
+    }
+
+    #[test]
+    fn perp_is_ccw_rotation() {
+        let v = Vector::new(1.0, 0.0);
+        assert_eq!(v.perp(), Vector::new(0.0, 1.0));
+        assert_eq!(v.perp().perp(), -v);
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let v = Vector::new(-3.0, 4.0).normalized();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_of_axes() {
+        assert_eq!(Vector::new(1.0, 0.0).angle(), 0.0);
+        assert!((Vector::new(0.0, 1.0).angle() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_of_points() {
+        let c = Point::centroid_of([
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 3.0),
+        ])
+        .unwrap();
+        assert!((c.x - 1.0).abs() < 1e-12);
+        assert!((c.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_of_empty_is_none() {
+        assert!(Point::centroid_of(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn point_vector_arithmetic_roundtrip() {
+        let p = Point::new(1.0, 1.0);
+        let v = Vector::new(2.0, 3.0);
+        assert_eq!((p + v) - p, v);
+        assert_eq!((p + v) - v, p);
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point = (1.0, 2.0).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.0, 2.0));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", Point::new(1.0, 2.0)).is_empty());
+        assert!(!format!("{}", Vector::new(1.0, 2.0)).is_empty());
+    }
+}

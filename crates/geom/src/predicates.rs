@@ -1,0 +1,180 @@
+//! Orientation and in-circle predicates.
+//!
+//! These are epsilon-guarded floating-point predicates, not exact
+//! arithmetic. The guard is *relative* to the magnitude of the inputs so
+//! the predicates behave consistently whether coordinates are unit-disk
+//! sized (harmonic maps) or hundreds of metres (fields of interest).
+
+use crate::Point;
+
+/// Result of an orientation test of three points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// `a`, `b`, `c` make a left turn.
+    CounterClockwise,
+    /// `a`, `b`, `c` make a right turn.
+    Clockwise,
+    /// The three points are (numerically) collinear.
+    Collinear,
+}
+
+/// Twice the signed area of triangle `(a, b, c)`.
+///
+/// Positive when the triangle is counter-clockwise, negative when
+/// clockwise, near zero when degenerate.
+///
+/// ```
+/// use anr_geom::{orient2d, Point};
+/// let v = orient2d(Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+/// assert!(v > 0.0);
+/// ```
+#[inline]
+pub fn orient2d(a: Point, b: Point, c: Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Classifies the turn made by `a → b → c` with a relative epsilon guard.
+pub fn orientation(a: Point, b: Point, c: Point) -> Orientation {
+    let det = orient2d(a, b, c);
+    // Scale-aware threshold: |det| is compared against eps * the product of
+    // the two edge lengths involved, so the classification is invariant
+    // under uniform scaling of the input.
+    let scale = (b - a).norm() * (c - a).norm();
+    let guard = crate::EPS * scale.max(f64::MIN_POSITIVE);
+    if det > guard {
+        Orientation::CounterClockwise
+    } else if det < -guard {
+        Orientation::Clockwise
+    } else {
+        Orientation::Collinear
+    }
+}
+
+/// In-circle predicate: is `d` strictly inside the circumcircle of the
+/// counter-clockwise triangle `(a, b, c)`?
+///
+/// Returns a positive value when `d` is inside, negative when outside and
+/// near zero when cocircular. The sign convention assumes `(a, b, c)` is
+/// counter-clockwise; callers (Delaunay) must enforce that.
+///
+/// ```
+/// use anr_geom::{in_circle, Point};
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(2.0, 0.0);
+/// let c = Point::new(1.0, 2.0);
+/// assert!(in_circle(a, b, c, Point::new(1.0, 0.5)) > 0.0); // inside
+/// assert!(in_circle(a, b, c, Point::new(10.0, 10.0)) < 0.0); // outside
+/// ```
+pub fn in_circle(a: Point, b: Point, c: Point, d: Point) -> f64 {
+    let adx = a.x - d.x;
+    let ady = a.y - d.y;
+    let bdx = b.x - d.x;
+    let bdy = b.y - d.y;
+    let cdx = c.x - d.x;
+    let cdy = c.y - d.y;
+
+    let ad = adx * adx + ady * ady;
+    let bd = bdx * bdx + bdy * bdy;
+    let cd = cdx * cdx + cdy * cdy;
+
+    adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx) + ad * (bdx * cdy - bdy * cdx)
+}
+
+/// Circumcenter of triangle `(a, b, c)`.
+///
+/// Returns `None` when the triangle is (numerically) degenerate.
+pub fn circumcenter(a: Point, b: Point, c: Point) -> Option<Point> {
+    let d = 2.0 * ((a.x - c.x) * (b.y - c.y) - (b.x - c.x) * (a.y - c.y));
+    let scale = (a - c).norm() * (b - c).norm();
+    if d.abs() <= crate::EPS * scale.max(f64::MIN_POSITIVE) {
+        return None;
+    }
+    let a2 = a.x * a.x + a.y * a.y;
+    let b2 = b.x * b.x + b.y * b.y;
+    let c2 = c.x * c.x + c.y * c.y;
+    let ux = (a2 - c2) * (b.y - c.y) - (b2 - c2) * (a.y - c.y);
+    let uy = (b2 - c2) * (a.x - c.x) - (a2 - c2) * (b.x - c.x);
+    Some(Point::new(ux / d, uy / d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn orientation_basic() {
+        assert_eq!(
+            orientation(p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orientation(p(0.0, 0.0), p(0.0, 1.0), p(1.0, 0.0)),
+            Orientation::Clockwise
+        );
+        assert_eq!(
+            orientation(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn orientation_is_scale_invariant() {
+        for s in [1e-6, 1.0, 1e6] {
+            assert_eq!(
+                orientation(p(0.0, 0.0), p(s, 0.0), p(0.0, s)),
+                Orientation::CounterClockwise
+            );
+        }
+    }
+
+    #[test]
+    fn orient2d_antisymmetry() {
+        let (a, b, c) = (p(0.3, 0.7), p(2.5, -1.0), p(-4.0, 3.0));
+        assert!((orient2d(a, b, c) + orient2d(b, a, c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_circle_center_inside() {
+        // Unit circle through three points; the center must be inside.
+        let a = p(1.0, 0.0);
+        let b = p(0.0, 1.0);
+        let c = p(-1.0, 0.0);
+        assert!(in_circle(a, b, c, p(0.0, 0.0)) > 0.0);
+        assert!(in_circle(a, b, c, p(5.0, 5.0)) < 0.0);
+    }
+
+    #[test]
+    fn in_circle_cocircular_is_near_zero() {
+        let a = p(1.0, 0.0);
+        let b = p(0.0, 1.0);
+        let c = p(-1.0, 0.0);
+        let d = p(0.0, -1.0);
+        assert!(in_circle(a, b, c, d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circumcenter_of_right_triangle() {
+        // Right triangle: circumcenter is the hypotenuse midpoint.
+        let cc = circumcenter(p(0.0, 0.0), p(2.0, 0.0), p(0.0, 2.0)).unwrap();
+        assert!((cc.x - 1.0).abs() < 1e-12);
+        assert!((cc.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circumcenter_degenerate_is_none() {
+        assert!(circumcenter(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)).is_none());
+    }
+
+    #[test]
+    fn circumcenter_is_equidistant() {
+        let (a, b, c) = (p(0.2, 0.1), p(5.0, -2.0), p(3.0, 4.0));
+        let cc = circumcenter(a, b, c).unwrap();
+        let ra = cc.distance(a);
+        assert!((cc.distance(b) - ra).abs() < 1e-9);
+        assert!((cc.distance(c) - ra).abs() < 1e-9);
+    }
+}

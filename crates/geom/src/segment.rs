@@ -1,0 +1,230 @@
+//! Line segments: intersection tests and point–segment distance.
+
+use crate::{orient2d, Point, Vector, EPS};
+
+/// A closed line segment between two points.
+///
+/// ```
+/// use anr_geom::{Point, Segment};
+/// let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+/// assert_eq!(s.length(), 10.0);
+/// assert_eq!(s.distance_to_point(Point::new(5.0, 3.0)), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment from its endpoints.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    #[inline]
+    pub fn length(self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// Direction vector `b - a` (not normalized).
+    #[inline]
+    pub fn direction(self) -> Vector {
+        self.b - self.a
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` along the segment.
+    #[inline]
+    pub fn at(self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// The parameter `t` of the point on the (infinite) support line
+    /// closest to `p`, clamped to `[0, 1]`.
+    pub fn closest_param(self, p: Point) -> f64 {
+        let d = self.direction();
+        let len2 = d.norm_sq();
+        if len2 <= f64::MIN_POSITIVE {
+            return 0.0;
+        }
+        ((p - self.a).dot(d) / len2).clamp(0.0, 1.0)
+    }
+
+    /// The point on the segment closest to `p`.
+    pub fn closest_point(self, p: Point) -> Point {
+        self.at(self.closest_param(p))
+    }
+
+    /// Euclidean distance from `p` to the segment.
+    pub fn distance_to_point(self, p: Point) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// Proper-or-touching intersection test between two segments.
+    ///
+    /// Returns `true` when the segments share at least one point,
+    /// including endpoint touches and collinear overlap.
+    pub fn intersects(self, other: Segment) -> bool {
+        segments_intersect(self.a, self.b, other.a, other.b)
+    }
+
+    /// Intersection point of two segments if they cross at a single point.
+    ///
+    /// Returns `None` for disjoint segments and for collinear overlaps
+    /// (which have no unique intersection point).
+    pub fn intersection(self, other: Segment) -> Option<Point> {
+        let r = self.direction();
+        let s = other.direction();
+        let denom = r.cross(s);
+        let scale = r.norm() * s.norm();
+        if denom.abs() <= EPS * scale.max(f64::MIN_POSITIVE) {
+            return None; // parallel or collinear
+        }
+        let qp = other.a - self.a;
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        if (-EPS..=1.0 + EPS).contains(&t) && (-EPS..=1.0 + EPS).contains(&u) {
+            Some(self.at(t.clamp(0.0, 1.0)))
+        } else {
+            None
+        }
+    }
+
+    /// Does the *open* interior of this segment cross the other segment?
+    ///
+    /// Endpoint touches are not counted. Useful for planarity checks where
+    /// shared vertices are legal.
+    pub fn crosses_interior(self, other: Segment) -> bool {
+        match self.intersection(other) {
+            None => false,
+            Some(x) => {
+                let is_endpoint =
+                    |p: Point| x.distance(p) <= EPS * (1.0 + self.length().max(other.length()));
+                !(is_endpoint(self.a)
+                    || is_endpoint(self.b)
+                    || is_endpoint(other.a)
+                    || is_endpoint(other.b))
+            }
+        }
+    }
+}
+
+/// Returns `true` when segments `(p1, p2)` and `(p3, p4)` share a point.
+pub(crate) fn segments_intersect(p1: Point, p2: Point, p3: Point, p4: Point) -> bool {
+    let d1 = orient2d(p3, p4, p1);
+    let d2 = orient2d(p3, p4, p2);
+    let d3 = orient2d(p1, p2, p3);
+    let d4 = orient2d(p1, p2, p4);
+
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+
+    let on_segment = |a: Point, b: Point, c: Point, d: f64| -> bool {
+        d.abs() <= EPS * (b - a).norm().max(f64::MIN_POSITIVE) * (c - a).norm().max(1.0)
+            && c.x >= a.x.min(b.x) - EPS
+            && c.x <= a.x.max(b.x) + EPS
+            && c.y >= a.y.min(b.y) - EPS
+            && c.y <= a.y.max(b.y) + EPS
+    };
+
+    on_segment(p3, p4, p1, d1)
+        || on_segment(p3, p4, p2, d2)
+        || on_segment(p1, p2, p3, d3)
+        || on_segment(p1, p2, p4, d4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = Segment::new(p(0.0, 0.0), p(6.0, 8.0));
+        assert_eq!(s.length(), 10.0);
+        assert_eq!(s.midpoint(), p(3.0, 4.0));
+    }
+
+    #[test]
+    fn closest_point_interior() {
+        let s = Segment::new(p(0.0, 0.0), p(10.0, 0.0));
+        assert_eq!(s.closest_point(p(4.0, 7.0)), p(4.0, 0.0));
+    }
+
+    #[test]
+    fn closest_point_clamps_to_endpoints() {
+        let s = Segment::new(p(0.0, 0.0), p(10.0, 0.0));
+        assert_eq!(s.closest_point(p(-5.0, 2.0)), p(0.0, 0.0));
+        assert_eq!(s.closest_point(p(15.0, 2.0)), p(10.0, 0.0));
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s1 = Segment::new(p(0.0, 0.0), p(10.0, 10.0));
+        let s2 = Segment::new(p(0.0, 10.0), p(10.0, 0.0));
+        assert!(s1.intersects(s2));
+        let x = s1.intersection(s2).unwrap();
+        assert!((x.x - 5.0).abs() < 1e-9 && (x.y - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_segments_do_not_intersect() {
+        let s1 = Segment::new(p(0.0, 0.0), p(1.0, 0.0));
+        let s2 = Segment::new(p(0.0, 1.0), p(1.0, 1.0));
+        assert!(!s1.intersects(s2));
+        assert!(s1.intersection(s2).is_none());
+    }
+
+    #[test]
+    fn endpoint_touch_counts_as_intersection_but_not_interior_cross() {
+        let s1 = Segment::new(p(0.0, 0.0), p(1.0, 0.0));
+        let s2 = Segment::new(p(1.0, 0.0), p(2.0, 5.0));
+        assert!(s1.intersects(s2));
+        assert!(!s1.crosses_interior(s2));
+    }
+
+    #[test]
+    fn interior_cross_detected() {
+        let s1 = Segment::new(p(0.0, -1.0), p(0.0, 1.0));
+        let s2 = Segment::new(p(-1.0, 0.0), p(1.0, 0.0));
+        assert!(s1.crosses_interior(s2));
+    }
+
+    #[test]
+    fn parallel_segments_have_no_unique_intersection() {
+        let s1 = Segment::new(p(0.0, 0.0), p(10.0, 0.0));
+        let s2 = Segment::new(p(0.0, 1.0), p(10.0, 1.0));
+        assert!(s1.intersection(s2).is_none());
+    }
+
+    #[test]
+    fn collinear_overlap_intersects() {
+        let s1 = Segment::new(p(0.0, 0.0), p(5.0, 0.0));
+        let s2 = Segment::new(p(3.0, 0.0), p(8.0, 0.0));
+        assert!(s1.intersects(s2));
+        // ... but there is no unique intersection point.
+        assert!(s1.intersection(s2).is_none());
+    }
+
+    #[test]
+    fn at_parameterization() {
+        let s = Segment::new(p(0.0, 0.0), p(4.0, 0.0));
+        assert_eq!(s.at(0.25), p(1.0, 0.0));
+    }
+}

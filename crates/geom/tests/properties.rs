@@ -1,0 +1,150 @@
+//! Property-based tests for the geometry substrate.
+
+use anr_geom::{
+    barycentric_coords, barycentric_interpolate, normalize_angle, orient2d, rotate_point, Aabb,
+    Point, Polygon, Rotation, Segment, Triangle, Vector,
+};
+use proptest::prelude::*;
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    -1000.0..1000.0f64
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (finite_coord(), finite_coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// A triangle with reasonable (non-sliver) area.
+fn fat_triangle() -> impl Strategy<Value = Triangle> {
+    (arb_point(), arb_point(), arb_point())
+        .prop_map(|(a, b, c)| Triangle::new(a, b, c))
+        .prop_filter("non-degenerate", |t| t.area() > 1.0)
+}
+
+proptest! {
+    #[test]
+    fn orient2d_antisymmetric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let scale = orient2d(a, b, c).abs().max(1.0);
+        prop_assert!((orient2d(a, b, c) + orient2d(b, a, c)).abs() / scale < 1e-9);
+    }
+
+    #[test]
+    fn orient2d_cyclic(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let scale = orient2d(a, b, c).abs().max(1.0);
+        prop_assert!((orient2d(a, b, c) - orient2d(b, c, a)).abs() / scale < 1e-6);
+    }
+
+    #[test]
+    fn distance_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+
+    #[test]
+    fn barycentric_coords_sum_to_one(t in fat_triangle(), p in arb_point()) {
+        let (t1, t2, t3) = barycentric_coords(&t, p).unwrap();
+        prop_assert!((t1 + t2 + t3 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn barycentric_identity_reconstruction(t in fat_triangle(), p in arb_point()) {
+        // Interpolating the corners' own coordinates reproduces p, even
+        // outside the triangle (affine extension).
+        let r = barycentric_interpolate(&t, p, t.a, t.b, t.c).unwrap();
+        let scale = t.longest_edge().max(p.to_vector().norm()).max(1.0);
+        prop_assert!(r.distance(p) / scale < 1e-6);
+    }
+
+    #[test]
+    fn interior_points_have_nonnegative_coords(
+        t in fat_triangle(),
+        w1 in 0.01..1.0f64,
+        w2 in 0.01..1.0f64,
+        w3 in 0.01..1.0f64,
+    ) {
+        // A convex combination of the corners must be inside.
+        let s = w1 + w2 + w3;
+        let p = Point::new(
+            (w1 * t.a.x + w2 * t.b.x + w3 * t.c.x) / s,
+            (w1 * t.a.y + w2 * t.b.y + w3 * t.c.y) / s,
+        );
+        prop_assert!(t.contains(p));
+    }
+
+    #[test]
+    fn rotation_preserves_distances(
+        p in arb_point(),
+        q in arb_point(),
+        c in arb_point(),
+        theta in -10.0..10.0f64,
+    ) {
+        let r = Rotation::about(c, theta);
+        let scale = p.distance(q).max(1.0);
+        prop_assert!((r.apply(p).distance(r.apply(q)) - p.distance(q)).abs() / scale < 1e-9);
+    }
+
+    #[test]
+    fn rotation_roundtrip(p in arb_point(), c in arb_point(), theta in -10.0..10.0f64) {
+        let there = rotate_point(p, c, theta);
+        let back = rotate_point(there, c, -theta);
+        prop_assert!(back.distance(p) < 1e-6 * (1.0 + p.to_vector().norm() + c.to_vector().norm()));
+    }
+
+    #[test]
+    fn normalize_angle_in_range(theta in -100.0..100.0f64) {
+        let n = normalize_angle(theta);
+        prop_assert!((0.0..std::f64::consts::TAU).contains(&n));
+        // Same direction: sin/cos agree.
+        prop_assert!((n.sin() - theta.sin()).abs() < 1e-9);
+        prop_assert!((n.cos() - theta.cos()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_closest_point_is_closest(
+        a in arb_point(), b in arb_point(), p in arb_point(), t in 0.0..1.0f64
+    ) {
+        let seg = Segment::new(a, b);
+        let best = seg.distance_to_point(p);
+        // No sampled point on the segment is closer.
+        prop_assert!(best <= seg.at(t).distance(p) + 1e-9);
+    }
+
+    #[test]
+    fn aabb_contains_its_points(pts in prop::collection::vec(arb_point(), 1..20)) {
+        let bb = Aabb::from_points(pts.iter().copied()).unwrap();
+        for p in &pts {
+            prop_assert!(bb.contains(*p));
+        }
+    }
+
+    #[test]
+    fn regular_polygon_contains_center(cx in finite_coord(), cy in finite_coord(),
+                                       r in 0.1..100.0f64, n in 3usize..40) {
+        let c = Point::new(cx, cy);
+        let poly = Polygon::regular(c, r, n);
+        prop_assert!(poly.contains(c));
+        prop_assert!(poly.is_ccw());
+    }
+
+    #[test]
+    fn polygon_translation_preserves_area(
+        r in 1.0..100.0f64, n in 3usize..20, dx in finite_coord(), dy in finite_coord()
+    ) {
+        let poly = Polygon::regular(Point::ORIGIN, r, n);
+        let moved = poly.translated(Vector::new(dx, dy));
+        prop_assert!((moved.area() - poly.area()).abs() / poly.area() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_inside_convex_polygon(r in 1.0..100.0f64, n in 3usize..30) {
+        let poly = Polygon::regular(Point::new(5.0, 5.0), r, n);
+        prop_assert!(poly.contains(poly.centroid()));
+    }
+
+    #[test]
+    fn resampled_points_on_boundary(r in 1.0..50.0f64, n in 3usize..12, spacing in 0.5..5.0f64) {
+        let poly = Polygon::regular(Point::ORIGIN, r, n);
+        for p in poly.resample_boundary(spacing, 8) {
+            prop_assert!(poly.distance_to_boundary(p) < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for harmonic-map computation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while computing harmonic maps.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HarmonicError {
+    /// The mesh is not a topological disk: it has the wrong number of
+    /// boundary loops. Fill holes first ([`crate::fill_holes`]).
+    NotADisk {
+        /// Number of boundary loops found.
+        loops: usize,
+    },
+    /// The mesh has no boundary at all (closed surface).
+    NoBoundary,
+    /// Some interior vertex is not connected to the boundary, so the
+    /// averaging iteration cannot place it.
+    DisconnectedInterior {
+        /// An example unreachable vertex.
+        vertex: usize,
+    },
+    /// The iteration did not converge within the iteration budget.
+    NotConverged {
+        /// Iterations executed.
+        iterations: usize,
+        /// Largest vertex displacement in the final iteration.
+        residual: f64,
+    },
+    /// The mesh has no interior — fewer than three boundary vertices or
+    /// no triangles.
+    TooSmall,
+}
+
+impl fmt::Display for HarmonicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarmonicError::NotADisk { loops } => {
+                write!(f, "mesh has {loops} boundary loops, expected exactly 1")
+            }
+            HarmonicError::NoBoundary => write!(f, "mesh has no boundary loop"),
+            HarmonicError::DisconnectedInterior { vertex } => {
+                write!(f, "vertex {vertex} is not connected to the boundary")
+            }
+            HarmonicError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "harmonic iteration did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            HarmonicError::TooSmall => write!(f, "mesh too small for a harmonic map"),
+        }
+    }
+}
+
+impl Error for HarmonicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_nonempty() {
+        for e in [
+            HarmonicError::NotADisk { loops: 2 },
+            HarmonicError::NoBoundary,
+            HarmonicError::DisconnectedInterior { vertex: 3 },
+            HarmonicError::NotConverged {
+                iterations: 10,
+                residual: 0.5,
+            },
+            HarmonicError::TooSmall,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

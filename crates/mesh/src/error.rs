@@ -1,0 +1,107 @@
+//! Error type for mesh construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or validating a triangle mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MeshError {
+    /// Fewer than three input points were supplied to the triangulator.
+    TooFewPoints {
+        /// Number of points supplied.
+        got: usize,
+    },
+    /// All input points were (numerically) collinear.
+    AllCollinear,
+    /// A triangle references a vertex index that does not exist.
+    IndexOutOfRange {
+        /// Offending triangle index.
+        triangle: usize,
+        /// Offending vertex index.
+        vertex: usize,
+    },
+    /// A triangle repeats a vertex.
+    DegenerateTriangle {
+        /// Offending triangle index.
+        triangle: usize,
+    },
+    /// An interior edge is shared by more than two triangles — the mesh
+    /// is not a 2-manifold.
+    NonManifoldEdge {
+        /// Endpoints (vertex indices) of the offending edge.
+        edge: (usize, usize),
+    },
+    /// The meshed region produced no triangles (spacing too large or
+    /// region too thin).
+    EmptyMesh,
+    /// The mesher produced a mesh whose boundary does not match the
+    /// requested topology (e.g. hole count mismatch).
+    TopologyMismatch {
+        /// Expected number of boundary loops.
+        expected_loops: usize,
+        /// Number of loops produced.
+        got_loops: usize,
+    },
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::TooFewPoints { got } => {
+                write!(f, "triangulation needs at least 3 points, got {got}")
+            }
+            MeshError::AllCollinear => write!(f, "all input points are collinear"),
+            MeshError::IndexOutOfRange { triangle, vertex } => {
+                write!(f, "triangle {triangle} references missing vertex {vertex}")
+            }
+            MeshError::DegenerateTriangle { triangle } => {
+                write!(f, "triangle {triangle} repeats a vertex")
+            }
+            MeshError::NonManifoldEdge { edge } => {
+                write!(
+                    f,
+                    "edge ({}, {}) is shared by more than two triangles",
+                    edge.0, edge.1
+                )
+            }
+            MeshError::EmptyMesh => write!(f, "meshing produced no triangles"),
+            MeshError::TopologyMismatch {
+                expected_loops,
+                got_loops,
+            } => write!(
+                f,
+                "expected {expected_loops} boundary loops, mesh has {got_loops}"
+            ),
+        }
+    }
+}
+
+impl Error for MeshError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_nonempty() {
+        let errs: Vec<MeshError> = vec![
+            MeshError::TooFewPoints { got: 1 },
+            MeshError::AllCollinear,
+            MeshError::IndexOutOfRange {
+                triangle: 0,
+                vertex: 9,
+            },
+            MeshError::DegenerateTriangle { triangle: 3 },
+            MeshError::NonManifoldEdge { edge: (1, 2) },
+            MeshError::EmptyMesh,
+            MeshError::TopologyMismatch {
+                expected_loops: 2,
+                got_loops: 1,
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Point location in a triangle mesh.
+//!
+//! The harmonic-map composition (Sec. III-B) must find, for every robot's
+//! disk position, the target-mesh triangle containing it in the overlapped
+//! unit disks. [`PointLocator`] provides a bucket-grid accelerated lookup
+//! with a nearest-triangle fallback for points that fall just outside the
+//! mesh (numerical noise near the disk boundary).
+
+use crate::TriMesh;
+use anr_geom::{Aabb, Point};
+
+/// Index of the vertex of `mesh` nearest to `p` (linear scan).
+///
+/// Returns `None` for a mesh with no vertices.
+pub fn nearest_vertex(mesh: &TriMesh, p: Point) -> Option<usize> {
+    mesh.nearest_vertex_index(p)
+}
+
+/// Bucket-grid point locator over a fixed mesh.
+///
+/// Build once, query many times. Queries return the containing triangle,
+/// or with [`PointLocator::locate_or_nearest`] the nearest triangle when
+/// the point is slightly outside the mesh.
+///
+/// ```
+/// use anr_geom::Point;
+/// use anr_mesh::{delaunay, PointLocator};
+///
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(10.0, 0.0),
+///     Point::new(10.0, 10.0),
+///     Point::new(0.0, 10.0),
+/// ];
+/// let mesh = delaunay(&pts)?;
+/// let locator = PointLocator::new(&mesh);
+/// assert!(locator.locate(Point::new(5.0, 5.0)).is_some());
+/// assert!(locator.locate(Point::new(50.0, 50.0)).is_none());
+/// # Ok::<(), anr_mesh::MeshError>(())
+/// ```
+#[derive(Debug)]
+pub struct PointLocator<'m> {
+    mesh: &'m TriMesh,
+    bbox: Aabb,
+    nx: usize,
+    ny: usize,
+    cell: f64,
+    /// For each grid cell, the triangles whose bbox overlaps it.
+    buckets: Vec<Vec<usize>>,
+}
+
+impl<'m> PointLocator<'m> {
+    /// Builds a locator for `mesh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a mesh with zero triangles.
+    pub fn new(mesh: &'m TriMesh) -> Self {
+        assert!(mesh.num_triangles() > 0, "cannot locate in an empty mesh");
+        let bbox = Aabb::from_points(mesh.vertices().iter().copied()).expect("non-empty");
+        // Aim for ~2 triangles per cell.
+        let target_cells = (mesh.num_triangles() / 2).max(1);
+        let aspect = (bbox.width() / bbox.height().max(1e-12)).max(1e-6);
+        let ny = ((target_cells as f64 / aspect).sqrt().ceil() as usize).max(1);
+        let nx = target_cells.div_ceil(ny).max(1);
+        let cell = (bbox.width() / nx as f64)
+            .max(bbox.height() / ny as f64)
+            .max(1e-12);
+
+        let mut buckets = vec![Vec::new(); nx * ny];
+        for t in 0..mesh.num_triangles() {
+            let tri = mesh.triangle(t);
+            let tb = Aabb::from_points([tri.a, tri.b, tri.c]).expect("triangle");
+            let (i0, j0) = Self::cell_of(&bbox, cell, nx, ny, tb.min);
+            let (i1, j1) = Self::cell_of(&bbox, cell, nx, ny, tb.max);
+            for j in j0..=j1 {
+                for i in i0..=i1 {
+                    buckets[j * nx + i].push(t);
+                }
+            }
+        }
+
+        PointLocator {
+            mesh,
+            bbox,
+            nx,
+            ny,
+            cell,
+            buckets,
+        }
+    }
+
+    fn cell_of(bbox: &Aabb, cell: f64, nx: usize, ny: usize, p: Point) -> (usize, usize) {
+        let i = (((p.x - bbox.min.x) / cell).floor() as isize).clamp(0, nx as isize - 1) as usize;
+        let j = (((p.y - bbox.min.y) / cell).floor() as isize).clamp(0, ny as isize - 1) as usize;
+        (i, j)
+    }
+
+    /// The mesh this locator indexes.
+    #[inline]
+    pub fn mesh(&self) -> &TriMesh {
+        self.mesh
+    }
+
+    /// Triangle index containing `p`, if any (boundary inclusive).
+    pub fn locate(&self, p: Point) -> Option<usize> {
+        if !self.bbox.inflated(self.cell).contains(p) {
+            return None;
+        }
+        let (i, j) = Self::cell_of(&self.bbox, self.cell, self.nx, self.ny, p);
+        for &t in &self.buckets[j * self.nx + i] {
+            if self.mesh.triangle(t).contains(p) {
+                return Some(t);
+            }
+        }
+        // The point may sit exactly on a cell border; check the 8
+        // surrounding cells before giving up.
+        for dj in -1i64..=1 {
+            for di in -1i64..=1 {
+                if di == 0 && dj == 0 {
+                    continue;
+                }
+                let ii = i as i64 + di;
+                let jj = j as i64 + dj;
+                if ii < 0 || jj < 0 || ii >= self.nx as i64 || jj >= self.ny as i64 {
+                    continue;
+                }
+                for &t in &self.buckets[jj as usize * self.nx + ii as usize] {
+                    if self.mesh.triangle(t).contains(p) {
+                        return Some(t);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Containing triangle, or the triangle whose centroid is nearest
+    /// when `p` is outside the mesh.
+    ///
+    /// The boolean is `true` when the point was genuinely contained.
+    pub fn locate_or_nearest(&self, p: Point) -> (usize, bool) {
+        if let Some(t) = self.locate(p) {
+            return (t, true);
+        }
+        let t = (0..self.mesh.num_triangles())
+            .min_by(|&a, &b| {
+                let da = self.mesh.triangle(a).centroid().distance_sq(p);
+                let db = self.mesh.triangle(b).centroid().distance_sq(p);
+                da.partial_cmp(&db).expect("finite")
+            })
+            .expect("non-empty mesh");
+        (t, false)
+    }
+}
+
+/// Point location by *walking*: starting from `start` (a triangle
+/// index), repeatedly step to the neighbor across the edge that the
+/// target lies beyond, until the containing triangle is reached.
+///
+/// Expected O(√n) per query when `start` is near the target — the
+/// classic companion to a bucket grid for coherent query sequences
+/// (e.g. relocating a whole swarm whose disk positions move slowly with
+/// the rotation angle).
+///
+/// Returns `None` when the walk exits the mesh through a boundary edge
+/// (the point is outside) or when the step budget (`4 × num_triangles`)
+/// is exhausted (possible only on non-convex meshes, where the caller
+/// should fall back to [`PointLocator::locate`]).
+///
+/// # Panics
+///
+/// Panics when `start` is out of range.
+pub fn locate_walk(mesh: &TriMesh, start: usize, p: Point) -> Option<usize> {
+    assert!(start < mesh.num_triangles(), "start triangle out of range");
+    let mut current = start;
+    let mut steps = 0usize;
+    let budget = 4 * mesh.num_triangles();
+    loop {
+        steps += 1;
+        if steps > budget {
+            return None;
+        }
+        let [a, b, c] = mesh.triangles()[current];
+        let (pa, pb, pc) = (mesh.vertex(a), mesh.vertex(b), mesh.vertex(c));
+        // Find an edge with the target strictly on its outside.
+        let mut moved = false;
+        for (u, v) in [(a, b), (b, c), (c, a)] {
+            let (pu, pv) = (mesh.vertex(u), mesh.vertex(v));
+            if anr_geom::orient2d(pu, pv, p) < -1e-12 {
+                // Step across (u, v) if there is a neighbor.
+                let neighbors = mesh.edge_triangles(u, v);
+                match neighbors.iter().find(|&&t| t != current) {
+                    Some(&next) => {
+                        current = next;
+                        moved = true;
+                        break;
+                    }
+                    None => return None, // walked out through the boundary
+                }
+            }
+        }
+        if !moved {
+            // No separating edge: the triangle contains p.
+            let tri = anr_geom::Triangle::new(pa, pb, pc);
+            return if tri.contains(p) { Some(current) } else { None };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delaunay;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn grid_mesh(n: usize) -> TriMesh {
+        let mut pts = Vec::new();
+        for j in 0..n {
+            for i in 0..n {
+                pts.push(p(i as f64, j as f64));
+            }
+        }
+        delaunay(&pts).unwrap()
+    }
+
+    #[test]
+    fn locate_interior_points() {
+        let m = grid_mesh(5);
+        let loc = PointLocator::new(&m);
+        for &q in &[p(0.5, 0.5), p(3.3, 2.7), p(0.0, 0.0), p(4.0, 4.0)] {
+            let t = loc.locate(q).expect("point should be inside");
+            assert!(m.triangle(t).contains(q));
+        }
+    }
+
+    #[test]
+    fn locate_outside_returns_none() {
+        let m = grid_mesh(4);
+        let loc = PointLocator::new(&m);
+        assert!(loc.locate(p(100.0, 100.0)).is_none());
+        assert!(loc.locate(p(-1.0, -1.0)).is_none());
+    }
+
+    #[test]
+    fn locate_or_nearest_fallback() {
+        let m = grid_mesh(4);
+        let loc = PointLocator::new(&m);
+        let (t, inside) = loc.locate_or_nearest(p(10.0, 1.5));
+        assert!(!inside);
+        // Nearest triangle should hug the right edge (x near 3).
+        assert!(m.triangle(t).centroid().x > 2.0);
+        let (_, inside) = loc.locate_or_nearest(p(1.5, 1.5));
+        assert!(inside);
+    }
+
+    #[test]
+    fn locate_matches_brute_force() {
+        let m = grid_mesh(6);
+        let loc = PointLocator::new(&m);
+        let mut seed: u64 = 7;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for _ in 0..200 {
+            let q = p(next() * 5.0, next() * 5.0);
+            let fast = loc.locate(q);
+            let brute = (0..m.num_triangles()).find(|&t| m.triangle(t).contains(q));
+            match (fast, brute) {
+                (Some(a), Some(b)) => {
+                    // Both must actually contain the point (ties on shared
+                    // edges can differ in index).
+                    assert!(m.triangle(a).contains(q));
+                    assert!(m.triangle(b).contains(q));
+                }
+                (None, None) => {}
+                other => panic!("mismatch at {q}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn walk_finds_interior_points() {
+        let m = grid_mesh(6);
+        for &q in &[p(0.5, 0.5), p(3.3, 2.7), p(4.9, 0.1), p(2.5, 4.9)] {
+            for start in [0, m.num_triangles() / 2, m.num_triangles() - 1] {
+                let t = locate_walk(&m, start, q).expect("inside");
+                assert!(m.triangle(t).contains(q), "from start {start}");
+            }
+        }
+    }
+
+    #[test]
+    fn walk_detects_outside_points() {
+        let m = grid_mesh(4);
+        assert!(locate_walk(&m, 0, p(100.0, 100.0)).is_none());
+        assert!(locate_walk(&m, m.num_triangles() - 1, p(-5.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn walk_agrees_with_bucket_locator() {
+        let m = grid_mesh(7);
+        let loc = PointLocator::new(&m);
+        let mut seed: u64 = 3;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut start = 0usize;
+        for _ in 0..300 {
+            let q = p(next() * 6.0, next() * 6.0);
+            let walked = locate_walk(&m, start, q);
+            let bucketed = loc.locate(q);
+            match (walked, bucketed) {
+                (Some(a), Some(b)) => {
+                    assert!(m.triangle(a).contains(q));
+                    assert!(m.triangle(b).contains(q));
+                    start = a; // coherent query sequence
+                }
+                (None, None) => {}
+                other => panic!("disagreement at {q}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_vertex_scan() {
+        let m = grid_mesh(3);
+        assert_eq!(nearest_vertex(&m, p(1.9, 2.1)), Some(8));
+    }
+}

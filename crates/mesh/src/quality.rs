@@ -1,0 +1,158 @@
+//! Mesh quality statistics.
+
+use crate::TriMesh;
+use std::fmt;
+
+/// Aggregate quality statistics of a triangle mesh.
+///
+/// ```
+/// use anr_geom::Point;
+/// use anr_mesh::{delaunay, MeshQuality};
+///
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(1.0, 0.0),
+///     Point::new(0.5, 0.866),
+/// ];
+/// let q = MeshQuality::of(&delaunay(&pts)?);
+/// assert!(q.min_angle_deg > 59.0 && q.max_angle_deg < 61.0);
+/// # Ok::<(), anr_mesh::MeshError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeshQuality {
+    /// Smallest interior angle across all triangles, in degrees.
+    pub min_angle_deg: f64,
+    /// Largest interior angle across all triangles, in degrees.
+    pub max_angle_deg: f64,
+    /// Mean interior angle (always 60 for a triangulation), in degrees.
+    pub mean_angle_deg: f64,
+    /// Shortest edge length in the mesh.
+    pub min_edge: f64,
+    /// Longest edge length in the mesh.
+    pub max_edge: f64,
+    /// Mean edge length.
+    pub mean_edge: f64,
+    /// Smallest triangle area.
+    pub min_area: f64,
+    /// Number of triangles measured.
+    pub triangles: usize,
+}
+
+impl MeshQuality {
+    /// Measures `mesh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a mesh with zero triangles.
+    pub fn of(mesh: &TriMesh) -> MeshQuality {
+        assert!(mesh.num_triangles() > 0, "cannot measure an empty mesh");
+        let mut min_angle = f64::INFINITY;
+        let mut max_angle = 0.0f64;
+        let mut angle_sum = 0.0;
+        let mut min_area = f64::INFINITY;
+
+        for t in 0..mesh.num_triangles() {
+            let tri = mesh.triangle(t);
+            min_area = min_area.min(tri.area());
+            let corners = [tri.a, tri.b, tri.c];
+            for k in 0..3 {
+                let a = corners[k];
+                let b = corners[(k + 1) % 3];
+                let c = corners[(k + 2) % 3];
+                let u = b - a;
+                let v = c - a;
+                let cos = (u.dot(v) / (u.norm() * v.norm())).clamp(-1.0, 1.0);
+                let ang = cos.acos().to_degrees();
+                min_angle = min_angle.min(ang);
+                max_angle = max_angle.max(ang);
+                angle_sum += ang;
+            }
+        }
+
+        let mut min_edge = f64::INFINITY;
+        let mut max_edge = 0.0f64;
+        let mut edge_sum = 0.0;
+        let mut edge_count = 0usize;
+        for (a, b) in mesh.edges() {
+            let len = mesh.vertex(a).distance(mesh.vertex(b));
+            min_edge = min_edge.min(len);
+            max_edge = max_edge.max(len);
+            edge_sum += len;
+            edge_count += 1;
+        }
+
+        MeshQuality {
+            min_angle_deg: min_angle,
+            max_angle_deg: max_angle,
+            mean_angle_deg: angle_sum / (3 * mesh.num_triangles()) as f64,
+            min_edge,
+            max_edge,
+            mean_edge: edge_sum / edge_count as f64,
+            min_area,
+            triangles: mesh.num_triangles(),
+        }
+    }
+}
+
+impl fmt::Display for MeshQuality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} triangles, angles [{:.1}°, {:.1}°], edges [{:.3}, {:.3}] (mean {:.3})",
+            self.triangles,
+            self.min_angle_deg,
+            self.max_angle_deg,
+            self.min_edge,
+            self.max_edge,
+            self.mean_edge
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delaunay;
+    use anr_geom::Point;
+
+    #[test]
+    fn equilateral_triangle_quality() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 3f64.sqrt() / 2.0),
+        ];
+        let q = MeshQuality::of(&delaunay(&pts).unwrap());
+        assert!((q.min_angle_deg - 60.0).abs() < 1e-6);
+        assert!((q.max_angle_deg - 60.0).abs() < 1e-6);
+        assert!((q.mean_angle_deg - 60.0).abs() < 1e-6);
+        assert!((q.min_edge - 1.0).abs() < 1e-9);
+        assert_eq!(q.triangles, 1);
+    }
+
+    #[test]
+    fn mean_angle_is_always_sixty() {
+        let mut pts = Vec::new();
+        for j in 0..4 {
+            for i in 0..4 {
+                pts.push(Point::new(i as f64, j as f64 + 0.01 * i as f64));
+            }
+        }
+        let q = MeshQuality::of(&delaunay(&pts).unwrap());
+        assert!((q.mean_angle_deg - 60.0).abs() < 1e-9);
+        assert!(q.min_angle_deg > 0.0);
+        assert!(q.max_angle_deg < 180.0);
+        assert!(q.min_edge <= q.mean_edge && q.mean_edge <= q.max_edge);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let q = MeshQuality::of(&delaunay(&pts).unwrap());
+        assert!(!q.to_string().is_empty());
+    }
+}

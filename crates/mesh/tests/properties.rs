@@ -1,0 +1,111 @@
+//! Property-based tests for triangulation invariants.
+
+use anr_geom::{in_circle, Point, Polygon, PolygonWithHoles};
+use anr_mesh::{delaunay, FoiMesher, MeshQuality, PointLocator};
+use proptest::prelude::*;
+
+/// Random point clouds with minimum pairwise separation (Delaunay input).
+fn separated_cloud() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 4..40).prop_map(|raw| {
+        let mut pts: Vec<Point> = Vec::new();
+        for (x, y) in raw {
+            let p = Point::new(x, y);
+            if pts.iter().all(|q| q.distance(p) > 1.0) {
+                pts.push(p);
+            }
+        }
+        pts
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn delaunay_empty_circle_property(pts in separated_cloud()) {
+        prop_assume!(pts.len() >= 4);
+        let m = match delaunay(&pts) {
+            Ok(m) => m,
+            Err(_) => return Ok(()), // collinear clouds are legal inputs
+        };
+        for t in 0..m.num_triangles() {
+            let [a, b, c] = m.triangles()[t];
+            let (pa, pb, pc) = (m.vertex(a), m.vertex(b), m.vertex(c));
+            for v in 0..m.num_vertices() {
+                if v == a || v == b || v == c {
+                    continue;
+                }
+                let val = in_circle(pa, pb, pc, m.vertex(v));
+                let scale = (pa.distance(pb) * pb.distance(pc) * pc.distance(pa)).powi(2).max(1.0);
+                prop_assert!(val <= 1e-6 * scale);
+            }
+        }
+    }
+
+    #[test]
+    fn delaunay_is_a_disk(pts in separated_cloud()) {
+        prop_assume!(pts.len() >= 4);
+        if let Ok(m) = delaunay(&pts) {
+            // Triangulation of a point cloud fills its convex hull: one
+            // boundary loop, Euler characteristic 1.
+            prop_assert_eq!(m.euler_characteristic(), 1);
+            prop_assert_eq!(m.boundary_loops().len(), 1);
+            prop_assert_eq!(m.num_vertices(), pts.len());
+        }
+    }
+
+    #[test]
+    fn delaunay_triangles_are_ccw(pts in separated_cloud()) {
+        prop_assume!(pts.len() >= 4);
+        if let Ok(m) = delaunay(&pts) {
+            for t in 0..m.num_triangles() {
+                prop_assert!(m.triangle(t).signed_area() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn locator_agrees_with_containment(pts in separated_cloud(), qx in 0.0..100.0f64, qy in 0.0..100.0f64) {
+        prop_assume!(pts.len() >= 4);
+        if let Ok(m) = delaunay(&pts) {
+            let loc = PointLocator::new(&m);
+            let q = Point::new(qx, qy);
+            if let Some(t) = loc.locate(q) {
+                prop_assert!(m.triangle(t).contains(q));
+            }
+            let (t, inside) = loc.locate_or_nearest(q);
+            prop_assert!(t < m.num_triangles());
+            if inside {
+                prop_assert!(m.triangle(t).contains(q));
+            }
+        }
+    }
+
+    #[test]
+    fn foi_mesher_covers_rectangles(w in 20.0..120.0f64, h in 20.0..120.0f64, s in 4.0..10.0f64) {
+        let foi = PolygonWithHoles::without_holes(
+            Polygon::rectangle(Point::ORIGIN, w, h),
+        );
+        let m = FoiMesher::new(s).mesh(&foi).unwrap();
+        let err = (m.mesh().total_area() - foi.area()).abs() / foi.area();
+        prop_assert!(err < 0.1, "area error {}", err);
+        prop_assert_eq!(m.mesh().euler_characteristic(), 1);
+        let q = MeshQuality::of(m.mesh());
+        prop_assert!(q.min_area > 0.0);
+    }
+
+    #[test]
+    fn foi_mesher_respects_holes(cx in 40.0..60.0f64, cy in 40.0..60.0f64, r in 8.0..20.0f64) {
+        let outer = Polygon::rectangle(Point::ORIGIN, 100.0, 100.0);
+        let hole = Polygon::regular(Point::new(cx, cy), r, 12);
+        let foi = PolygonWithHoles::new(outer, vec![hole.clone()]).unwrap();
+        let m = FoiMesher::new(6.0).mesh(&foi).unwrap();
+        prop_assert_eq!(m.hole_loops().len(), 1);
+        prop_assert_eq!(m.mesh().euler_characteristic(), 0);
+        // No triangle centroid inside the hole.
+        for t in 0..m.mesh().num_triangles() {
+            let c = m.mesh().triangle(t).centroid();
+            prop_assert!(!foi.in_hole(c));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Articulation points and k-connectivity estimates.
+//!
+//! The paper notes (Sec. II-A) that deployment patterns achieving both
+//! coverage and *k*-connectivity are an open problem and restricts
+//! itself to the `r_c ≥ √3·r_s` triangular lattice, which is
+//! 6-connected in the interior. These helpers quantify how robust a
+//! deployment's connectivity actually is: a network with an articulation
+//! point loses global connectivity if that single robot fails, so
+//! biconnectivity is the natural "one robot may fail" strengthening of
+//! Definition 2.
+
+use crate::UnitDiskGraph;
+
+/// Articulation points (cut vertices) of the connectivity graph, by
+/// Tarjan's low-link algorithm (iterative, O(V + E)).
+///
+/// A robot is an articulation point when removing it disconnects its
+/// connected component.
+///
+/// # Example
+///
+/// ```
+/// use anr_geom::Point;
+/// use anr_netgraph::{articulation_points, UnitDiskGraph};
+///
+/// // A path of three robots: the middle one is an articulation point.
+/// let g = UnitDiskGraph::new(
+///     &[Point::new(0.0, 0.0), Point::new(60.0, 0.0), Point::new(120.0, 0.0)],
+///     80.0,
+/// );
+/// assert_eq!(articulation_points(&g), vec![1]);
+/// ```
+pub fn articulation_points(graph: &UnitDiskGraph) -> Vec<usize> {
+    let n = graph.len();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut is_ap = vec![false; n];
+    let mut timer = 0usize;
+
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        // Iterative DFS: (vertex, neighbor cursor).
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        let mut root_children = 0usize;
+
+        while let Some(&mut (u, ref mut cursor)) = stack.last_mut() {
+            let nbrs = graph.neighbors(u);
+            if *cursor < nbrs.len() {
+                let v = nbrs[*cursor];
+                *cursor += 1;
+                if disc[v] == usize::MAX {
+                    parent[v] = u;
+                    disc[v] = timer;
+                    low[v] = timer;
+                    timer += 1;
+                    if u == root {
+                        root_children += 1;
+                    }
+                    stack.push((v, 0));
+                } else if v != parent[u] {
+                    low[u] = low[u].min(disc[v]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p] = low[p].min(low[u]);
+                    if p != root && low[u] >= disc[p] {
+                        is_ap[p] = true;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_ap[root] = true;
+        }
+    }
+
+    (0..n).filter(|&v| is_ap[v]).collect()
+}
+
+/// Is the network biconnected: connected, with at least 3 robots and no
+/// articulation point?
+///
+/// A biconnected network survives the failure of any single robot — the
+/// "reliability" property the paper's introduction motivates ("the
+/// failure of an individual robot can be recovered by its peers").
+pub fn is_biconnected(graph: &UnitDiskGraph) -> bool {
+    graph.len() >= 3 && graph.is_connected() && articulation_points(graph).is_empty()
+}
+
+/// Lower-bound estimate of the vertex connectivity `k`: the network is
+/// reported `0` when disconnected, `1` when connected with an
+/// articulation point, `2` when biconnected but some vertex has degree
+/// 2, otherwise `min degree` capped at the exact value for `k ≤ 2`.
+///
+/// Vertex connectivity is never larger than the minimum degree, and for
+/// `k ∈ {0, 1, 2}` the classification above is exact; beyond that the
+/// minimum degree is returned as the standard upper-bound proxy (exact
+/// max-flow computation is overkill for lattice deployments whose
+/// interior is 6-regular).
+pub fn vertex_connectivity_estimate(graph: &UnitDiskGraph) -> usize {
+    if graph.len() < 2 || !graph.is_connected() {
+        return 0;
+    }
+    let min_degree = (0..graph.len()).map(|v| graph.degree(v)).min().unwrap_or(0);
+    if !articulation_points(graph).is_empty() {
+        return 1;
+    }
+    min_degree.max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anr_geom::Point;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn path_interior_vertices_are_cut() {
+        let pts: Vec<Point> = (0..5).map(|i| p(i as f64 * 60.0, 0.0)).collect();
+        let g = UnitDiskGraph::new(&pts, 80.0);
+        assert_eq!(articulation_points(&g), vec![1, 2, 3]);
+        assert!(!is_biconnected(&g));
+        assert_eq!(vertex_connectivity_estimate(&g), 1);
+    }
+
+    #[test]
+    fn cycle_has_no_articulation_points() {
+        // Hexagon ring at 60 m spacing, range 80: each vertex links its
+        // two ring neighbors.
+        let pts: Vec<Point> = (0..6)
+            .map(|k| {
+                let theta = std::f64::consts::TAU * k as f64 / 6.0;
+                p(60.0 * theta.cos(), 60.0 * theta.sin())
+            })
+            .collect();
+        let g = UnitDiskGraph::new(&pts, 80.0);
+        assert!(articulation_points(&g).is_empty());
+        assert!(is_biconnected(&g));
+        assert_eq!(vertex_connectivity_estimate(&g), 2);
+    }
+
+    #[test]
+    fn bridge_vertex_between_two_blobs() {
+        // Two triangles joined through a single middle robot.
+        let pts = vec![
+            p(0.0, 0.0),
+            p(60.0, 0.0),
+            p(30.0, 50.0),
+            p(90.0, 25.0), // the bridge
+            p(150.0, 0.0),
+            p(150.0, 60.0),
+            p(210.0, 30.0),
+        ];
+        let g = UnitDiskGraph::new(&pts, 80.0);
+        assert!(g.is_connected());
+        let aps = articulation_points(&g);
+        assert!(aps.contains(&3), "bridge not detected: {aps:?}");
+    }
+
+    #[test]
+    fn disconnected_graph_connectivity_zero() {
+        let g = UnitDiskGraph::new(&[p(0.0, 0.0), p(500.0, 0.0)], 80.0);
+        assert_eq!(vertex_connectivity_estimate(&g), 0);
+        assert!(!is_biconnected(&g));
+    }
+
+    #[test]
+    fn triangular_lattice_interior_is_well_connected() {
+        let mut pts = Vec::new();
+        for r in 0..5 {
+            for c in 0..6 {
+                let x = c as f64 * 60.0 + if r % 2 == 1 { 30.0 } else { 0.0 };
+                let y = r as f64 * 52.0;
+                pts.push(p(x, y));
+            }
+        }
+        let g = UnitDiskGraph::new(&pts, 80.0);
+        assert!(is_biconnected(&g));
+        assert!(vertex_connectivity_estimate(&g) >= 2);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let g = UnitDiskGraph::new(&[p(0.0, 0.0)], 80.0);
+        assert!(!is_biconnected(&g));
+        assert_eq!(vertex_connectivity_estimate(&g), 0);
+        let g = UnitDiskGraph::new(&[p(0.0, 0.0), p(10.0, 0.0)], 80.0);
+        assert!(!is_biconnected(&g)); // needs 3+ vertices
+    }
+}

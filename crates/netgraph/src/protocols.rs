@@ -1,0 +1,388 @@
+//! Distributed protocols used by the marching pipeline, implemented on
+//! the round-based simulator and each cross-checked against a
+//! centralized reference in tests.
+//!
+//! * [`BoundaryLoopNode`] — the paper's boundary-sizing token
+//!   (Sec. III-B): the boundary vertex with the smallest ID starts a
+//!   hop-counting message around the boundary loop; when it returns, the
+//!   initiator floods the loop size so every boundary vertex knows both
+//!   its position index and the loop length.
+//! * [`FloodNode`] — network-wide value dissemination ("the mobile robot
+//!   then floods the information to other mobile robots"): at
+//!   quiescence every robot knows every robot's value, from which global
+//!   aggregates (total stable link ratio, total distance) are computed.
+//! * [`HopFieldNode`] — multi-source BFS hop field (Sec. III-D-1): every
+//!   boundary vertex initiates a packet with a zero counter; interior
+//!   vertices learn their distance to the nearest boundary vertex, and
+//!   vertices that never receive a packet are in an isolated subgroup.
+
+use anr_distsim::{Envelope, Node, Outbox, SimError, Simulator};
+
+// ---------------------------------------------------------------------
+// Boundary loop sizing
+// ---------------------------------------------------------------------
+
+/// Message for the boundary-loop protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopMsg {
+    /// Hop-counting token: (initiator id, hops travelled so far).
+    Token {
+        /// ID of the initiating boundary vertex.
+        initiator: usize,
+        /// Hops travelled when this message was sent.
+        hops: usize,
+    },
+    /// Loop size announcement from the initiator.
+    Size(usize),
+}
+
+/// A vertex on the (directed) boundary loop.
+///
+/// Construct one node per boundary vertex with its successor in the
+/// loop's cyclic order; the topology must contain at least the loop
+/// edges. After the run, `index` holds the vertex's position along the
+/// loop (initiator = 0) and `loop_size` the total loop length.
+#[derive(Debug, Clone)]
+pub struct BoundaryLoopNode {
+    /// This node's ID (its index in the simulator).
+    pub id: usize,
+    /// Whether this node starts the token (smallest boundary ID).
+    pub is_initiator: bool,
+    /// Successor on the boundary loop.
+    pub next: usize,
+    /// Learned position along the loop.
+    pub index: Option<usize>,
+    /// Learned loop size.
+    pub loop_size: Option<usize>,
+}
+
+impl BoundaryLoopNode {
+    /// Creates a protocol participant.
+    pub fn new(id: usize, is_initiator: bool, next: usize) -> Self {
+        BoundaryLoopNode {
+            id,
+            is_initiator,
+            next,
+            index: None,
+            loop_size: None,
+        }
+    }
+}
+
+impl Node for BoundaryLoopNode {
+    type Msg = LoopMsg;
+
+    fn on_start(&mut self, out: &mut Outbox<LoopMsg>) {
+        if self.is_initiator {
+            self.index = Some(0);
+            out.send(
+                self.next,
+                LoopMsg::Token {
+                    initiator: self.id,
+                    hops: 1,
+                },
+            );
+        }
+    }
+
+    fn on_round(&mut self, _round: usize, inbox: &[Envelope<LoopMsg>], out: &mut Outbox<LoopMsg>) {
+        for env in inbox {
+            match env.msg {
+                LoopMsg::Token { initiator, hops } => {
+                    if initiator == self.id {
+                        // Token returned: the loop has `hops` vertices.
+                        self.loop_size = Some(hops);
+                        out.send(self.next, LoopMsg::Size(hops));
+                    } else {
+                        self.index = Some(hops);
+                        out.send(
+                            self.next,
+                            LoopMsg::Token {
+                                initiator,
+                                hops: hops + 1,
+                            },
+                        );
+                    }
+                }
+                LoopMsg::Size(size) => {
+                    if self.loop_size.is_none() {
+                        self.loop_size = Some(size);
+                        out.send(self.next, LoopMsg::Size(size));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs the boundary-loop protocol over a cyclic vertex order.
+///
+/// `loop_order` lists the boundary vertices in cyclic order using
+/// *simulator-local* indices `0..loop_order.len()`; entry `i` is the ID
+/// used for initiator selection (the smallest ID initiates, matching the
+/// paper). Returns `(index_along_loop, loop_size)` per vertex, in
+/// `loop_order` order.
+///
+/// # Errors
+///
+/// Propagates simulator errors; returns [`SimError::NotQuiescent`] if the
+/// token does not return within `4 × loop` rounds (malformed loop).
+pub fn run_boundary_loop(ids: &[usize]) -> Result<Vec<(usize, usize)>, SimError> {
+    let n = ids.len();
+    assert!(n >= 3, "a boundary loop needs at least 3 vertices");
+    let initiator_pos = ids
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &id)| id)
+        .map(|(i, _)| i)
+        .expect("non-empty");
+
+    let nodes: Vec<BoundaryLoopNode> = (0..n)
+        .map(|i| BoundaryLoopNode::new(i, i == initiator_pos, (i + 1) % n))
+        .collect();
+    // Ring topology (undirected so the Size message could also go either
+    // way; the protocol only uses `next`).
+    let adjacency: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + n - 1) % n, (i + 1) % n]).collect();
+    let mut sim = Simulator::new(nodes, adjacency)?;
+    sim.run_until_quiet(4 * n + 8)?;
+    Ok(sim
+        .into_nodes()
+        .into_iter()
+        .map(|nd| {
+            (
+                nd.index.expect("every loop vertex is visited"),
+                nd.loop_size.expect("every loop vertex learns the size"),
+            )
+        })
+        .collect())
+}
+
+// ---------------------------------------------------------------------
+// Value flooding
+// ---------------------------------------------------------------------
+
+/// Floods `(robot id, value)` pairs until every robot knows every value.
+///
+/// The paper uses this to aggregate per-robot stable-link ratios and
+/// moving distances during the rotation search (Sec. III-B, III-D-2).
+#[derive(Debug, Clone)]
+pub struct FloodNode {
+    /// This node's ID.
+    pub id: usize,
+    /// This node's own value.
+    pub value: f64,
+    /// All values learned so far, indexed by robot ID.
+    pub known: Vec<Option<f64>>,
+}
+
+impl FloodNode {
+    /// Creates a flooding participant for a network of `n` robots.
+    pub fn new(id: usize, value: f64, n: usize) -> Self {
+        let mut known = vec![None; n];
+        known[id] = Some(value);
+        FloodNode { id, value, known }
+    }
+
+    /// Sum of all known values (the global aggregate after quiescence).
+    pub fn sum(&self) -> f64 {
+        self.known.iter().flatten().sum()
+    }
+
+    /// Does this node know every robot's value?
+    pub fn is_complete(&self) -> bool {
+        self.known.iter().all(Option::is_some)
+    }
+}
+
+impl Node for FloodNode {
+    type Msg = (usize, f64);
+
+    fn on_start(&mut self, out: &mut Outbox<(usize, f64)>) {
+        out.broadcast((self.id, self.value));
+    }
+
+    fn on_round(
+        &mut self,
+        _round: usize,
+        inbox: &[Envelope<(usize, f64)>],
+        out: &mut Outbox<(usize, f64)>,
+    ) {
+        for env in inbox {
+            let (id, value) = env.msg;
+            if self.known[id].is_none() {
+                self.known[id] = Some(value);
+                out.broadcast((id, value));
+            }
+        }
+    }
+}
+
+/// Floods every robot's value over `adjacency`; returns each robot's
+/// learned total sum (identical across robots iff the graph is
+/// connected).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_flood_sum(values: &[f64], adjacency: &[Vec<usize>]) -> Result<Vec<f64>, SimError> {
+    let n = values.len();
+    let nodes: Vec<FloodNode> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| FloodNode::new(i, v, n))
+        .collect();
+    let mut sim = Simulator::new(nodes, adjacency.to_vec())?;
+    sim.run_until_quiet(2 * n + 8)?;
+    Ok(sim.into_nodes().iter().map(FloodNode::sum).collect())
+}
+
+// ---------------------------------------------------------------------
+// Multi-source hop field
+// ---------------------------------------------------------------------
+
+/// Multi-source BFS participant: sources start with hop 0 and everyone
+/// learns the hop distance to the nearest source.
+#[derive(Debug, Clone)]
+pub struct HopFieldNode {
+    /// Whether this node is a source (e.g. a boundary vertex).
+    pub is_source: bool,
+    /// Learned hop distance to the nearest source.
+    pub hops: Option<usize>,
+}
+
+impl Node for HopFieldNode {
+    type Msg = usize;
+
+    fn on_start(&mut self, out: &mut Outbox<usize>) {
+        if self.is_source {
+            self.hops = Some(0);
+            out.broadcast(1);
+        }
+    }
+
+    fn on_round(&mut self, _round: usize, inbox: &[Envelope<usize>], out: &mut Outbox<usize>) {
+        for env in inbox {
+            if self.hops.is_none_or(|h| env.msg < h) {
+                self.hops = Some(env.msg);
+                out.broadcast(env.msg + 1);
+            }
+        }
+    }
+}
+
+/// Runs the hop-field protocol; `None` entries mark robots unreachable
+/// from every source — exactly the isolated subgroups of Sec. III-D-1.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_hop_field(
+    sources: &[bool],
+    adjacency: &[Vec<usize>],
+) -> Result<Vec<Option<usize>>, SimError> {
+    let nodes: Vec<HopFieldNode> = sources
+        .iter()
+        .map(|&is_source| HopFieldNode {
+            is_source,
+            hops: None,
+        })
+        .collect();
+    let mut sim = Simulator::new(nodes, adjacency.to_vec())?;
+    sim.run_until_quiet(2 * sources.len() + 8)?;
+    Ok(sim.into_nodes().into_iter().map(|n| n.hops).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnitDiskGraph;
+    use anr_geom::Point;
+
+    #[test]
+    fn boundary_loop_indices_and_size() {
+        // Loop of 7 vertices with shuffled IDs; initiator is smallest ID.
+        let ids = vec![12, 5, 40, 3, 9, 77, 21];
+        let res = run_boundary_loop(&ids).unwrap();
+        // All vertices learn the same size.
+        for &(_, size) in &res {
+            assert_eq!(size, 7);
+        }
+        // The initiator (ID 3, position 3) has index 0; indices follow
+        // the cyclic order.
+        assert_eq!(res[3].0, 0);
+        assert_eq!(res[4].0, 1);
+        assert_eq!(res[5].0, 2);
+        assert_eq!(res[6].0, 3);
+        assert_eq!(res[0].0, 4);
+        assert_eq!(res[1].0, 5);
+        assert_eq!(res[2].0, 6);
+    }
+
+    #[test]
+    fn boundary_loop_all_indices_distinct() {
+        let ids: Vec<usize> = (0..20).map(|i| (i * 7 + 3) % 101).collect();
+        let res = run_boundary_loop(&ids).unwrap();
+        let mut idx: Vec<usize> = res.iter().map(|&(i, _)| i).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flood_sum_on_connected_graph() {
+        let pts: Vec<Point> = (0..10).map(|i| Point::new(i as f64 * 50.0, 0.0)).collect();
+        let g = UnitDiskGraph::new(&pts, 80.0);
+        let values: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let sums = run_flood_sum(&values, g.adjacency()).unwrap();
+        for s in sums {
+            assert!((s - 45.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flood_on_disconnected_graph_partial_sums() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 0.0),
+            Point::new(1000.0, 0.0),
+        ];
+        let g = UnitDiskGraph::new(&pts, 80.0);
+        let sums = run_flood_sum(&[1.0, 2.0, 4.0], g.adjacency()).unwrap();
+        assert_eq!(sums[0], 3.0);
+        assert_eq!(sums[1], 3.0);
+        assert_eq!(sums[2], 4.0);
+    }
+
+    #[test]
+    fn hop_field_matches_centralized_bfs() {
+        let pts: Vec<Point> = (0..12)
+            .map(|i| Point::new((i % 4) as f64 * 60.0, (i / 4) as f64 * 60.0))
+            .collect();
+        let g = UnitDiskGraph::new(&pts, 80.0);
+        let sources: Vec<bool> = (0..12).map(|i| i == 0 || i == 11).collect();
+        let dist = run_hop_field(&sources, g.adjacency()).unwrap();
+        let expect = g.multi_source_hops(&[0, 11]);
+        assert_eq!(dist, expect);
+    }
+
+    #[test]
+    fn hop_field_flags_unreachable() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 0.0),
+            Point::new(1000.0, 0.0),
+        ];
+        let g = UnitDiskGraph::new(&pts, 80.0);
+        let dist = run_hop_field(&[true, false, false], g.adjacency()).unwrap();
+        assert_eq!(dist[0], Some(0));
+        assert_eq!(dist[1], Some(1));
+        assert_eq!(dist[2], None); // isolated subgroup
+    }
+
+    #[test]
+    fn hop_field_no_sources_all_none() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(50.0, 0.0)];
+        let g = UnitDiskGraph::new(&pts, 80.0);
+        let dist = run_hop_field(&[false, false], g.adjacency()).unwrap();
+        assert!(dist.iter().all(Option::is_none));
+    }
+}

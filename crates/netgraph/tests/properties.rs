@@ -1,0 +1,110 @@
+//! Property tests: unit-disk graph structure, hop fields, components
+//! and articulation consistency.
+
+use anr_geom::Point;
+use anr_netgraph::{articulation_points, UnionFind, UnitDiskGraph};
+use proptest::prelude::*;
+
+fn cloud() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0..600.0f64, 0.0..600.0f64), 2..40)
+        .prop_map(|raw| raw.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #[test]
+    fn adjacency_is_symmetric_and_range_correct(pts in cloud(), range in 20.0..200.0f64) {
+        let g = UnitDiskGraph::new(&pts, range);
+        for i in 0..pts.len() {
+            for &j in g.neighbors(i) {
+                prop_assert!(g.has_link(j, i), "asymmetric link ({i}, {j})");
+                prop_assert!(pts[i].distance(pts[j]) <= range);
+            }
+            for j in 0..pts.len() {
+                if i != j && pts[i].distance(pts[j]) <= range {
+                    prop_assert!(g.has_link(i, j), "missing link ({i}, {j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_vertices(pts in cloud(), range in 20.0..200.0f64) {
+        let g = UnitDiskGraph::new(&pts, range);
+        let comps = g.connected_components();
+        let mut seen = vec![false; pts.len()];
+        for c in &comps {
+            for &v in c {
+                prop_assert!(!seen[v], "vertex {v} in two components");
+                seen[v] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Largest first.
+        for w in comps.windows(2) {
+            prop_assert!(w[0].len() >= w[1].len());
+        }
+        // Union-find agrees with BFS reachability.
+        let mut uf = UnionFind::new(pts.len());
+        for (i, j) in g.links() {
+            uf.union(i, j);
+        }
+        prop_assert_eq!(uf.num_sets(), comps.len());
+    }
+
+    #[test]
+    fn hop_field_satisfies_triangle_inequality(pts in cloud(), range in 40.0..250.0f64) {
+        prop_assume!(pts.len() >= 2);
+        let g = UnitDiskGraph::new(&pts, range);
+        let hops = g.bfs_hops(0);
+        for u in 0..pts.len() {
+            if let Some(du) = hops[u] {
+                for &v in g.neighbors(u) {
+                    // Neighbors differ by at most one hop.
+                    let dv = hops[v].expect("neighbor of reached vertex is reached");
+                    prop_assert!(dv <= du + 1 && du <= dv + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn articulation_points_match_failure_injection(pts in cloud(), range in 60.0..300.0f64) {
+        let g = UnitDiskGraph::new(&pts, range);
+        prop_assume!(g.is_connected() && pts.len() >= 3);
+        let aps: std::collections::HashSet<usize> =
+            articulation_points(&g).into_iter().collect();
+        for v in 0..pts.len() {
+            let survivors: Vec<Point> = pts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != v)
+                .map(|(_, &p)| p)
+                .collect();
+            let still_connected = UnitDiskGraph::new(&survivors, range).is_connected();
+            prop_assert_eq!(
+                !still_connected,
+                aps.contains(&v),
+                "vertex {} articulation mismatch", v
+            );
+        }
+    }
+
+    #[test]
+    fn multi_source_is_pointwise_min(pts in cloud(), range in 40.0..250.0f64) {
+        prop_assume!(pts.len() >= 3);
+        let g = UnitDiskGraph::new(&pts, range);
+        let sources = [0usize, pts.len() - 1];
+        let multi = g.multi_source_hops(&sources);
+        let a = g.bfs_hops(sources[0]);
+        let b = g.bfs_hops(sources[1]);
+        for v in 0..pts.len() {
+            let expect = match (a[v], b[v]) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (Some(x), None) => Some(x),
+                (None, Some(y)) => Some(y),
+                (None, None) => None,
+            };
+            prop_assert_eq!(multi[v], expect, "vertex {}", v);
+        }
+    }
+}

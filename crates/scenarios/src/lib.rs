@@ -1,0 +1,363 @@
+//! # anr-scenarios — the paper's seven evaluation scenarios
+//!
+//! The ICDCS 2016 evaluation (Sec. IV) marches 144 robots with an 80 m
+//! communication range through seven FoI pairs:
+//!
+//! | # | `M1` | `M2` | Paper area of `M2` |
+//! |---|------|------|--------------------|
+//! | 1 | blob, 308,261 m² | similar blob, no holes | 289,745 m² |
+//! | 2 | same | elongated blob with a very different boundary | 173,057 m² |
+//! | 3 | same | blob with a concave flower-shaped pond (Fig. 2d) | 239,987 m² |
+//! | 4 | same | blob with one big convex hole | 233,342 m² |
+//! | 5 | same | blob with multiple small holes | 253,578 m² |
+//! | 6 | blob **with holes** | different blob with holes | — |
+//! | 7 | another holed blob | another holed blob | — |
+//!
+//! The authors' hand-drawn "surface data" is not available, so each FoI
+//! is generated parametrically (seeded Fourier-perturbed blobs, flower
+//! holes, etc.) and scaled to the paper's exact areas — the substitution
+//! documented in `DESIGN.md`. The transition distance between the FoI
+//! centroids is a parameter swept from 10× to 100× the communication
+//! range, as in the paper's Fig. 3.
+//!
+//! ## Example
+//!
+//! ```
+//! use anr_scenarios::{build_scenario, ScenarioParams};
+//!
+//! let s = build_scenario(3, &ScenarioParams::default())?;
+//! assert_eq!(s.m2.holes().len(), 1); // the flower pond
+//! assert!((s.m2.area() - 239_987.0).abs() / 239_987.0 < 0.02);
+//! # Ok::<(), anr_scenarios::ScenarioError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod shapes;
+
+pub use shapes::{blob, flower};
+
+use anr_geom::{GeomError, Point, Polygon, PolygonWithHoles, Vector};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building scenarios.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// Scenario IDs run from 1 to 7.
+    UnknownScenario {
+        /// The requested ID.
+        id: u8,
+    },
+    /// Geometry construction failed (should not happen for the built-in
+    /// shapes; indicates corrupted parameters).
+    Geometry(GeomError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnknownScenario { id } => {
+                write!(f, "scenario ids run 1..=7, got {id}")
+            }
+            ScenarioError::Geometry(e) => write!(f, "scenario geometry failed: {e}"),
+        }
+    }
+}
+
+impl Error for ScenarioError {}
+
+impl From<GeomError> for ScenarioError {
+    fn from(e: GeomError) -> Self {
+        ScenarioError::Geometry(e)
+    }
+}
+
+/// Parameters shared by all scenarios.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioParams {
+    /// Number of robots (paper: 144).
+    pub robots: usize,
+    /// Communication range in metres (paper: 80).
+    pub range: f64,
+    /// Distance between the FoI centroids, in multiples of the
+    /// communication range (paper sweeps 10–100; default 30).
+    pub separation_ranges: f64,
+}
+
+impl Default for ScenarioParams {
+    fn default() -> Self {
+        ScenarioParams {
+            robots: 144,
+            range: 80.0,
+            separation_ranges: 30.0,
+        }
+    }
+}
+
+/// One evaluation scenario: a pair of FoIs plus the swarm parameters.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario number, 1–7.
+    pub id: u8,
+    /// Human-readable description.
+    pub name: &'static str,
+    /// The current FoI (robots deployed here).
+    pub m1: PolygonWithHoles,
+    /// The target FoI.
+    pub m2: PolygonWithHoles,
+    /// Number of robots.
+    pub robots: usize,
+    /// Communication range.
+    pub range: f64,
+}
+
+/// The `M1` of scenarios 1–5: a blob of 308,261 m² centered at the
+/// origin (paper Fig. 2a).
+pub fn m1_standard() -> Result<PolygonWithHoles, ScenarioError> {
+    let outer = blob(Point::ORIGIN, 308_261.0, 11, 64)?;
+    Ok(PolygonWithHoles::without_holes(outer))
+}
+
+/// Builds scenario `id` (1–7) with the given parameters.
+///
+/// The target FoI is translated so the two centroids are
+/// `params.separation_ranges × params.range` apart along +x.
+///
+/// # Errors
+///
+/// [`ScenarioError::UnknownScenario`] for ids outside 1–7.
+pub fn build_scenario(id: u8, params: &ScenarioParams) -> Result<Scenario, ScenarioError> {
+    let sep = params.separation_ranges * params.range;
+
+    let (name, m1, m2): (&'static str, PolygonWithHoles, PolygonWithHoles) = match id {
+        1 => (
+            "non-hole to non-hole, similar boundary",
+            m1_standard()?,
+            PolygonWithHoles::without_holes(blob(Point::ORIGIN, 289_745.0, 23, 64)?),
+        ),
+        2 => (
+            "non-hole to non-hole, dissimilar boundary",
+            m1_standard()?,
+            PolygonWithHoles::without_holes(elongated_blob(Point::ORIGIN, 173_057.0, 37)?),
+        ),
+        3 => (
+            "non-hole to concave flower-shaped hole (Fig. 2d)",
+            m1_standard()?,
+            {
+                let outer = blob(Point::ORIGIN, 239_987.0 * 1.06, 41, 64)?;
+                let pond = flower(Point::new(30.0, 20.0), 68.0, 5, 0.35, 40)?;
+                let holes = vec![pond];
+                with_exact_area(outer, holes, 239_987.0)?
+            },
+        ),
+        4 => ("non-hole to one big convex hole", m1_standard()?, {
+            let outer = blob(Point::ORIGIN, 233_342.0 * 1.12, 53, 64)?;
+            let hole = Polygon::regular(Point::new(-20.0, 10.0), 95.0, 20);
+            with_exact_area(outer, vec![hole], 233_342.0)?
+        }),
+        5 => ("non-hole to multiple small holes", m1_standard()?, {
+            let outer = blob(Point::ORIGIN, 253_578.0 * 1.08, 67, 64)?;
+            let holes = vec![
+                Polygon::regular(Point::new(-110.0, 60.0), 38.0, 12),
+                Polygon::regular(Point::new(90.0, 110.0), 42.0, 12),
+                Polygon::regular(Point::new(60.0, -110.0), 35.0, 12),
+            ];
+            with_exact_area(outer, holes, 253_578.0)?
+        }),
+        6 => (
+            "hole to hole (single holes)",
+            {
+                let outer = blob(Point::ORIGIN, 308_261.0 * 1.09, 71, 64)?;
+                let hole = flower(Point::new(-40.0, -20.0), 72.0, 4, 0.3, 36)?;
+                with_exact_area(outer, vec![hole], 308_261.0)?
+            },
+            {
+                let outer = blob(Point::ORIGIN, 260_000.0 * 1.10, 83, 64)?;
+                let hole = Polygon::regular(Point::new(50.0, 40.0), 80.0, 16);
+                with_exact_area(outer, vec![hole], 260_000.0)?
+            },
+        ),
+        7 => (
+            "hole to hole (multiple holes)",
+            {
+                let outer = blob(Point::ORIGIN, 308_261.0 * 1.08, 97, 64)?;
+                let holes = vec![
+                    Polygon::regular(Point::new(-100.0, 70.0), 40.0, 12),
+                    Polygon::regular(Point::new(110.0, -60.0), 45.0, 12),
+                ];
+                with_exact_area(outer, holes, 308_261.0)?
+            },
+            {
+                let outer = blob(Point::ORIGIN, 240_000.0 * 1.12, 101, 64)?;
+                let holes = vec![
+                    flower(Point::new(60.0, 50.0), 55.0, 5, 0.3, 36)?,
+                    Polygon::regular(Point::new(-90.0, -50.0), 42.0, 12),
+                ];
+                with_exact_area(outer, holes, 240_000.0)?
+            },
+        ),
+        other => return Err(ScenarioError::UnknownScenario { id: other }),
+    };
+
+    // Separate the two FoIs along +x by the requested distance.
+    let shift = Vector::new(sep, 0.0) + (m1.centroid() - m2.centroid());
+    let m2 = m2.translated(shift);
+
+    Ok(Scenario {
+        id,
+        name,
+        m1,
+        m2,
+        robots: params.robots,
+        range: params.range,
+    })
+}
+
+/// Builds all seven scenarios.
+///
+/// # Errors
+///
+/// Propagates construction errors (none for the built-in shapes).
+pub fn all_scenarios(params: &ScenarioParams) -> Result<Vec<Scenario>, ScenarioError> {
+    (1..=7).map(|id| build_scenario(id, params)).collect()
+}
+
+/// Elongated blob for scenario 2: strongly anisotropic so the boundary
+/// shape differs a lot from `M1`.
+fn elongated_blob(center: Point, area: f64, seed: u64) -> Result<Polygon, ScenarioError> {
+    let base = blob(center, area, seed, 64)?;
+    // Stretch ×2.2 along y, compress along x, keep the area.
+    let c = base.centroid();
+    let stretched = Polygon::new(
+        base.vertices()
+            .iter()
+            .map(|p| Point::new(c.x + (p.x - c.x) / 1.5, c.y + (p.y - c.y) * 2.2))
+            .collect(),
+    )?;
+    Ok(stretched.scaled_to_area(area))
+}
+
+/// Scales the outer polygon (holes fixed) so the region area (outer −
+/// holes) hits `target` exactly, then assembles the region.
+fn with_exact_area(
+    outer: Polygon,
+    holes: Vec<Polygon>,
+    target: f64,
+) -> Result<PolygonWithHoles, ScenarioError> {
+    let hole_area: f64 = holes.iter().map(Polygon::area).sum();
+    let outer = outer.scaled_to_area(target + hole_area);
+    Ok(PolygonWithHoles::new(outer, holes)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_seven_build() {
+        let params = ScenarioParams::default();
+        let scenarios = all_scenarios(&params).unwrap();
+        assert_eq!(scenarios.len(), 7);
+        for s in &scenarios {
+            assert!(s.m1.area() > 0.0);
+            assert!(s.m2.area() > 0.0);
+            assert_eq!(s.robots, 144);
+            assert_eq!(s.range, 80.0);
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_rejected() {
+        assert!(matches!(
+            build_scenario(0, &ScenarioParams::default()),
+            Err(ScenarioError::UnknownScenario { id: 0 })
+        ));
+        assert!(matches!(
+            build_scenario(8, &ScenarioParams::default()),
+            Err(ScenarioError::UnknownScenario { id: 8 })
+        ));
+    }
+
+    #[test]
+    fn m2_areas_match_paper() {
+        let params = ScenarioParams::default();
+        let expect = [
+            (1, 289_745.0),
+            (2, 173_057.0),
+            (3, 239_987.0),
+            (4, 233_342.0),
+            (5, 253_578.0),
+        ];
+        for (id, area) in expect {
+            let s = build_scenario(id, &params).unwrap();
+            let err = (s.m2.area() - area).abs() / area;
+            assert!(err < 0.01, "scenario {id}: area {} vs {area}", s.m2.area());
+        }
+    }
+
+    #[test]
+    fn m1_area_matches_paper() {
+        let m1 = m1_standard().unwrap();
+        let err = (m1.area() - 308_261.0).abs() / 308_261.0;
+        assert!(err < 0.01, "area {}", m1.area());
+    }
+
+    #[test]
+    fn hole_structure_per_scenario() {
+        let params = ScenarioParams::default();
+        let holes: [(u8, usize, usize); 7] = [
+            (1, 0, 0),
+            (2, 0, 0),
+            (3, 0, 1),
+            (4, 0, 1),
+            (5, 0, 3),
+            (6, 1, 1),
+            (7, 2, 2),
+        ];
+        for (id, m1_holes, m2_holes) in holes {
+            let s = build_scenario(id, &params).unwrap();
+            assert_eq!(s.m1.holes().len(), m1_holes, "scenario {id} M1");
+            assert_eq!(s.m2.holes().len(), m2_holes, "scenario {id} M2");
+        }
+    }
+
+    #[test]
+    fn separation_is_respected() {
+        for sep in [10.0, 50.0, 100.0] {
+            let params = ScenarioParams {
+                separation_ranges: sep,
+                ..Default::default()
+            };
+            let s = build_scenario(1, &params).unwrap();
+            let d = s.m1.centroid().distance(s.m2.centroid());
+            assert!(
+                (d - sep * 80.0).abs() < 1.0,
+                "separation {d} vs {}",
+                sep * 80.0
+            );
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let params = ScenarioParams::default();
+        let a = build_scenario(3, &params).unwrap();
+        let b = build_scenario(3, &params).unwrap();
+        assert_eq!(a.m2.outer().vertices(), b.m2.outer().vertices());
+    }
+
+    #[test]
+    fn scenario2_is_dissimilar_from_m1() {
+        // The elongation makes the bounding-box aspect ratios differ.
+        let s = build_scenario(2, &ScenarioParams::default()).unwrap();
+        let a1 = s.m1.bbox().width() / s.m1.bbox().height();
+        let a2 = s.m2.bbox().width() / s.m2.bbox().height();
+        assert!(
+            (a1 / a2 > 2.0) || (a2 / a1 > 2.0),
+            "aspect ratios too similar: {a1} vs {a2}"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Parametric FoI shape generators.
+//!
+//! Seeded Fourier-perturbed blobs stand in for the paper's hand-drawn
+//! FoI boundaries, and a cosine "flower" generates the concave
+//! flower-shaped pond of Fig. 2(d). Both are deterministic in their
+//! seeds so every experiment is reproducible.
+
+use crate::ScenarioError;
+use anr_geom::{Point, Polygon};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::TAU;
+
+/// Generates a smooth random blob of exactly `area` m², centered at
+/// `center`, with `vertices` boundary vertices.
+///
+/// The radius is a base circle modulated by Fourier harmonics 2–6 with
+/// seeded amplitudes up to ±18%, giving gently concave boundaries like
+/// the paper's FoI models.
+///
+/// # Errors
+///
+/// Propagates polygon-construction errors (degenerate parameters).
+///
+/// # Panics
+///
+/// Panics when `vertices < 8` or `area <= 0`.
+pub fn blob(
+    center: Point,
+    area: f64,
+    seed: u64,
+    vertices: usize,
+) -> Result<Polygon, ScenarioError> {
+    assert!(vertices >= 8, "a blob needs at least 8 vertices");
+    assert!(area > 0.0, "area must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Harmonic amplitudes and phases.
+    let harmonics: Vec<(f64, f64, f64)> = (2..=6)
+        .map(|k| {
+            let amp = rng.gen_range(0.02..0.18) / (k as f64 / 2.0);
+            let phase = rng.gen_range(0.0..TAU);
+            (k as f64, amp, phase)
+        })
+        .collect();
+
+    let base_r = (area / std::f64::consts::PI).sqrt();
+    let pts: Vec<Point> = (0..vertices)
+        .map(|i| {
+            let theta = TAU * i as f64 / vertices as f64;
+            let mut r = 1.0;
+            for &(k, amp, phase) in &harmonics {
+                r += amp * (k * theta + phase).cos();
+            }
+            let r = base_r * r.max(0.3);
+            Point::new(center.x + r * theta.cos(), center.y + r * theta.sin())
+        })
+        .collect();
+
+    let poly = Polygon::new(pts)?;
+    Ok(poly.scaled_to_area(area))
+}
+
+/// Generates a flower shape: `r(θ) = radius · (1 + depth·cos(petals·θ))`.
+///
+/// With `depth > 0` the shape is concave between petals — the paper's
+/// "flower-shaped pond" (Fig. 2d) uses five petals.
+///
+/// # Errors
+///
+/// Propagates polygon-construction errors.
+///
+/// # Panics
+///
+/// Panics when `petals == 0`, `radius <= 0` or `depth` is not in
+/// `[0, 0.95]`.
+pub fn flower(
+    center: Point,
+    radius: f64,
+    petals: usize,
+    depth: f64,
+    vertices: usize,
+) -> Result<Polygon, ScenarioError> {
+    assert!(petals > 0, "need at least one petal");
+    assert!(radius > 0.0, "radius must be positive");
+    assert!((0.0..=0.95).contains(&depth), "depth must be in [0, 0.95]");
+    let vertices = vertices.max(3 * petals).max(12);
+    let pts: Vec<Point> = (0..vertices)
+        .map(|i| {
+            let theta = TAU * i as f64 / vertices as f64;
+            let r = radius * (1.0 + depth * (petals as f64 * theta).cos());
+            Point::new(center.x + r * theta.cos(), center.y + r * theta.sin())
+        })
+        .collect();
+    Ok(Polygon::new(pts)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blob_hits_requested_area() {
+        for seed in [1, 42, 999] {
+            let b = blob(Point::ORIGIN, 250_000.0, seed, 64).unwrap();
+            assert!((b.area() - 250_000.0).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn blob_is_seed_deterministic() {
+        let a = blob(Point::ORIGIN, 100_000.0, 7, 48).unwrap();
+        let b = blob(Point::ORIGIN, 100_000.0, 7, 48).unwrap();
+        assert_eq!(a.vertices(), b.vertices());
+        let c = blob(Point::ORIGIN, 100_000.0, 8, 48).unwrap();
+        assert_ne!(a.vertices(), c.vertices());
+    }
+
+    #[test]
+    fn blob_contains_its_center() {
+        let b = blob(Point::new(100.0, -50.0), 50_000.0, 3, 64).unwrap();
+        assert!(b.contains(Point::new(100.0, -50.0)));
+    }
+
+    #[test]
+    fn flower_is_concave_between_petals() {
+        let f = flower(Point::ORIGIN, 50.0, 5, 0.35, 40).unwrap();
+        // A point at petal radius between two petals is outside.
+        let theta = TAU / 10.0; // halfway between petal 0 and petal 1
+        let tip = 50.0 * 1.35;
+        let outside = Point::new(tip * theta.cos(), tip * theta.sin());
+        assert!(!f.contains(outside));
+        // The center is inside.
+        assert!(f.contains(Point::ORIGIN));
+    }
+
+    #[test]
+    fn flower_petal_count_shapes_boundary() {
+        let f = flower(Point::ORIGIN, 40.0, 4, 0.3, 48).unwrap();
+        // Max radius ≈ 52, min radius ≈ 28.
+        let radii: Vec<f64> = f.vertices().iter().map(|p| p.to_vector().norm()).collect();
+        let max = radii.iter().cloned().fold(0.0, f64::max);
+        let min = radii.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((max - 52.0).abs() < 1.0, "max {max}");
+        assert!((min - 28.0).abs() < 1.0, "min {min}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn flower_rejects_extreme_depth() {
+        let _ = flower(Point::ORIGIN, 10.0, 5, 0.99, 40);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests: scenario construction invariants over the parameter
+//! space actually swept by the benches.
+
+use anr_coverage::deploy_exactly;
+use anr_geom::Point;
+use anr_netgraph::UnitDiskGraph;
+use anr_scenarios::{blob, build_scenario, flower, ScenarioParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_scenario_builds_at_every_separation(id in 1u8..=7, sep in 10.0..100.0f64) {
+        let s = build_scenario(id, &ScenarioParams {
+            separation_ranges: sep,
+            ..Default::default()
+        }).unwrap();
+        // The FoIs never overlap at the swept separations.
+        prop_assert!(!s.m1.bbox().intersects(&s.m2.bbox()),
+            "scenario {} overlaps at separation {}", id, sep);
+        // Centroid distance matches the request.
+        let d = s.m1.centroid().distance(s.m2.centroid());
+        prop_assert!((d - sep * s.range).abs() < 1.0);
+    }
+
+    #[test]
+    fn deployments_fit_and_connect(id in 1u8..=7) {
+        let s = build_scenario(id, &ScenarioParams::default()).unwrap();
+        let pts = deploy_exactly(&s.m1, s.robots).expect("144 robots fit M1");
+        prop_assert_eq!(pts.len(), 144);
+        let g = UnitDiskGraph::new(&pts, s.range);
+        prop_assert!(g.is_connected(), "scenario {} deployment disconnected", id);
+        for p in &pts {
+            prop_assert!(s.m1.contains(*p));
+            prop_assert!(!s.m1.in_hole(*p));
+        }
+    }
+
+    #[test]
+    fn blobs_are_valid_polygons(area in 50_000.0..400_000.0f64, seed in 0u64..500) {
+        let b = blob(Point::ORIGIN, area, seed, 64).unwrap();
+        prop_assert!((b.area() - area).abs() / area < 1e-6);
+        prop_assert!(b.contains(b.centroid()));
+        // No self-intersection among non-adjacent edges (radial
+        // construction with r > 0 guarantees it; verify anyway).
+        let edges: Vec<_> = b.edges().collect();
+        for i in 0..edges.len() {
+            for j in (i + 2)..edges.len() {
+                if i == 0 && j == edges.len() - 1 {
+                    continue; // adjacent around the loop
+                }
+                prop_assert!(!edges[i].crosses_interior(edges[j]),
+                    "edges {} and {} cross", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn flowers_have_requested_extremes(radius in 20.0..100.0f64, petals in 3usize..8,
+                                       depth in 0.1..0.5f64) {
+        let f = flower(Point::ORIGIN, radius, petals, depth, 8 * petals).unwrap();
+        let radii: Vec<f64> = f.vertices().iter().map(|p| p.to_vector().norm()).collect();
+        let max = radii.iter().cloned().fold(0.0, f64::max);
+        let min = radii.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!((max - radius * (1.0 + depth)).abs() / radius < 0.05);
+        prop_assert!((min - radius * (1.0 - depth)).abs() / radius < 0.05);
+    }
+}

@@ -1,0 +1,550 @@
+//! Minimal SVG line charts — renders the data series of the paper's
+//! Figs. 3–5 (distance and stable-link-ratio versus separation) without
+//! external plotting dependencies.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Default series palette (colorblind-safe-ish).
+const SERIES_COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+];
+
+/// One plotted line.
+#[derive(Debug, Clone)]
+struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+    color: String,
+}
+
+/// A simple XY line chart with axes, ticks and a legend.
+///
+/// ```
+/// use anr_viz::LineChart;
+///
+/// let mut chart = LineChart::new("L vs separation", "separation (× r_c)", "L");
+/// chart.add_series("ours (a)", vec![(10.0, 0.95), (50.0, 0.96), (100.0, 0.96)]);
+/// chart.add_series("hungarian", vec![(10.0, 0.27), (50.0, 0.2), (100.0, 0.18)]);
+/// let svg = chart.render();
+/// assert!(svg.contains("ours (a)"));
+/// assert!(svg.starts_with("<svg"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    width: f64,
+    height: f64,
+    y_from_zero: bool,
+}
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        LineChart {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+            width: 640.0,
+            height: 420.0,
+            y_from_zero: false,
+        }
+    }
+
+    /// Sets the rendered size in pixels (default 640×420).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive dimensions.
+    pub fn size(&mut self, width: f64, height: f64) -> &mut Self {
+        assert!(width > 0.0 && height > 0.0, "chart size must be positive");
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Forces the y axis to start at zero (default: fit data).
+    pub fn y_from_zero(&mut self, yes: bool) -> &mut Self {
+        self.y_from_zero = yes;
+        self
+    }
+
+    /// Adds a named series; colors cycle automatically.
+    pub fn add_series(&mut self, name: &str, points: Vec<(f64, f64)>) -> &mut Self {
+        let color = SERIES_COLORS[self.series.len() % SERIES_COLORS.len()].to_string();
+        self.series.push(Series {
+            name: name.to_string(),
+            points,
+            color,
+        });
+        self
+    }
+
+    /// Renders the chart to an SVG string.
+    ///
+    /// An empty chart (no series or only empty series) renders the frame
+    /// and labels without lines.
+    pub fn render(&self) -> String {
+        let (ml, mr, mt, mb) = (70.0, 20.0, 40.0, 55.0); // margins
+        let pw = self.width - ml - mr; // plot width
+        let ph = self.height - mt - mb;
+
+        // Data bounds.
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                xs.push(x);
+                ys.push(y);
+            }
+        }
+        let (x0, x1) = bounds(&xs, false);
+        let (y0, y1) = bounds(&ys, self.y_from_zero);
+
+        let tx = |x: f64| ml + (x - x0) / (x1 - x0) * pw;
+        let ty = |y: f64| mt + ph - (y - y0) / (y1 - y0) * ph;
+
+        let mut b = String::new();
+        // Frame.
+        let _ = writeln!(
+            b,
+            r##"<rect x="{ml}" y="{mt}" width="{pw}" height="{ph}" fill="none" stroke="#444" stroke-width="1"/>"##
+        );
+        // Title + axis labels.
+        let _ = writeln!(
+            b,
+            r#"<text x="{:.1}" y="24" font-size="15" text-anchor="middle" font-family="sans-serif">{}</text>"#,
+            ml + pw / 2.0,
+            escape(&self.title)
+        );
+        let _ = writeln!(
+            b,
+            r#"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle" font-family="sans-serif">{}</text>"#,
+            ml + pw / 2.0,
+            self.height - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            b,
+            r#"<text x="16" y="{:.1}" font-size="12" text-anchor="middle" font-family="sans-serif" transform="rotate(-90 16 {:.1})">{}</text>"#,
+            mt + ph / 2.0,
+            mt + ph / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Ticks: 5 per axis.
+        for k in 0..=4 {
+            let fx = x0 + (x1 - x0) * k as f64 / 4.0;
+            let fy = y0 + (y1 - y0) * k as f64 / 4.0;
+            let px = tx(fx);
+            let py = ty(fy);
+            let _ = writeln!(
+                b,
+                r##"<line x1="{px:.1}" y1="{:.1}" x2="{px:.1}" y2="{:.1}" stroke="#444"/>"##,
+                mt + ph,
+                mt + ph + 5.0
+            );
+            let _ = writeln!(
+                b,
+                r#"<text x="{px:.1}" y="{:.1}" font-size="10" text-anchor="middle" font-family="sans-serif">{}</text>"#,
+                mt + ph + 18.0,
+                fmt_tick(fx)
+            );
+            let _ = writeln!(
+                b,
+                r##"<line x1="{:.1}" y1="{py:.1}" x2="{ml:.1}" y2="{py:.1}" stroke="#444"/>"##,
+                ml - 5.0
+            );
+            let _ = writeln!(
+                b,
+                r#"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="end" font-family="sans-serif">{}</text>"#,
+                ml - 8.0,
+                py + 3.0,
+                fmt_tick(fy)
+            );
+            // Light gridline.
+            let _ = writeln!(
+                b,
+                r##"<line x1="{ml}" y1="{py:.1}" x2="{:.1}" y2="{py:.1}" stroke="#ddd" stroke-width="0.5"/>"##,
+                ml + pw
+            );
+        }
+
+        // Series.
+        for s in &self.series {
+            if s.points.is_empty() {
+                continue;
+            }
+            let pts: String = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1} ", tx(x), ty(y)))
+                .collect();
+            let _ = writeln!(
+                b,
+                r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="1.8"/>"#,
+                pts.trim_end(),
+                s.color
+            );
+            for &(x, y) in &s.points {
+                let _ = writeln!(
+                    b,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="2.5" fill="{}"/>"#,
+                    tx(x),
+                    ty(y),
+                    s.color
+                );
+            }
+        }
+
+        // Legend (top-right inside the plot).
+        for (k, s) in self.series.iter().enumerate() {
+            let ly = mt + 14.0 + 16.0 * k as f64;
+            let lx = ml + pw - 150.0;
+            let _ = writeln!(
+                b,
+                r#"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{}" stroke-width="2"/>"#,
+                lx + 22.0,
+                s.color
+            );
+            let _ = writeln!(
+                b,
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" font-family="sans-serif">{}</text>"#,
+                lx + 28.0,
+                ly + 4.0,
+                escape(&s.name)
+            );
+        }
+
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, b
+        )
+    }
+
+    /// Renders and writes the chart to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+/// A grouped bar chart: one group per category, one bar per series —
+/// the shape of the paper's Fig. 6 density histogram.
+///
+/// ```
+/// use anr_viz::BarChart;
+///
+/// let mut chart = BarChart::new("density by band", "band", "robots / area");
+/// chart.add_series("uniform", vec![5.7, 6.0, 6.5]);
+/// chart.add_series("weighted", vec![7.8, 6.1, 5.9]);
+/// chart.set_categories(vec!["0-60".into(), "60-120".into(), "120-180".into()]);
+/// let svg = chart.render();
+/// assert!(svg.contains("<rect"));
+/// assert!(svg.contains("uniform"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    categories: Vec<String>,
+    series: Vec<Series>,
+    width: f64,
+    height: f64,
+}
+
+impl BarChart {
+    /// Creates an empty bar chart.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        BarChart {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            categories: Vec::new(),
+            series: Vec::new(),
+            width: 640.0,
+            height: 420.0,
+        }
+    }
+
+    /// Sets the per-group category labels.
+    pub fn set_categories(&mut self, categories: Vec<String>) -> &mut Self {
+        self.categories = categories;
+        self
+    }
+
+    /// Adds a named series of bar heights (one per category).
+    pub fn add_series(&mut self, name: &str, values: Vec<f64>) -> &mut Self {
+        let color = SERIES_COLORS[self.series.len() % SERIES_COLORS.len()].to_string();
+        self.series.push(Series {
+            name: name.to_string(),
+            points: values
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (i as f64, v))
+                .collect(),
+            color,
+        });
+        self
+    }
+
+    /// Renders the chart to an SVG string.
+    pub fn render(&self) -> String {
+        let (ml, mr, mt, mb) = (70.0, 20.0, 40.0, 55.0);
+        let pw = self.width - ml - mr;
+        let ph = self.height - mt - mb;
+
+        let groups = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0)
+            .max(self.categories.len());
+        let ys: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(_, y)| y))
+            .collect();
+        let (_, y1) = bounds(&ys, true);
+        let y0 = 0.0;
+
+        let mut b = String::new();
+        let _ = writeln!(
+            b,
+            r##"<rect x="{ml}" y="{mt}" width="{pw}" height="{ph}" fill="none" stroke="#444" stroke-width="1"/>"##
+        );
+        let _ = writeln!(
+            b,
+            r#"<text x="{:.1}" y="24" font-size="15" text-anchor="middle" font-family="sans-serif">{}</text>"#,
+            ml + pw / 2.0,
+            escape(&self.title)
+        );
+        let _ = writeln!(
+            b,
+            r#"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle" font-family="sans-serif">{}</text>"#,
+            ml + pw / 2.0,
+            self.height - 8.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            b,
+            r#"<text x="16" y="{:.1}" font-size="12" text-anchor="middle" font-family="sans-serif" transform="rotate(-90 16 {:.1})">{}</text>"#,
+            mt + ph / 2.0,
+            mt + ph / 2.0,
+            escape(&self.y_label)
+        );
+
+        if groups > 0 && !self.series.is_empty() {
+            let group_w = pw / groups as f64;
+            let bar_w = group_w * 0.8 / self.series.len() as f64;
+            for (si, s) in self.series.iter().enumerate() {
+                for &(gx, y) in &s.points {
+                    let g = gx as usize;
+                    if g >= groups {
+                        continue;
+                    }
+                    let x = ml + g as f64 * group_w + group_w * 0.1 + si as f64 * bar_w;
+                    let h = ((y - y0) / (y1 - y0) * ph).max(0.0);
+                    let _ = writeln!(
+                        b,
+                        r#"<rect x="{x:.1}" y="{:.1}" width="{bar_w:.1}" height="{h:.1}" fill="{}"/>"#,
+                        mt + ph - h,
+                        s.color
+                    );
+                }
+            }
+            // Category labels.
+            for (g, label) in self.categories.iter().enumerate().take(groups) {
+                let _ = writeln!(
+                    b,
+                    r#"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="middle" font-family="sans-serif">{}</text>"#,
+                    ml + (g as f64 + 0.5) * group_w,
+                    mt + ph + 16.0,
+                    escape(label)
+                );
+            }
+            // Y ticks.
+            for k in 0..=4 {
+                let fy = y0 + (y1 - y0) * k as f64 / 4.0;
+                let py = mt + ph - (fy - y0) / (y1 - y0) * ph;
+                let _ = writeln!(
+                    b,
+                    r#"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="end" font-family="sans-serif">{}</text>"#,
+                    ml - 6.0,
+                    py + 3.0,
+                    fmt_tick(fy)
+                );
+            }
+            // Legend.
+            for (k, s) in self.series.iter().enumerate() {
+                let ly = mt + 14.0 + 16.0 * k as f64;
+                let lx = ml + pw - 140.0;
+                let _ = writeln!(
+                    b,
+                    r#"<rect x="{lx:.1}" y="{:.1}" width="14" height="10" fill="{}"/>"#,
+                    ly - 8.0,
+                    s.color
+                );
+                let _ = writeln!(
+                    b,
+                    r#"<text x="{:.1}" y="{ly:.1}" font-size="11" font-family="sans-serif">{}</text>"#,
+                    lx + 20.0,
+                    escape(&s.name)
+                );
+            }
+        }
+
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, b
+        )
+    }
+
+    /// Renders and writes the chart to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+fn bounds(values: &[f64], from_zero: bool) -> (f64, f64) {
+    let mut lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.0, 1.0);
+    }
+    if from_zero {
+        lo = lo.min(0.0);
+    }
+    if (hi - lo).abs() < 1e-12 {
+        hi = lo + 1.0;
+    }
+    let pad = (hi - lo) * 0.05;
+    (
+        if from_zero && lo == 0.0 {
+            0.0
+        } else {
+            lo - pad
+        },
+        hi + pad,
+    )
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 10_000.0 {
+        format!("{:.0}k", v / 1000.0)
+    } else if v.abs() >= 10.0 || v == 0.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_svg_shell() {
+        let mut c = LineChart::new("t", "x", "y");
+        c.add_series("s", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let svg = c.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("polyline"));
+    }
+
+    #[test]
+    fn empty_chart_renders_frame_only() {
+        let svg = LineChart::new("empty", "x", "y").render();
+        assert!(svg.contains("<rect"));
+        assert!(!svg.contains("polyline"));
+    }
+
+    #[test]
+    fn series_colors_cycle() {
+        let mut c = LineChart::new("t", "x", "y");
+        for k in 0..8 {
+            c.add_series(&format!("s{k}"), vec![(0.0, k as f64)]);
+        }
+        let svg = c.render();
+        for color in SERIES_COLORS {
+            assert!(svg.contains(color));
+        }
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut c = LineChart::new("a < b", "x & y", "z");
+        c.add_series("s<1>", vec![(0.0, 1.0)]);
+        let svg = c.render();
+        assert!(svg.contains("a &lt; b"));
+        assert!(svg.contains("x &amp; y"));
+        assert!(svg.contains("s&lt;1&gt;"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut c = LineChart::new("t", "x", "y");
+        c.add_series("flat", vec![(0.0, 5.0), (1.0, 5.0)]);
+        let svg = c.render();
+        assert!(svg.contains("polyline"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn y_from_zero_extends_axis() {
+        let mut c = LineChart::new("t", "x", "y");
+        c.y_from_zero(true);
+        c.add_series("s", vec![(0.0, 100.0), (1.0, 120.0)]);
+        let svg = c.render();
+        // A zero tick label must appear.
+        assert!(svg.contains(">0<"));
+    }
+
+    #[test]
+    fn bar_chart_renders_groups() {
+        let mut c = BarChart::new("t", "x", "y");
+        c.add_series("a", vec![1.0, 2.0, 3.0]);
+        c.add_series("b", vec![3.0, 2.0, 1.0]);
+        c.set_categories(vec!["g1".into(), "g2".into(), "g3".into()]);
+        let svg = c.render();
+        // 6 bars + frame + 2 legend swatches + background.
+        assert!(svg.matches("<rect").count() >= 9);
+        assert!(svg.contains("g2"));
+        assert!(svg.contains(">a<"));
+    }
+
+    #[test]
+    fn empty_bar_chart_is_safe() {
+        let svg = BarChart::new("t", "x", "y").render();
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(250_000.0), "250k");
+        assert_eq!(fmt_tick(50.0), "50");
+        assert_eq!(fmt_tick(0.25), "0.25");
+        assert_eq!(fmt_tick(0.0), "0");
+    }
+}

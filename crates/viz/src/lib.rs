@@ -1,0 +1,303 @@
+//! # anr-viz — dependency-free SVG rendering of deployments
+//!
+//! Regenerates the qualitative panels of the paper's figures: FoI
+//! boundaries with holes, robot positions, connectivity edges (blue =
+//! preserved from `M1`, red = new in `M2`) and trajectories.
+//!
+//! ## Example
+//!
+//! ```
+//! use anr_geom::{Point, Polygon, PolygonWithHoles};
+//! use anr_viz::SvgCanvas;
+//!
+//! let region = PolygonWithHoles::without_holes(
+//!     Polygon::rectangle(Point::ORIGIN, 100.0, 100.0),
+//! );
+//! let mut svg = SvgCanvas::fitting([region.bbox()], 640.0);
+//! svg.region(&region, "#f5f1e8", "#555");
+//! svg.robot(Point::new(50.0, 50.0), 3.0, "#1a6baa");
+//! let out = svg.finish();
+//! assert!(out.starts_with("<svg"));
+//! assert!(out.ends_with("</svg>\n"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chart;
+
+pub use chart::{BarChart, LineChart};
+
+use anr_geom::{Aabb, Point, Polygon, PolygonWithHoles};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Paper figure palette.
+pub mod palette {
+    /// Preserved communication links ("blue color marked edges").
+    pub const PRESERVED: &str = "#1f77b4";
+    /// New communication links ("red color marked edges").
+    pub const NEW: &str = "#d62728";
+    /// Robot fill.
+    pub const ROBOT: &str = "#2b2b2b";
+    /// FoI fill.
+    pub const FOI_FILL: &str = "#f2ede3";
+    /// FoI boundary stroke.
+    pub const FOI_STROKE: &str = "#6b6b6b";
+    /// Hole fill.
+    pub const HOLE_FILL: &str = "#cfd8dc";
+    /// Trajectory stroke.
+    pub const TRAJECTORY: &str = "#8888cc";
+}
+
+/// An SVG drawing surface with a world-coordinate viewport.
+///
+/// World y grows upward (standard geometry); the canvas flips it so the
+/// rendered image matches the usual mathematical orientation.
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    body: String,
+    view: Aabb,
+    scale: f64,
+    width_px: f64,
+    height_px: f64,
+}
+
+impl SvgCanvas {
+    /// Creates a canvas whose viewport fits all `boxes` with a 5%
+    /// margin, rendered `width_px` pixels wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `boxes` is empty or `width_px <= 0`.
+    pub fn fitting<I: IntoIterator<Item = Aabb>>(boxes: I, width_px: f64) -> Self {
+        assert!(width_px > 0.0, "width must be positive");
+        let mut it = boxes.into_iter();
+        let first = it.next().expect("need at least one box to fit");
+        let mut view = first;
+        for b in it {
+            view.expand(b.min);
+            view.expand(b.max);
+        }
+        let margin = view.diagonal() * 0.05;
+        let view = view.inflated(margin.max(1.0));
+        let scale = width_px / view.width();
+        let height_px = view.height() * scale;
+        SvgCanvas {
+            body: String::new(),
+            view,
+            scale,
+            width_px,
+            height_px,
+        }
+    }
+
+    fn tx(&self, p: Point) -> (f64, f64) {
+        (
+            (p.x - self.view.min.x) * self.scale,
+            // Flip y: SVG y grows downward.
+            (self.view.max.y - p.y) * self.scale,
+        )
+    }
+
+    /// Draws a polygon outline.
+    pub fn polygon(&mut self, poly: &Polygon, fill: &str, stroke: &str) {
+        let pts: String = poly
+            .vertices()
+            .iter()
+            .map(|&p| {
+                let (x, y) = self.tx(p);
+                format!("{x:.2},{y:.2} ")
+            })
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polygon points="{}" fill="{fill}" stroke="{stroke}" stroke-width="1"/>"#,
+            pts.trim_end()
+        );
+    }
+
+    /// Draws a FoI: outer boundary filled, holes overpainted.
+    pub fn region(&mut self, region: &PolygonWithHoles, fill: &str, stroke: &str) {
+        self.polygon(region.outer(), fill, stroke);
+        for h in region.holes() {
+            self.polygon(h, palette::HOLE_FILL, stroke);
+        }
+    }
+
+    /// Draws a robot as a filled dot.
+    pub fn robot(&mut self, p: Point, radius_px: f64, fill: &str) {
+        let (x, y) = self.tx(p);
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{x:.2}" cy="{y:.2}" r="{radius_px:.2}" fill="{fill}"/>"#
+        );
+    }
+
+    /// Draws a line segment between two world points.
+    pub fn line(&mut self, a: Point, b: Point, stroke: &str, width_px: f64) {
+        let (x1, y1) = self.tx(a);
+        let (x2, y2) = self.tx(b);
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width_px:.2}"/>"#
+        );
+    }
+
+    /// Draws an open polyline (e.g. a trajectory).
+    pub fn polyline(&mut self, pts: &[Point], stroke: &str, width_px: f64) {
+        if pts.len() < 2 {
+            return;
+        }
+        let s: String = pts
+            .iter()
+            .map(|&p| {
+                let (x, y) = self.tx(p);
+                format!("{x:.2},{y:.2} ")
+            })
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width_px:.2}"/>"#,
+            s.trim_end()
+        );
+    }
+
+    /// Draws text at a world position.
+    pub fn text(&mut self, p: Point, size_px: f64, content: &str) {
+        let (x, y) = self.tx(p);
+        let escaped = content
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size_px:.1}" font-family="sans-serif">{escaped}</text>"#
+        );
+    }
+
+    /// Renders a whole deployment: region + links + robots. Links are
+    /// index pairs into `robots`; `preserved` selects the blue palette,
+    /// others are red.
+    pub fn deployment(
+        &mut self,
+        region: &PolygonWithHoles,
+        robots: &[Point],
+        links: &[(usize, usize)],
+        preserved: impl Fn(usize, usize) -> bool,
+    ) {
+        self.region(region, palette::FOI_FILL, palette::FOI_STROKE);
+        for &(i, j) in links {
+            let color = if preserved(i, j) {
+                palette::PRESERVED
+            } else {
+                palette::NEW
+            };
+            self.line(robots[i], robots[j], color, 1.0);
+        }
+        for &r in robots {
+            self.robot(r, 2.5, palette::ROBOT);
+        }
+    }
+
+    /// Finalizes the document and returns the SVG text.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+            self.width_px, self.height_px, self.width_px, self.height_px, self.body
+        )
+    }
+
+    /// Finalizes and writes the SVG to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save<P: AsRef<Path>>(self, path: P) -> io::Result<()> {
+        std::fs::write(path, self.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anr_geom::Polygon;
+
+    fn region() -> PolygonWithHoles {
+        let outer = Polygon::rectangle(Point::ORIGIN, 100.0, 50.0);
+        let hole = Polygon::rectangle(Point::new(40.0, 20.0), 10.0, 10.0);
+        PolygonWithHoles::new(outer, vec![hole]).unwrap()
+    }
+
+    #[test]
+    fn produces_valid_svg_shell() {
+        let svg = SvgCanvas::fitting([region().bbox()], 400.0).finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn canvas_aspect_matches_view() {
+        let c = SvgCanvas::fitting([region().bbox()], 400.0);
+        // 100×50 world + 5% margins → aspect ratio ≈ 2 kept.
+        let ratio = c.width_px / c.height_px;
+        assert!((ratio - 2.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn elements_are_emitted() {
+        let mut c = SvgCanvas::fitting([region().bbox()], 400.0);
+        c.region(&region(), "#fff", "#000");
+        c.robot(Point::new(10.0, 10.0), 2.0, "#f00");
+        c.line(Point::ORIGIN, Point::new(100.0, 50.0), "#00f", 1.0);
+        c.polyline(
+            &[Point::ORIGIN, Point::new(5.0, 5.0), Point::new(9.0, 2.0)],
+            "#0f0",
+            1.0,
+        );
+        c.text(Point::new(1.0, 1.0), 12.0, "a < b");
+        let svg = c.finish();
+        assert_eq!(svg.matches("<polygon").count(), 2); // outer + hole
+        assert_eq!(svg.matches("<circle").count(), 1);
+        assert_eq!(svg.matches("<line").count(), 1);
+        assert_eq!(svg.matches("<polyline").count(), 1);
+        assert!(svg.contains("a &lt; b"));
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let mut c = SvgCanvas::fitting([region().bbox()], 400.0);
+        let (_, y_low) = c.tx(Point::new(0.0, 0.0));
+        let (_, y_high) = c.tx(Point::new(0.0, 50.0));
+        assert!(y_high < y_low, "world-up must render higher on screen");
+        c.robot(Point::ORIGIN, 1.0, "#000");
+    }
+
+    #[test]
+    fn deployment_renders_blue_and_red() {
+        let mut c = SvgCanvas::fitting([region().bbox()], 400.0);
+        let robots = vec![
+            Point::new(10.0, 10.0),
+            Point::new(20.0, 10.0),
+            Point::new(30.0, 10.0),
+        ];
+        c.deployment(&region(), &robots, &[(0, 1), (1, 2)], |i, _| i == 0);
+        let svg = c.finish();
+        assert!(svg.contains(palette::PRESERVED));
+        assert!(svg.contains(palette::NEW));
+        assert_eq!(svg.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let dir = std::env::temp_dir().join("anr_viz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.svg");
+        let c = SvgCanvas::fitting([region().bbox()], 200.0);
+        c.save(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("<svg"));
+        std::fs::remove_file(path).ok();
+    }
+}

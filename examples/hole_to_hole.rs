@@ -1,0 +1,105 @@
+//! The hardest setting of the evaluation (Sec. IV-C): both the current
+//! and the target FoI have holes. Runs scenarios 6 and 7 with all four
+//! methods and renders the deployments.
+//!
+//! ```sh
+//! cargo run --release --example hole_to_hole
+//! ```
+
+use anr_marching::march::{
+    direct_translation, hungarian_direct, march, MarchConfig, MarchProblem, Method,
+};
+use anr_marching::netgraph::UnitDiskGraph;
+use anr_marching::scenarios::{build_scenario, ScenarioParams};
+use anr_marching::viz::SvgCanvas;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = PathBuf::from("target/figures");
+    std::fs::create_dir_all(&out_dir)?;
+    let config = MarchConfig::default();
+
+    for id in [6u8, 7] {
+        let scenario = build_scenario(id, &ScenarioParams::default())?;
+        println!(
+            "scenario {id}: {} (M1 holes: {}, M2 holes: {})",
+            scenario.name,
+            scenario.m1.holes().len(),
+            scenario.m2.holes().len(),
+        );
+        let problem = MarchProblem::with_lattice_deployment(
+            scenario.m1.clone(),
+            scenario.m2.clone(),
+            scenario.robots,
+            scenario.range,
+        )?;
+        let initial = UnitDiskGraph::new(&problem.positions, problem.range);
+
+        println!("  {:<22} {:>8} {:>12} {:>3}", "method", "L", "D (m)", "C");
+        for (name, outcome) in [
+            (
+                "our method (a)",
+                march(&problem, Method::MaxStableLinks, &config)?,
+            ),
+            (
+                "our method (b)",
+                march(&problem, Method::MinMovingDistance, &config)?,
+            ),
+            ("direct translation", direct_translation(&problem, &config)?),
+            ("Hungarian method", hungarian_direct(&problem, &config)?),
+        ] {
+            println!(
+                "  {:<22} {:>8.3} {:>12.0} {:>3}",
+                name,
+                outcome.metrics.stable_link_ratio,
+                outcome.metrics.total_distance,
+                outcome.metrics.global_connectivity,
+            );
+
+            if name == "our method (a)" {
+                // Render M1 + M2 with trajectories (Fig. 5 style).
+                let after = UnitDiskGraph::new(&outcome.final_positions, problem.range);
+                let mut svg = SvgCanvas::fitting([scenario.m1.bbox(), scenario.m2.bbox()], 1100.0);
+                svg.region(
+                    &scenario.m1,
+                    anr_marching::viz::palette::FOI_FILL,
+                    anr_marching::viz::palette::FOI_STROKE,
+                );
+                svg.region(
+                    &scenario.m2,
+                    anr_marching::viz::palette::FOI_FILL,
+                    anr_marching::viz::palette::FOI_STROKE,
+                );
+                for path in outcome.transition.paths() {
+                    svg.polyline(
+                        path.waypoints(),
+                        anr_marching::viz::palette::TRAJECTORY,
+                        0.5,
+                    );
+                }
+                for &p in &problem.positions {
+                    svg.robot(p, 2.0, "#777777");
+                }
+                for &(i, j) in &after.links() {
+                    let color = if initial.has_link(i, j) {
+                        anr_marching::viz::palette::PRESERVED
+                    } else {
+                        anr_marching::viz::palette::NEW
+                    };
+                    svg.line(
+                        outcome.final_positions[i],
+                        outcome.final_positions[j],
+                        color,
+                        1.0,
+                    );
+                }
+                for &p in &outcome.final_positions {
+                    svg.robot(p, 2.5, anr_marching::viz::palette::ROBOT);
+                }
+                svg.save(out_dir.join(format!("fig5_scenario{id}.svg")))?;
+            }
+        }
+    }
+    println!("figures written to {}", out_dir.display());
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Sequential mission (paper Definition 6): the swarm explores several
+//! fields of interest one after another, marching between them with the
+//! harmonic-map method. Each leg starts where the previous one ended, so
+//! the tour measures how the method holds up under compounding
+//! deployments.
+//!
+//! ```sh
+//! cargo run --release --example sequential_mission
+//! ```
+
+use anr_marching::geom::{Point, PolygonWithHoles};
+use anr_marching::march::{march_mission, MarchConfig, Method, Mission};
+use anr_marching::netgraph::{is_biconnected, UnitDiskGraph};
+use anr_marching::scenarios::{blob, flower};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A four-stop tour: blob → elongated blob → flower-pond FoI → blob.
+    let foi1 = PolygonWithHoles::without_holes(blob(Point::ORIGIN, 280_000.0, 5, 56)?);
+    let foi2 = PolygonWithHoles::without_holes(blob(Point::new(2200.0, 600.0), 220_000.0, 17, 56)?);
+    let foi3 = {
+        let outer = blob(Point::new(4500.0, -300.0), 260_000.0, 29, 56)?;
+        let pond = flower(Point::new(4450.0, -250.0), 60.0, 5, 0.3, 40)?;
+        PolygonWithHoles::new(outer, vec![pond])?
+    };
+    let foi4 = PolygonWithHoles::without_holes(blob(Point::new(6800.0, 400.0), 300_000.0, 41, 56)?);
+
+    let mission = Mission::new(vec![foi1, foi2, foi3, foi4], 144, 80.0);
+    println!(
+        "mission: {} robots, {} FoIs, {} marching legs",
+        mission.robots,
+        mission.fois.len(),
+        mission.num_legs(),
+    );
+
+    let outcome = march_mission(&mission, Method::MaxStableLinks, &MarchConfig::default())?;
+
+    println!(
+        "\n{:<6} {:>8} {:>12} {:>3} {:>9} {:>12}",
+        "leg", "L", "D (m)", "C", "repaired", "biconnected"
+    );
+    for (k, leg) in outcome.legs.iter().enumerate() {
+        let g = UnitDiskGraph::new(&leg.final_positions, mission.range);
+        println!(
+            "{:<6} {:>8.3} {:>12.0} {:>3} {:>9} {:>12}",
+            format!("{} → {}", k + 1, k + 2),
+            leg.metrics.stable_link_ratio,
+            leg.metrics.total_distance,
+            leg.metrics.global_connectivity,
+            leg.repair.adjusted_robots.len(),
+            is_biconnected(&g),
+        );
+    }
+    println!(
+        "\nmission totals: D = {:.0} m, mean L = {:.3}, connectivity on every leg = {}",
+        outcome.metrics.total_distance,
+        outcome.metrics.mean_stable_link_ratio,
+        outcome.metrics.global_connectivity == 1,
+    );
+    Ok(())
+}

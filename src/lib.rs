@@ -1,0 +1,54 @@
+//! # anr-marching — optimal marching of autonomous networked robots
+//!
+//! Umbrella crate of the reproduction of *"Optimal Marching of
+//! Autonomous Networked Robots"* (Ban, Jin, Wu — ICDCS 2016): a swarm of
+//! mobile robots redeploys from one field of interest to another while
+//! guaranteeing global connectivity, preserving local communication
+//! links, and paying little extra moving distance.
+//!
+//! Each subsystem lives in its own crate, re-exported here:
+//!
+//! * [`geom`] — planar geometry (points, polygons with holes, predicates)
+//! * [`mesh`] — triangle meshes, Delaunay, FoI meshing
+//! * [`distsim`] — synchronous message-passing simulator
+//! * [`netgraph`] — unit-disk connectivity graphs and protocols
+//! * [`assign`] — Hungarian minimum-cost matching
+//! * [`harmonic`] — harmonic maps to the unit disk, rotation search
+//! * [`coverage`] — centroidal-Voronoi coverage control (Lloyd)
+//! * [`march`] — the paper's pipeline, methods (a)/(b) and baselines
+//! * [`scenarios`] — the seven evaluation scenarios
+//! * [`viz`] — SVG rendering of deployments
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use anr_marching::march::{march, MarchConfig, MarchProblem, Method};
+//! use anr_marching::scenarios::{build_scenario, ScenarioParams};
+//!
+//! let scenario = build_scenario(1, &ScenarioParams::default())?;
+//! let problem = MarchProblem::with_lattice_deployment(
+//!     scenario.m1, scenario.m2, scenario.robots, scenario.range,
+//! )?;
+//! let outcome = march(&problem, Method::MaxStableLinks, &MarchConfig::default())?;
+//! println!(
+//!     "L = {:.3}, D = {:.0} m, C = {}",
+//!     outcome.metrics.stable_link_ratio,
+//!     outcome.metrics.total_distance,
+//!     outcome.metrics.global_connectivity,
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use anr_assign as assign;
+pub use anr_coverage as coverage;
+pub use anr_distsim as distsim;
+pub use anr_geom as geom;
+pub use anr_harmonic as harmonic;
+pub use anr_march as march;
+pub use anr_mesh as mesh;
+pub use anr_netgraph as netgraph;
+pub use anr_scenarios as scenarios;
+pub use anr_viz as viz;

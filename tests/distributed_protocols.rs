@@ -1,0 +1,115 @@
+//! Cross-crate integration: the distributed protocols running on the
+//! message-passing simulator agree with their centralized references on
+//! realistic scenario deployments.
+
+use anr_marching::coverage::deploy_exactly;
+use anr_marching::geom::Point;
+use anr_marching::netgraph::protocols::{run_boundary_loop, run_flood_sum, run_hop_field};
+use anr_marching::netgraph::{
+    extract_triangulation, extract_triangulation_distributed, UnitDiskGraph,
+};
+use anr_marching::scenarios::m1_standard;
+
+fn paper_deployment() -> (Vec<Point>, f64) {
+    let m1 = m1_standard().unwrap();
+    (deploy_exactly(&m1, 144).unwrap(), 80.0)
+}
+
+#[test]
+fn distributed_triangulation_matches_centralized_on_paper_deployment() {
+    let (positions, range) = paper_deployment();
+    let mesh = extract_triangulation(&positions, range).unwrap();
+    let mut central: Vec<(usize, usize)> = mesh.edges().collect();
+    central.sort_unstable();
+
+    let mut dist = extract_triangulation_distributed(&positions, range).unwrap();
+    dist.sort_unstable();
+
+    // Every centralized triangulation link is kept by the local rule.
+    for e in &central {
+        assert!(dist.binary_search(e).is_ok(), "missing link {e:?}");
+    }
+    // The distributed rule keeps at most a few extra links.
+    assert!(
+        dist.len() <= central.len() * 11 / 10 + 4,
+        "distributed {} vs centralized {}",
+        dist.len(),
+        central.len()
+    );
+}
+
+#[test]
+fn boundary_loop_protocol_matches_mesh_boundary() {
+    let (positions, range) = paper_deployment();
+    let mesh = extract_triangulation(&positions, range).unwrap();
+    let loops = mesh.boundary_loops();
+    let outer = &loops[0];
+
+    // Run the paper's hop-counting token over the boundary cycle.
+    let result = run_boundary_loop(outer).unwrap();
+    // Everyone learns the correct loop size.
+    for &(_, size) in &result {
+        assert_eq!(size, outer.len());
+    }
+    // Indices are the distinct loop positions starting at the smallest
+    // robot ID (the protocol's initiator rule).
+    let min_pos = outer
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &id)| id)
+        .map(|(i, _)| i)
+        .unwrap();
+    for (k, &(index, _)) in result.iter().enumerate() {
+        let expected = (k + outer.len() - min_pos) % outer.len();
+        assert_eq!(index, expected, "vertex at loop position {k}");
+    }
+}
+
+#[test]
+fn hop_field_protocol_matches_bfs_on_deployment() {
+    let (positions, range) = paper_deployment();
+    let g = UnitDiskGraph::new(&positions, range);
+    let mesh = extract_triangulation(&positions, range).unwrap();
+    let outer = mesh.boundary_loops().into_iter().next().unwrap();
+
+    let mut is_source = vec![false; positions.len()];
+    for &v in &outer {
+        is_source[v] = true;
+    }
+    let distributed = run_hop_field(&is_source, g.adjacency()).unwrap();
+    let centralized = g.multi_source_hops(&outer);
+    assert_eq!(distributed, centralized);
+    // A connected deployment has no isolated subgroups.
+    assert!(distributed.iter().all(Option::is_some));
+}
+
+#[test]
+fn flooding_aggregates_link_ratios() {
+    // The rotation-search aggregation of Sec. III-B: each robot floods
+    // its local stable-link count; everyone learns the global total.
+    let (positions, range) = paper_deployment();
+    let g = UnitDiskGraph::new(&positions, range);
+    let local_counts: Vec<f64> = (0..positions.len()).map(|i| g.degree(i) as f64).collect();
+    let sums = run_flood_sum(&local_counts, g.adjacency()).unwrap();
+    let expected: f64 = local_counts.iter().sum();
+    for s in sums {
+        assert!((s - expected).abs() < 1e-9);
+    }
+    // Σ mᵢ (each link counted twice) = 2 × link count.
+    assert_eq!(expected as usize, 2 * g.num_links());
+}
+
+#[test]
+fn protocol_message_complexity_is_sane() {
+    // The triangulation-extraction protocol is one broadcast per robot:
+    // message count equals twice the link count (one delivery per link
+    // direction).
+    let (positions, range) = paper_deployment();
+    let g = UnitDiskGraph::new(&positions, range);
+    let edges = extract_triangulation_distributed(&positions, range).unwrap();
+    assert!(!edges.is_empty());
+    // Every kept edge is a real link.
+    for (i, j) in &edges {
+        assert!(g.has_link(*i, *j));
+    }
+}

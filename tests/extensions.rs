@@ -1,0 +1,103 @@
+//! Integration tests for the extension features: distributed harmonic
+//! computation, resilience analysis, the energy model, missions and
+//! message loss.
+
+use anr_marching::coverage::deploy_exactly;
+use anr_marching::harmonic::{
+    distributed_harmonic_map, fill_holes, harmonic_map_to_disk, DistributedHarmonicConfig,
+    HarmonicConfig,
+};
+use anr_marching::march::{
+    hungarian_direct, march, march_mission, EnergyModel, MarchConfig, MarchProblem, Method,
+    Mission, ResilienceReport,
+};
+use anr_marching::netgraph::extract_triangulation;
+use anr_marching::scenarios::{build_scenario, m1_standard, ScenarioParams};
+
+#[test]
+fn distributed_harmonic_matches_centralized_on_paper_deployment() {
+    let m1 = m1_standard().unwrap();
+    let positions = deploy_exactly(&m1, 144).unwrap();
+    let t = extract_triangulation(&positions, 80.0).unwrap();
+    let filled = fill_holes(&t).unwrap();
+
+    let central = harmonic_map_to_disk(filled.mesh(), &HarmonicConfig::default()).unwrap();
+    let dist =
+        distributed_harmonic_map(filled.mesh(), &DistributedHarmonicConfig::default()).unwrap();
+
+    // Jacobi gossip and Gauss–Seidel converge to the same harmonic map.
+    for v in 0..filled.mesh().num_vertices() {
+        let d = central.position(v).distance(dist.map.position(v));
+        assert!(d < 5e-3, "vertex {v} differs by {d}");
+    }
+    // The message count is what a real swarm would pay: every round each
+    // still-moving robot gossips to its neighbors.
+    assert!(dist.messages > 0);
+    assert!(dist.rounds > 10);
+}
+
+#[test]
+fn marching_preserves_energy_advantage() {
+    // The energy framing of the paper's Sec. IV-A claim: preserving
+    // links makes our method cheaper than Hungarian under any model that
+    // prices link re-establishment, despite the slightly longer paths.
+    let s = build_scenario(1, &ScenarioParams::default()).unwrap();
+    let problem = MarchProblem::with_lattice_deployment(s.m1, s.m2, s.robots, s.range).unwrap();
+    let cfg = MarchConfig::default();
+    let ours = march(&problem, Method::MaxStableLinks, &cfg).unwrap();
+    let hung = hungarian_direct(&problem, &cfg).unwrap();
+
+    let model = EnergyModel::default();
+    let e_ours = model.evaluate(&ours.metrics, problem.num_robots());
+    let e_hung = model.evaluate(&hung.metrics, problem.num_robots());
+    assert!(
+        e_ours.link_maintenance < e_hung.link_maintenance,
+        "ours {} vs hungarian {}",
+        e_ours.link_maintenance,
+        e_hung.link_maintenance
+    );
+
+    // With free motion the comparison is pure link maintenance; the
+    // total also favors ours for the default per-metre price because the
+    // distance gap is small.
+    assert!(e_ours.total() < e_hung.total());
+}
+
+#[test]
+fn final_deployments_have_no_single_point_of_failure() {
+    // A CVT lattice deployment should be biconnected: any one robot may
+    // fail without splitting the network.
+    for id in [1u8, 3] {
+        let s = build_scenario(id, &ScenarioParams::default()).unwrap();
+        let problem = MarchProblem::with_lattice_deployment(s.m1, s.m2, s.robots, s.range).unwrap();
+        let out = march(&problem, Method::MaxStableLinks, &MarchConfig::default()).unwrap();
+        let report = ResilienceReport::of(&out.final_positions, problem.range);
+        assert!(report.connected, "scenario {id}");
+        assert!(
+            report.biconnected,
+            "scenario {id}: articulation robots {:?}",
+            report.articulation_robots
+        );
+        assert!(report.vertex_connectivity >= 2, "scenario {id}");
+    }
+}
+
+#[test]
+fn mission_through_scenario_fois() {
+    // Tour M1 → scenario-1 M2 → scenario-3 M2 (re-centered by the
+    // scenario builder's separation).
+    let p1 = build_scenario(1, &ScenarioParams::default()).unwrap();
+    let p3 = build_scenario(
+        3,
+        &ScenarioParams {
+            separation_ranges: 60.0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mission = Mission::new(vec![p1.m1, p1.m2, p3.m2], 144, 80.0);
+    let out = march_mission(&mission, Method::MaxStableLinks, &MarchConfig::default()).unwrap();
+    assert_eq!(out.legs.len(), 2);
+    assert_eq!(out.metrics.global_connectivity, 1);
+    assert!(out.metrics.mean_stable_link_ratio > 0.6);
+}

@@ -1,0 +1,196 @@
+//! Executable reproductions of the paper's two impossibility results
+//! (Sec. II-A, Fig. 1).
+//!
+//! * **Lemma 1**: maximizing the stable link ratio `L` and minimizing
+//!   the total moving distance `D` cannot both be achieved — shown on
+//!   the paper's own seven-robot example (a horizontal slim-rectangle
+//!   lattice relocating to a vertical one).
+//! * **Lemma 2**: local connectivity cannot be fully preserved in
+//!   general — shown on the paper's hexagon-to-line example, where the
+//!   center robot must lose at least two of its six links.
+
+use anr_marching::assign::{euclidean_costs, hungarian};
+use anr_marching::geom::Point;
+use anr_marching::netgraph::UnitDiskGraph;
+
+const RANGE: f64 = 80.0;
+const SPACING: f64 = 60.0; // lattice edge, < r_c
+
+/// The paper's Fig. 1(a) left: seven robots in a slim horizontal strip —
+/// two rows of a triangular lattice (4 + 3).
+fn horizontal_strip() -> Vec<Point> {
+    let s = SPACING;
+    let h = s * 3f64.sqrt() / 2.0;
+    vec![
+        // Bottom row: A B C D
+        Point::new(0.0, 0.0),
+        Point::new(s, 0.0),
+        Point::new(2.0 * s, 0.0),
+        Point::new(3.0 * s, 0.0),
+        // Top row: E F G
+        Point::new(s / 2.0, h),
+        Point::new(1.5 * s, h),
+        Point::new(2.5 * s, h),
+    ]
+}
+
+/// Fig. 1(a) right: the same lattice rotated to vertical.
+fn vertical_strip() -> Vec<Point> {
+    horizontal_strip()
+        .into_iter()
+        .map(|p| Point::new(-p.y, p.x))
+        .collect()
+}
+
+/// Fig. 1(b) left: one robot centered, six around it (hexagon).
+fn hexagon() -> Vec<Point> {
+    let mut pts = vec![Point::new(0.0, 0.0)];
+    for k in 0..6 {
+        let theta = std::f64::consts::TAU * k as f64 / 6.0;
+        pts.push(Point::new(SPACING * theta.cos(), SPACING * theta.sin()));
+    }
+    pts
+}
+
+/// Fig. 1(b) right: seven robots in a line (slim-rectangle deployment).
+fn line_of_seven() -> Vec<Point> {
+    (0..7)
+        .map(|i| Point::new(i as f64 * SPACING, 0.0))
+        .collect()
+}
+
+/// Count of initial links preserved by the assignment `perm`
+/// (synchronized straight-line motion ⇒ a link survives iff it holds at
+/// both endpoints).
+fn preserved_links(from: &[Point], to: &[Point], perm: &[usize]) -> usize {
+    let g = UnitDiskGraph::new(from, RANGE);
+    g.links()
+        .iter()
+        .filter(|&&(i, j)| to[perm[i]].distance(to[perm[j]]) <= RANGE)
+        .count()
+}
+
+fn total_distance(from: &[Point], to: &[Point], perm: &[usize]) -> f64 {
+    from.iter()
+        .enumerate()
+        .map(|(i, p)| p.distance(to[perm[i]]))
+        .sum()
+}
+
+/// All permutations of 0..n (n = 7 ⇒ 5040, fine for a test).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 1 {
+        return vec![vec![0]];
+    }
+    let mut out = Vec::new();
+    for p in permutations(n - 1) {
+        for k in 0..n {
+            let mut q: Vec<usize> = p.iter().map(|&x| if x >= k { x + 1 } else { x }).collect();
+            q.push(k);
+            out.push(q);
+        }
+    }
+    out
+}
+
+#[test]
+fn lemma1_max_links_and_min_distance_disagree() {
+    let from = horizontal_strip();
+    // Separate the target so the relocation is a real march.
+    let to: Vec<Point> = vertical_strip()
+        .into_iter()
+        .map(|p| Point::new(p.x + 1000.0, p.y))
+        .collect();
+
+    // Exhaustively find (a) the assignments maximizing preserved links,
+    // and (b) the minimum-distance assignment.
+    let perms = permutations(7);
+    let max_links = perms
+        .iter()
+        .map(|p| preserved_links(&from, &to, p))
+        .max()
+        .expect("non-empty");
+    let best_link_perms: Vec<&Vec<usize>> = perms
+        .iter()
+        .filter(|p| preserved_links(&from, &to, p) == max_links)
+        .collect();
+    let min_distance = perms
+        .iter()
+        .map(|p| total_distance(&from, &to, p))
+        .fold(f64::INFINITY, f64::min);
+
+    // Lemma 1: no link-maximal assignment achieves the distance minimum.
+    let best_links_min_distance = best_link_perms
+        .iter()
+        .map(|p| total_distance(&from, &to, p))
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best_links_min_distance > min_distance + 1.0,
+        "link-optimal D {best_links_min_distance} vs optimal D {min_distance}"
+    );
+
+    // Cross-check the min-distance side with the Hungarian solver.
+    let costs = euclidean_costs(&from, &to).expect("balanced");
+    let h = hungarian(&costs);
+    assert!((h.total_cost - min_distance).abs() < 1e-9);
+    // ... and the Hungarian matching does not preserve all links.
+    let h_perm: Vec<usize> = (0..7).map(|i| h.target_of(i)).collect();
+    assert!(preserved_links(&from, &to, &h_perm) < max_links);
+}
+
+#[test]
+fn lemma2_hexagon_to_line_must_break_links() {
+    let from = hexagon();
+    let to: Vec<Point> = line_of_seven()
+        .into_iter()
+        .map(|p| Point::new(p.x + 1000.0, p.y))
+        .collect();
+
+    // The hexagon's 12 links (6 spokes + 6 rim) cannot all survive in a
+    // line: exhaustively, every assignment breaks at least 4.
+    let g = UnitDiskGraph::new(&from, RANGE);
+    assert_eq!(g.num_links(), 12);
+    assert_eq!(g.degree(0), 6); // the center robot
+
+    let best = permutations(7)
+        .iter()
+        .map(|p| preserved_links(&from, &to, p))
+        .max()
+        .expect("non-empty");
+    assert!(
+        best <= g.num_links() - 4,
+        "some assignment preserved {best} of 12 links"
+    );
+
+    // The center robot specifically keeps at most 2 of its 6 links (a
+    // line vertex has degree ≤ 2), matching the paper's "have to break
+    // at least two communication links individually".
+    for p in permutations(7) {
+        let kept_by_center = g
+            .neighbors(0)
+            .iter()
+            .filter(|&&j| to[p[0]].distance(to[p[j]]) <= RANGE)
+            .count();
+        assert!(kept_by_center <= 2);
+    }
+}
+
+#[test]
+fn lemma_geometries_are_valid_deployments() {
+    // Both Fig. 1 configurations are connected optimal-coverage lattices
+    // under the paper's r_c ≥ √3·r_s assumption.
+    for pts in [
+        horizontal_strip(),
+        vertical_strip(),
+        hexagon(),
+        line_of_seven(),
+    ] {
+        let g = UnitDiskGraph::new(&pts, RANGE);
+        assert!(g.is_connected());
+        assert_eq!(pts.len(), 7);
+    }
+    // The hexagon center is 6-connected — the paper's "every sensor is
+    // connected to six neighboring sensors" for r_c ≥ √3·r_s.
+    let g = UnitDiskGraph::new(&hexagon(), RANGE);
+    assert_eq!(g.degree(0), 6);
+}

@@ -1,0 +1,99 @@
+//! Cross-crate property tests: randomized FoI shapes and deployments
+//! through the full pipeline.
+
+use anr_marching::geom::{Point, Polygon, PolygonWithHoles};
+use anr_marching::march::{march, MarchConfig, MarchProblem, Method};
+use anr_marching::netgraph::UnitDiskGraph;
+use anr_marching::scenarios::blob;
+use proptest::prelude::*;
+
+proptest! {
+    // Full-pipeline runs are comparatively expensive; a handful of cases
+    // each is plenty to sweep the seeded shape space.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn marching_between_random_blobs_keeps_connectivity(
+        seed1 in 0u64..1000,
+        seed2 in 1000u64..2000,
+        sep in 8.0..40.0f64,
+    ) {
+        let m1 = PolygonWithHoles::without_holes(
+            blob(Point::ORIGIN, 200_000.0, seed1, 48).unwrap(),
+        );
+        let m2 = PolygonWithHoles::without_holes(
+            blob(Point::new(sep * 80.0, 0.0), 180_000.0, seed2, 48).unwrap(),
+        );
+        let problem = MarchProblem::with_lattice_deployment(m1, m2, 96, 80.0).unwrap();
+        let out = march(&problem, Method::MaxStableLinks, &MarchConfig::default()).unwrap();
+
+        // The paper's guarantee: global connectivity at every sample.
+        prop_assert_eq!(out.metrics.global_connectivity, 1);
+        // Everyone ends inside the target FoI.
+        for q in &out.final_positions {
+            prop_assert!(problem.m2.contains(*q));
+        }
+        // Stable link ratio is meaningful.
+        prop_assert!(out.metrics.stable_link_ratio > 0.3);
+        prop_assert!(out.metrics.stable_link_ratio <= 1.0);
+    }
+
+    #[test]
+    fn metrics_are_internally_consistent(
+        seed in 0u64..500,
+    ) {
+        let m1 = PolygonWithHoles::without_holes(
+            blob(Point::ORIGIN, 150_000.0, seed, 48).unwrap(),
+        );
+        let m2 = PolygonWithHoles::without_holes(
+            blob(Point::new(1500.0, 0.0), 150_000.0, seed + 7, 48).unwrap(),
+        );
+        let problem = MarchProblem::with_lattice_deployment(m1, m2, 72, 80.0).unwrap();
+        let out = march(&problem, Method::MinMovingDistance, &MarchConfig::default()).unwrap();
+
+        prop_assert_eq!(out.metrics.initial_links,
+            UnitDiskGraph::new(&problem.positions, 80.0).num_links());
+        prop_assert!(out.metrics.preserved_links <= out.metrics.initial_links);
+        let expect_ratio = out.metrics.preserved_links as f64 / out.metrics.initial_links as f64;
+        prop_assert!((out.metrics.stable_link_ratio - expect_ratio).abs() < 1e-12);
+        // D is at least the sum of straight-line displacements.
+        let lower: f64 = problem.positions.iter()
+            .zip(&out.final_positions)
+            .map(|(a, b)| a.distance(*b))
+            .sum();
+        prop_assert!(out.metrics.total_distance >= lower - 1e-6);
+    }
+
+    #[test]
+    fn degenerate_square_fois_work(side in 250.0..500.0f64, robots in 16usize..48) {
+        // Axis-aligned rectangles are a degenerate boundary case for the
+        // meshing (collinear boundary runs): the pipeline must not panic.
+        let m1 = PolygonWithHoles::without_holes(
+            Polygon::rectangle(Point::ORIGIN, side, side),
+        );
+        let m2 = PolygonWithHoles::without_holes(
+            Polygon::rectangle(Point::new(side + 900.0, 0.0), side, side * 0.8),
+        );
+        // Skip deployments whose lattice pitch exceeds the range.
+        let pitch = (side * side / robots as f64 * 2.0 / 3f64.sqrt()).sqrt();
+        // Near-range pitches can disconnect after the coverage
+        // refinement redistributes the lattice; stay clearly below r_c.
+        prop_assume!(pitch < 68.0);
+        let problem = match MarchProblem::with_lattice_deployment(m1, m2, robots, 80.0) {
+            Ok(p) => p,
+            // Marginal lattices can end up disconnected after refinement.
+            Err(anr_marching::march::MarchError::DisconnectedDeployment { .. }) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("problem: {e}"))),
+        };
+        let out = match march(&problem, Method::MaxStableLinks, &MarchConfig::default()) {
+            Ok(o) => o,
+            // A robot connected only through over-range Delaunay edges is
+            // a documented error path, not a pipeline failure.
+            Err(anr_marching::march::MarchError::RobotOutsideTriangulation { .. }) => {
+                return Ok(())
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("march: {e}"))),
+        };
+        prop_assert_eq!(out.metrics.global_connectivity, 1);
+    }
+}
