@@ -1,0 +1,31 @@
+//! Protocol survival under network faults: a seeded (loss rate ×
+//! crash count) grid of the robust marching protocols — ack/retransmit
+//! flooding and the robust hop field — run on each scenario's
+//! deployment, emitted as JSON.
+//!
+//! ```sh
+//! cargo run --release -p anr-bench --bin fault_sweep            # scenario 1
+//! cargo run --release -p anr-bench --bin fault_sweep -- --scenario 3
+//! ```
+//!
+//! Per cell the grid records convergence, correctness against the
+//! centralized reference on the surviving topology, rounds to
+//! quiescence, and message overhead relative to the zero-fault
+//! baseline. Two runs with the same seed produce identical bytes.
+
+use anr_bench::{scenario_flag, scenario_problem, BenchError};
+use anr_march::{run_fault_sweep, SweepConfig};
+
+fn main() -> Result<(), BenchError> {
+    let id = scenario_flag().unwrap_or(1);
+    let problem = scenario_problem(id, 10.0)?;
+    let config = SweepConfig {
+        loss_rates: vec![0.0, 0.05, 0.1, 0.2, 0.3],
+        crash_counts: vec![0, 1, 2, 4],
+        seed: 42,
+        ..Default::default()
+    };
+    let report = run_fault_sweep(&problem.positions, problem.range, &config)?;
+    print!("{}", report.to_json());
+    Ok(())
+}

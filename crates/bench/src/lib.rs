@@ -14,6 +14,7 @@
 //! | `table1_connectivity` | Table I (global connectivity Y/N) |
 //! | `fig6_density` | Fig. 6 (density-adjusted deployment) |
 //! | `ablation_*` | design-choice ablations from DESIGN.md |
+//! | `fault_sweep` | protocol survival under loss and churn (JSON grid) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +35,8 @@ pub enum BenchError {
     Scenario(ScenarioError),
     /// A method run failed.
     March(MarchError),
+    /// A fault-sweep simulation failed.
+    Sim(anr_distsim::SimError),
 }
 
 impl fmt::Display for BenchError {
@@ -41,6 +44,7 @@ impl fmt::Display for BenchError {
         match self {
             BenchError::Scenario(e) => write!(f, "scenario: {e}"),
             BenchError::March(e) => write!(f, "march: {e}"),
+            BenchError::Sim(e) => write!(f, "simulation: {e}"),
         }
     }
 }
@@ -56,6 +60,12 @@ impl From<ScenarioError> for BenchError {
 impl From<MarchError> for BenchError {
     fn from(e: MarchError) -> Self {
         BenchError::March(e)
+    }
+}
+
+impl From<anr_distsim::SimError> for BenchError {
+    fn from(e: anr_distsim::SimError) -> Self {
+        BenchError::Sim(e)
     }
 }
 

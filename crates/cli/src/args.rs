@@ -75,6 +75,22 @@ pub enum Command {
         /// Robot count.
         robots: usize,
     },
+    /// `anr fault-sweep [--id N] [--robots R] [--loss CSV] [--crashes CSV]
+    /// [--seed S] [--out FILE]`
+    FaultSweep {
+        /// Scenario id (1–7) whose deployment supplies the topology.
+        id: u8,
+        /// Robot count.
+        robots: usize,
+        /// Loss probabilities to sweep.
+        loss: Vec<f64>,
+        /// Crash counts to sweep.
+        crashes: Vec<usize>,
+        /// Master seed.
+        seed: u64,
+        /// Write the JSON grid here instead of stdout.
+        out: Option<PathBuf>,
+    },
     /// `anr info` — the scenario catalog.
     Info,
     /// `anr help` / `--help`.
@@ -149,6 +165,8 @@ USAGE:
   anr sweep    --id <1-7> [--quick] [--charts <dir>]
   anr render   --id <1-7> [--out <dir>] [--separation <ranges>]
   anr mission  [--stops <k>] [--robots <n>]
+  anr fault-sweep [--id <1-7>] [--robots <n>] [--loss <p,p,...>]
+               [--crashes <k,k,...>] [--seed <s>] [--out <file.json>]
   anr info
   anr help
 ";
@@ -184,6 +202,17 @@ fn parse_num<T: std::str::FromStr>(
         value: raw.to_string(),
         expected,
     })
+}
+
+/// Parses a comma-separated list like `0,0.1,0.2`.
+fn parse_list<T: std::str::FromStr>(
+    flag: &'static str,
+    raw: &str,
+    expected: &'static str,
+) -> Result<Vec<T>, ArgError> {
+    raw.split(',')
+        .map(|part| parse_num(flag, part.trim(), expected))
+        .collect()
 }
 
 /// Parses command-line arguments (exclusive of the program name).
@@ -297,6 +326,53 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
             }
             Ok(Command::Mission { stops, robots })
         }
+        "fault-sweep" => {
+            let mut id = 1u8;
+            let mut robots = 64usize;
+            let mut loss = vec![0.0, 0.05, 0.1, 0.2];
+            let mut crashes = vec![0usize, 1, 2];
+            let mut seed = 42u64;
+            let mut out = None;
+            while let Some(flag) = cur.next() {
+                match flag.as_str() {
+                    "--id" => id = parse_num("--id", &cur.value_for("--id")?, "1-7")?,
+                    "--robots" => {
+                        robots = parse_num("--robots", &cur.value_for("--robots")?, "an integer")?
+                    }
+                    "--loss" => {
+                        loss = parse_list(
+                            "--loss",
+                            &cur.value_for("--loss")?,
+                            "comma-separated probabilities",
+                        )?
+                    }
+                    "--crashes" => {
+                        crashes = parse_list(
+                            "--crashes",
+                            &cur.value_for("--crashes")?,
+                            "comma-separated integers",
+                        )?
+                    }
+                    "--seed" => {
+                        seed = parse_num("--seed", &cur.value_for("--seed")?, "an integer")?
+                    }
+                    "--out" => out = Some(PathBuf::from(cur.value_for("--out")?)),
+                    other => {
+                        return Err(ArgError::UnknownFlag {
+                            flag: other.to_string(),
+                        })
+                    }
+                }
+            }
+            Ok(Command::FaultSweep {
+                id,
+                robots,
+                loss,
+                crashes,
+                seed,
+                out,
+            })
+        }
         other => Err(ArgError::UnknownCommand {
             got: other.to_string(),
         }),
@@ -403,6 +479,61 @@ mod tests {
     #[test]
     fn info_parses() {
         assert_eq!(parse(&["info"]).unwrap(), Command::Info);
+    }
+
+    #[test]
+    fn fault_sweep_defaults() {
+        let cmd = parse(&["fault-sweep"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::FaultSweep {
+                id: 1,
+                robots: 64,
+                loss: vec![0.0, 0.05, 0.1, 0.2],
+                crashes: vec![0, 1, 2],
+                seed: 42,
+                out: None,
+            }
+        );
+    }
+
+    #[test]
+    fn fault_sweep_full() {
+        let cmd = parse(&[
+            "fault-sweep",
+            "--id",
+            "3",
+            "--robots",
+            "36",
+            "--loss",
+            "0,0.3",
+            "--crashes",
+            "0,2,4",
+            "--seed",
+            "7",
+            "--out",
+            "grid.json",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::FaultSweep {
+                id: 3,
+                robots: 36,
+                loss: vec![0.0, 0.3],
+                crashes: vec![0, 2, 4],
+                seed: 7,
+                out: Some(PathBuf::from("grid.json")),
+            }
+        );
+    }
+
+    #[test]
+    fn fault_sweep_bad_list_rejected() {
+        assert!(matches!(
+            parse(&["fault-sweep", "--loss", "0,zebra"]),
+            Err(ArgError::BadValue { flag: "--loss", .. })
+        ));
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use crate::{Command, MethodArg};
 use anr_geom::Point;
 use anr_march::{
-    direct_translation, hungarian_direct, march, march_mission, MarchConfig, MarchError,
-    MarchOutcome, MarchProblem, Method, Mission,
+    direct_translation, hungarian_direct, march, march_mission, run_fault_sweep, MarchConfig,
+    MarchError, MarchOutcome, MarchProblem, Method, Mission, SweepConfig,
 };
 use anr_netgraph::UnitDiskGraph;
 use anr_scenarios::{blob, build_scenario, ScenarioError, ScenarioParams};
@@ -24,6 +24,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// A parameter is out of range for the command.
     BadParameter(String),
+    /// The fault-sweep simulation failed.
+    Sim(anr_distsim::SimError),
 }
 
 impl fmt::Display for CliError {
@@ -33,11 +35,18 @@ impl fmt::Display for CliError {
             CliError::March(e) => write!(f, "march: {e}"),
             CliError::Io(e) => write!(f, "io: {e}"),
             CliError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+            CliError::Sim(e) => write!(f, "simulation: {e}"),
         }
     }
 }
 
 impl Error for CliError {}
+
+impl From<anr_distsim::SimError> for CliError {
+    fn from(e: anr_distsim::SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
 
 impl From<ScenarioError> for CliError {
     fn from(e: ScenarioError) -> Self {
@@ -239,6 +248,43 @@ pub fn run_command(command: Command) -> Result<(), CliError> {
             );
             Ok(())
         }
+        Command::FaultSweep {
+            id,
+            robots,
+            loss,
+            crashes,
+            seed,
+            out,
+        } => {
+            let problem = scenario_problem(id, 10.0, robots)?;
+            if let Some(&c) = crashes.iter().find(|&&c| c >= problem.num_robots()) {
+                return Err(CliError::BadParameter(format!(
+                    "--crashes {c} but the deployment has {} robots",
+                    problem.num_robots()
+                )));
+            }
+            let config = SweepConfig {
+                loss_rates: loss,
+                crash_counts: crashes,
+                seed,
+                ..Default::default()
+            };
+            let report = run_fault_sweep(&problem.positions, problem.range, &config)?;
+            let json = report.to_json();
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, &json)?;
+                    eprintln!(
+                        "fault sweep of scenario {id} ({} robots, {} cells/protocol) written to {}",
+                        report.robots,
+                        config.loss_rates.len() * config.crash_counts.len(),
+                        path.display()
+                    );
+                }
+                None => print!("{json}"),
+            }
+            Ok(())
+        }
         Command::Mission { stops, robots } => {
             if stops < 2 {
                 return Err(CliError::BadParameter(
@@ -349,5 +395,38 @@ mod tests {
     fn errors_display() {
         let e = CliError::BadParameter("x".into());
         assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn fault_sweep_writes_json() {
+        let path = std::env::temp_dir().join("anr_cli_fault_sweep_test.json");
+        run_command(Command::FaultSweep {
+            id: 1,
+            robots: 64,
+            loss: vec![0.0, 0.1],
+            crashes: vec![0, 1],
+            seed: 5,
+            out: Some(path.clone()),
+        })
+        .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"protocol\": \"flooding\""));
+        assert!(json.contains("\"protocol\": \"hop_field\""));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fault_sweep_rejects_excessive_crashes() {
+        assert!(matches!(
+            run_command(Command::FaultSweep {
+                id: 1,
+                robots: 64,
+                loss: vec![0.0],
+                crashes: vec![500],
+                seed: 5,
+                out: None,
+            }),
+            Err(CliError::BadParameter(_))
+        ));
     }
 }

@@ -8,6 +8,7 @@
 //! anr sweep --id 1 --quick                # Fig.3-style CSV sweep
 //! anr render --id 3 --out figures/        # SVG deployments before/after
 //! anr mission --stops 3                   # a sequential multi-FoI tour
+//! anr fault-sweep --loss 0,0.1,0.3        # protocol survival grid (JSON)
 //! ```
 //!
 //! The argument parser and command runners live in this library crate so

@@ -14,7 +14,9 @@
 //! construction, verified in tests); this protocol documents — with
 //! round and message accounting — what the swarm would actually run.
 
-use anr_distsim::{Envelope, Node, Outbox, SimError, Simulator};
+use anr_distsim::{
+    Envelope, FaultPlan, FaultStats, FaultySimulator, Node, Outbox, SimError, Simulator,
+};
 use anr_geom::Point;
 use anr_netgraph::UnitDiskGraph;
 
@@ -193,6 +195,93 @@ pub fn distributed_objective(
     })
 }
 
+/// Outcome of the objective protocol on a faulty network.
+///
+/// The paper's protocol assumes reliable synchronous delivery; this
+/// report measures what happens without it. `agreement` is the paper's
+/// implicit correctness condition — every live robot computed the same
+/// global totals — and is *not* asserted: under loss the flood can
+/// quiesce with robots missing reports, which is precisely the failure
+/// mode the robust wrappers in [`anr_netgraph::robust`] exist to fix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultyObjective {
+    /// Did every live robot compute identical totals?
+    pub agreement: bool,
+    /// The totals of the first live robot (the agreed values when
+    /// `agreement` holds).
+    pub stable_link_ratio: f64,
+    /// First live robot's total moving distance.
+    pub total_distance: f64,
+    /// Synchronous rounds used.
+    pub rounds: usize,
+    /// Fault-harness accounting.
+    pub stats: FaultStats,
+}
+
+/// Runs the (idealized, ack-free) objective-evaluation protocol of
+/// [`distributed_objective`] under a [`FaultPlan`], reporting whether
+/// the swarm still reached agreement and at what cost.
+///
+/// # Errors
+///
+/// Propagates simulator errors, including [`SimError::NotQuiescent`]
+/// when messages are still in flight after `4 n + 16` rounds.
+///
+/// # Panics
+///
+/// Panics when `positions.len() != targets.len()`, `range <= 0`, or no
+/// robot is live at the end of the run.
+pub fn distributed_objective_under_faults(
+    positions: &[Point],
+    targets: &[Point],
+    range: f64,
+    plan: FaultPlan,
+) -> Result<FaultyObjective, SimError> {
+    assert_eq!(positions.len(), targets.len(), "one target per robot");
+    assert!(range > 0.0, "communication range must be positive");
+    let n = positions.len();
+    let graph = UnitDiskGraph::new(positions, range);
+
+    let nodes: Vec<ObjectiveNode> = (0..n)
+        .map(|id| ObjectiveNode {
+            id,
+            n,
+            position: positions[id],
+            target: targets[id],
+            range,
+            neighbor_targets: Vec::new(),
+            counted: false,
+            seen: vec![false; n],
+            total_preserved: 0,
+            total_degree: 0,
+            total_distance: 0.0,
+        })
+        .collect();
+    let mut sim = FaultySimulator::new(nodes, graph.adjacency().to_vec(), plan)?;
+    let stats = sim.run_until_quiet(4 * n + 16)?;
+
+    let live: Vec<usize> = (0..n).filter(|&i| !sim.is_crashed(i)).collect();
+    let nodes = sim.nodes();
+    let first = &nodes[*live.first().expect("at least one live robot")];
+    let agreement = live.iter().all(|&i| {
+        nodes[i].total_preserved == first.total_preserved
+            && nodes[i].total_degree == first.total_degree
+            && (nodes[i].total_distance - first.total_distance).abs() < 1e-9
+    });
+    let ratio = if first.total_degree == 0 {
+        1.0
+    } else {
+        first.total_preserved as f64 / first.total_degree as f64
+    };
+    Ok(FaultyObjective {
+        agreement,
+        stable_link_ratio: ratio,
+        total_distance: first.total_distance,
+        rounds: stats.rounds,
+        stats,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +363,57 @@ mod tests {
         // At least one target broadcast and one flood per robot.
         assert!(obj.messages >= 2 * positions.len());
         assert!(obj.rounds >= 2);
+    }
+
+    #[test]
+    fn faulty_objective_matches_reliable_under_zero_fault_plan() {
+        let positions = lattice(3, 4, 60.0);
+        let targets: Vec<Point> = positions.iter().map(|q| p(q.x + 700.0, q.y)).collect();
+        let ideal = distributed_objective(&positions, &targets, 80.0).unwrap();
+        let faulty =
+            distributed_objective_under_faults(&positions, &targets, 80.0, FaultPlan::reliable(99))
+                .unwrap();
+        assert!(faulty.agreement);
+        assert_eq!(faulty.stable_link_ratio, ideal.stable_link_ratio);
+        assert!((faulty.total_distance - ideal.total_distance).abs() < 1e-9);
+        assert_eq!(faulty.rounds, ideal.rounds);
+        assert_eq!(faulty.stats.sent, ideal.messages);
+        assert_eq!(faulty.stats.delivered, ideal.messages);
+    }
+
+    #[test]
+    fn heavy_loss_breaks_the_idealized_protocol() {
+        // The ack-free protocol has no defense against loss: some seed
+        // in this range must leave the swarm in disagreement.
+        let positions = lattice(3, 4, 60.0);
+        let targets: Vec<Point> = positions.iter().map(|q| p(q.x + 700.0, q.y)).collect();
+        let broke = (0..20).any(|seed| {
+            let plan = FaultPlan::reliable(seed).with_loss(0.5);
+            match distributed_objective_under_faults(&positions, &targets, 80.0, plan) {
+                Ok(out) => !out.agreement,
+                // Never quiescing also counts as broken.
+                Err(SimError::NotQuiescent { .. }) => true,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        });
+        assert!(broke, "50% loss should break agreement for some seed");
+    }
+
+    #[test]
+    fn crashed_robots_excluded_from_agreement() {
+        let positions = lattice(3, 4, 60.0);
+        let targets: Vec<Point> = positions.iter().map(|q| p(q.x + 700.0, q.y)).collect();
+        // Crash a corner robot before the protocol starts: the rest
+        // still agree (on totals that exclude the crashed robot).
+        let plan = FaultPlan::reliable(0).with_crash(0, 11);
+        let out = distributed_objective_under_faults(&positions, &targets, 80.0, plan).unwrap();
+        assert!(out.agreement, "live robots agree among themselves");
+        assert!(out.stats.dropped_crash > 0);
+        let ideal = distributed_objective(&positions, &targets, 80.0).unwrap();
+        assert!(
+            out.total_distance < ideal.total_distance,
+            "crashed robot's leg is missing from the total"
+        );
     }
 
     #[test]

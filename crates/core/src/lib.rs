@@ -53,6 +53,7 @@ mod baselines;
 mod distributed;
 mod energy;
 mod error;
+mod faultsweep;
 mod metrics;
 mod mission;
 mod pipeline;
@@ -63,9 +64,13 @@ mod resilience;
 mod trajectory;
 
 pub use baselines::{direct_translation, hungarian_direct};
-pub use distributed::{distributed_objective, DistributedObjective};
+pub use distributed::{
+    distributed_objective, distributed_objective_under_faults, DistributedObjective,
+    FaultyObjective,
+};
 pub use energy::{EnergyModel, EnergyReport};
 pub use error::MarchError;
+pub use faultsweep::{run_fault_sweep, FaultSweepReport, ProtocolGrid, SurvivalStats, SweepConfig};
 pub use metrics::{edge_stretch_stats, evaluate_timeline, StretchStats, TransitionMetrics};
 pub use mission::{march_mission, Mission, MissionMetrics, MissionOutcome};
 pub use pipeline::{march, MarchOutcome, Method};

@@ -7,6 +7,8 @@
 //! articulation robots (single points of failure), biconnectivity, and
 //! an explicit failure-injection check.
 
+use crate::faultsweep::{run_fault_sweep, ProtocolGrid, SweepConfig};
+use anr_distsim::SimError;
 use anr_geom::Point;
 use anr_netgraph::{
     articulation_points, is_biconnected, vertex_connectivity_estimate, UnitDiskGraph,
@@ -25,10 +27,20 @@ pub struct ResilienceReport {
     pub vertex_connectivity: usize,
     /// Minimum robot degree.
     pub min_degree: usize,
+    /// Protocol-level survival: rounds-to-quiescence and message
+    /// overhead of the robust marching protocols as functions of loss
+    /// rate and crash count. Empty unless the report was built with
+    /// [`with_protocol_survival`](Self::with_protocol_survival).
+    pub protocol_survival: Vec<ProtocolGrid>,
 }
 
 impl ResilienceReport {
     /// Analyzes a deployment with communication range `range`.
+    ///
+    /// The structural metrics only; [`Self::protocol_survival`] stays
+    /// empty. Use
+    /// [`with_protocol_survival`](Self::with_protocol_survival) to also
+    /// run the fault sweep.
     ///
     /// # Panics
     ///
@@ -41,7 +53,29 @@ impl ResilienceReport {
             biconnected: is_biconnected(&g),
             vertex_connectivity: vertex_connectivity_estimate(&g),
             min_degree: (0..g.len()).map(|v| g.degree(v)).min().unwrap_or(0),
+            protocol_survival: Vec::new(),
         }
+    }
+
+    /// Like [`of`](Self::of), but additionally runs the fault sweep of
+    /// [`run_fault_sweep`](crate::run_fault_sweep) and attaches the
+    /// resulting per-protocol survival grids.
+    ///
+    /// # Errors
+    ///
+    /// Simulator/plan errors from the sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range <= 0` or `positions.len() < 2`.
+    pub fn with_protocol_survival(
+        positions: &[Point],
+        range: f64,
+        config: &SweepConfig,
+    ) -> Result<ResilienceReport, SimError> {
+        let mut report = Self::of(positions, range);
+        report.protocol_survival = run_fault_sweep(positions, range, config)?.protocols;
+        Ok(report)
     }
 }
 
@@ -141,5 +175,39 @@ mod tests {
     fn bad_indices_ignored() {
         let pts = line(3);
         assert!(survives_failures(&pts, 80.0, &[99, 99]));
+    }
+
+    #[test]
+    fn protocol_survival_attaches_grids() {
+        let mut pts = Vec::new();
+        for r in 0..3 {
+            for c in 0..4 {
+                let x = c as f64 * 55.0 + if r % 2 == 1 { 27.5 } else { 0.0 };
+                pts.push(p(x, r as f64 * 48.0));
+            }
+        }
+        let config = SweepConfig {
+            loss_rates: vec![0.0, 0.1],
+            crash_counts: vec![0],
+            seed: 3,
+            ..Default::default()
+        };
+        let report = ResilienceReport::with_protocol_survival(&pts, 80.0, &config).unwrap();
+        // Structural metrics unchanged by the sweep.
+        assert_eq!(
+            ResilienceReport {
+                protocol_survival: Vec::new(),
+                ..report.clone()
+            },
+            ResilienceReport::of(&pts, 80.0)
+        );
+        assert_eq!(report.protocol_survival.len(), 2);
+        for grid in &report.protocol_survival {
+            assert_eq!(grid.cells.len(), 2);
+            assert!(grid.cells.iter().all(|c| c.converged && c.correct));
+            // Loss costs messages relative to the zero-fault baseline.
+            let lossy = grid.cells.iter().find(|c| c.loss_permille == 100).unwrap();
+            assert!(lossy.overhead_permille >= 1000);
+        }
     }
 }

@@ -1,0 +1,256 @@
+//! The lossy, delaying, duplicating channel between outboxes and
+//! delivery.
+//!
+//! [`FaultChannel`] replaces the reliable simulator's single
+//! next-round in-flight buffer with a queue of future delivery slots:
+//! slot 0 is delivered next round, slot `k` in `k + 1` rounds. Every
+//! offered message passes the [`FaultPlan`]'s per-link loss draw, an
+//! optional duplication draw, and a delay draw; all three come from one
+//! seeded splitmix64 stream, so a channel trace is a pure function of
+//! `(plan, offer sequence)`.
+//!
+//! With a [`FaultPlan::is_reliable`] plan the channel makes **zero**
+//! random draws and degenerates to exactly the reliable simulator's
+//! buffer: one slot, same ordering — the property the equivalence tests
+//! pin down.
+
+use crate::fault::{DelayModel, FaultPlan, FaultRng};
+use crate::Envelope;
+
+/// Delivery accounting maintained by the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChannelStats {
+    /// Messages accepted into a delivery slot (duplicates count).
+    pub accepted: usize,
+    /// Messages dropped by the loss model.
+    pub dropped_loss: usize,
+    /// Messages dropped at delivery because the recipient was crashed.
+    pub dropped_crash: usize,
+    /// Extra copies created by the duplication model.
+    pub duplicated: usize,
+    /// Deliveries that suffered a non-zero delay.
+    pub delayed: usize,
+}
+
+/// Seeded fault-injecting message channel.
+#[derive(Debug, Clone)]
+pub struct FaultChannel<M> {
+    plan: FaultPlan,
+    rng: FaultRng,
+    /// `slots[k][recipient]`: envelopes arriving `k + 1` rounds from now.
+    /// Index 0 is the next delivery round (the reliable buffer).
+    slots: std::collections::VecDeque<Vec<Vec<Envelope<M>>>>,
+    n: usize,
+    stats: ChannelStats,
+}
+
+impl<M: Clone> FaultChannel<M> {
+    /// Creates a channel for `n` recipients under `plan`.
+    pub fn new(plan: FaultPlan, n: usize) -> Self {
+        let rng = FaultRng::new(plan.seed);
+        FaultChannel {
+            plan,
+            rng,
+            slots: std::collections::VecDeque::new(),
+            n,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The plan driving this channel.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Offers one `from → to` delivery to the fault model. The message
+    /// may be dropped, delayed, and/or duplicated; surviving copies are
+    /// queued for future delivery.
+    pub fn offer(&mut self, from: usize, to: usize, msg: M) {
+        debug_assert!(to < self.n, "recipient out of range");
+        let p = self.plan.loss_on(from, to);
+        if p > 0.0 && self.rng.unit() < p {
+            self.stats.dropped_loss += 1;
+            return;
+        }
+        let copies = if self.plan.duplication > 0.0 && self.rng.unit() < self.plan.duplication {
+            self.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let delay = match self.plan.delay {
+                DelayModel::None => 0,
+                DelayModel::Fixed(k) => k,
+                DelayModel::Uniform { min, max } => {
+                    if min == max {
+                        min
+                    } else {
+                        self.rng.uniform_usize(min, max)
+                    }
+                }
+            };
+            if delay > 0 {
+                self.stats.delayed += 1;
+            }
+            while self.slots.len() <= delay {
+                self.slots.push_back(vec![Vec::new(); self.n]);
+            }
+            self.slots[delay][to].push(Envelope {
+                from,
+                msg: msg.clone(),
+            });
+            self.stats.accepted += 1;
+        }
+    }
+
+    /// Pops the next round's inboxes. Envelopes addressed to a robot
+    /// marked crashed are dropped (and counted).
+    pub fn deliver_next(&mut self, crashed: &[bool]) -> Vec<Vec<Envelope<M>>> {
+        let mut inboxes = match self.slots.pop_front() {
+            Some(slot) => slot,
+            None => vec![Vec::new(); self.n],
+        };
+        for (to, inbox) in inboxes.iter_mut().enumerate() {
+            if crashed.get(to).copied().unwrap_or(false) && !inbox.is_empty() {
+                self.stats.dropped_crash += inbox.len();
+                inbox.clear();
+            }
+        }
+        inboxes
+    }
+
+    /// Are any deliveries queued (for any future round)?
+    pub fn has_pending(&self) -> bool {
+        self.slots
+            .iter()
+            .any(|slot| slot.iter().any(|ib| !ib.is_empty()))
+    }
+
+    /// Robots with at least one delivery queued towards them, sorted.
+    pub fn pending_recipients(&self) -> Vec<usize> {
+        let mut pending: Vec<usize> = (0..self.n)
+            .filter(|&to| self.slots.iter().any(|slot| !slot[to].is_empty()))
+            .collect();
+        pending.dedup();
+        pending
+    }
+
+    /// Total queued deliveries across all future rounds.
+    pub fn pending_count(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|slot| slot.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_channel_is_a_one_round_buffer() {
+        let mut ch: FaultChannel<u32> = FaultChannel::new(FaultPlan::reliable(1), 3);
+        ch.offer(0, 1, 10);
+        ch.offer(2, 1, 20);
+        ch.offer(1, 0, 30);
+        assert!(ch.has_pending());
+        assert_eq!(ch.pending_recipients(), vec![0, 1]);
+        let inboxes = ch.deliver_next(&[false, false, false]);
+        assert_eq!(inboxes[1].len(), 2);
+        assert_eq!(inboxes[1][0].from, 0);
+        assert_eq!(inboxes[1][1].from, 2);
+        assert_eq!(inboxes[0][0].msg, 30);
+        assert!(!ch.has_pending());
+        assert_eq!(ch.stats().accepted, 3);
+        assert_eq!(ch.stats().dropped_loss, 0);
+    }
+
+    #[test]
+    fn fixed_delay_postpones_delivery() {
+        let plan = FaultPlan::reliable(1).with_delay(DelayModel::Fixed(2));
+        let mut ch: FaultChannel<u32> = FaultChannel::new(plan, 2);
+        ch.offer(0, 1, 5);
+        // Two rounds of nothing, then the message.
+        assert!(ch.deliver_next(&[false, false])[1].is_empty());
+        assert!(ch.deliver_next(&[false, false])[1].is_empty());
+        assert_eq!(ch.deliver_next(&[false, false])[1].len(), 1);
+        assert_eq!(ch.stats().delayed, 1);
+    }
+
+    #[test]
+    fn crashed_recipient_drops_at_delivery() {
+        let mut ch: FaultChannel<u32> = FaultChannel::new(FaultPlan::reliable(1), 2);
+        ch.offer(0, 1, 5);
+        let inboxes = ch.deliver_next(&[false, true]);
+        assert!(inboxes[1].is_empty());
+        assert_eq!(ch.stats().dropped_crash, 1);
+    }
+
+    #[test]
+    fn loss_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::reliable(seed).with_loss(0.5);
+            let mut ch: FaultChannel<u32> = FaultChannel::new(plan, 2);
+            for i in 0..100 {
+                ch.offer(0, 1, i);
+            }
+            ch.stats()
+        };
+        assert_eq!(run(7), run(7));
+        let s = run(7);
+        assert!(s.dropped_loss > 20 && s.dropped_loss < 80);
+        assert_eq!(s.accepted + s.dropped_loss, 100);
+    }
+
+    #[test]
+    fn duplication_creates_extra_copies() {
+        let plan = FaultPlan::reliable(3).with_duplication(0.5);
+        let mut ch: FaultChannel<u32> = FaultChannel::new(plan, 2);
+        for i in 0..100 {
+            ch.offer(0, 1, i);
+        }
+        let s = ch.stats();
+        assert!(s.duplicated > 20 && s.duplicated < 80);
+        assert_eq!(s.accepted, 100 + s.duplicated);
+    }
+
+    #[test]
+    fn uniform_delay_reorders() {
+        let plan = FaultPlan::reliable(11).with_delay(DelayModel::Uniform { min: 0, max: 3 });
+        let mut ch: FaultChannel<u32> = FaultChannel::new(plan, 2);
+        for i in 0..20 {
+            ch.offer(0, 1, i);
+        }
+        let crashed = [false, false];
+        let mut arrival: Vec<u32> = Vec::new();
+        for _ in 0..5 {
+            arrival.extend(ch.deliver_next(&crashed)[1].iter().map(|e| e.msg));
+        }
+        assert_eq!(arrival.len(), 20, "all messages eventually arrive");
+        let mut sorted = arrival.clone();
+        sorted.sort_unstable();
+        assert_ne!(arrival, sorted, "uniform delay should reorder (seed 11)");
+    }
+
+    #[test]
+    fn per_link_override_applies() {
+        // Global loss stays 0; only link {0, 1} is overridden to 95%.
+        let plan = FaultPlan::reliable(5).with_link_loss(0, 1, 0.95);
+        let mut ch: FaultChannel<u32> = FaultChannel::new(plan, 3);
+        for i in 0..100 {
+            ch.offer(0, 1, i); // lossy link
+            ch.offer(0, 2, i); // clean link
+        }
+        let s = ch.stats();
+        assert!(s.dropped_loss > 70, "95% loss link should drop most");
+        // The clean link delivered everything: accepted >= 100.
+        assert!(s.accepted >= 100);
+    }
+}

@@ -1,0 +1,540 @@
+//! The fault-injecting simulation harness.
+//!
+//! [`FaultySimulator`] runs the same [`Node`] protocols as the reliable
+//! [`Simulator`](crate::Simulator), but routes every send through a
+//! [`FaultChannel`] driven by a [`FaultPlan`]: messages may be lost,
+//! delayed, duplicated, and robots may crash and recover on a schedule.
+//!
+//! Semantics per round `r`:
+//!
+//! 1. churn events scheduled for round `r` take effect (a robot crashed
+//!    at round `r` neither receives nor steps in round `r`);
+//! 2. deliveries queued for this round arrive (those addressed to
+//!    crashed robots are dropped);
+//! 3. every live robot's `on_round` runs; its sends enter the channel.
+//!
+//! Crashed robots keep their protocol state and resume at a scheduled
+//! recovery; messages already in flight towards a robot are dropped
+//! only if it is still crashed at arrival time.
+//!
+//! Under a [`FaultPlan::is_reliable`] plan this harness is
+//! **bit-identical** to [`Simulator`](crate::Simulator): same rounds,
+//! same message counts, same delivery order, same final node states
+//! (pinned down by unit and property tests).
+
+use crate::channel::FaultChannel;
+use crate::fault::{ChurnEvent, ChurnKind, FaultPlan};
+use crate::{Node, Outbox, SimError};
+
+/// Accounting for a fault-injected run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Rounds executed (not counting `on_start`).
+    pub rounds: usize,
+    /// Messages accepted into the channel (after loss; duplicates count).
+    pub sent: usize,
+    /// Messages handed to a live robot's inbox.
+    pub delivered: usize,
+    /// Messages dropped by the loss model.
+    pub dropped_loss: usize,
+    /// Messages dropped because the recipient was crashed at arrival.
+    pub dropped_crash: usize,
+    /// Extra copies created by the duplication model.
+    pub duplicated: usize,
+    /// Deliveries that suffered a non-zero delay.
+    pub delayed: usize,
+    /// Crash events applied.
+    pub crashes: usize,
+    /// Recovery events applied.
+    pub recoveries: usize,
+}
+
+/// Deterministic fault-injecting network simulator.
+#[derive(Debug)]
+pub struct FaultySimulator<N: Node> {
+    nodes: Vec<N>,
+    adjacency: Vec<Vec<usize>>,
+    channel: FaultChannel<N::Msg>,
+    crashed: Vec<bool>,
+    /// Churn events sorted by round (stable, so plan order breaks ties).
+    churn: Vec<ChurnEvent>,
+    churn_cursor: usize,
+    rounds: usize,
+    delivered: usize,
+    crashes: usize,
+    recoveries: usize,
+    started: bool,
+}
+
+impl<N: Node> FaultySimulator<N> {
+    /// Creates a fault-injecting simulator over `nodes` connected by
+    /// `adjacency`, misbehaving per `plan`.
+    ///
+    /// # Errors
+    ///
+    /// The same topology errors as [`Simulator::new`](crate::Simulator::new),
+    /// plus [`SimError::InvalidFaultPlan`] when the plan references
+    /// robots outside the topology.
+    pub fn new(
+        nodes: Vec<N>,
+        adjacency: Vec<Vec<usize>>,
+        plan: FaultPlan,
+    ) -> Result<Self, SimError> {
+        if nodes.len() != adjacency.len() {
+            return Err(SimError::TopologyMismatch {
+                nodes: nodes.len(),
+                adjacency: adjacency.len(),
+            });
+        }
+        for (u, nbrs) in adjacency.iter().enumerate() {
+            for &v in nbrs {
+                if v >= nodes.len() {
+                    return Err(SimError::BadNeighborIndex {
+                        node: u,
+                        neighbor: v,
+                    });
+                }
+                if !adjacency[v].contains(&u) {
+                    return Err(SimError::AsymmetricTopology { from: u, to: v });
+                }
+            }
+        }
+        plan.validate(nodes.len())?;
+        let n = nodes.len();
+        let mut churn = plan.churn.clone();
+        churn.sort_by_key(|ev| ev.round);
+        Ok(FaultySimulator {
+            channel: FaultChannel::new(plan, n),
+            nodes,
+            adjacency,
+            crashed: vec![false; n],
+            churn,
+            churn_cursor: 0,
+            rounds: 0,
+            delivered: 0,
+            crashes: 0,
+            recoveries: 0,
+            started: false,
+        })
+    }
+
+    /// Read access to the nodes.
+    #[inline]
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Mutable access to the nodes.
+    #[inline]
+    pub fn nodes_mut(&mut self) -> &mut [N] {
+        &mut self.nodes
+    }
+
+    /// Consumes the simulator, returning the nodes.
+    pub fn into_nodes(self) -> Vec<N> {
+        self.nodes
+    }
+
+    /// The static communication topology (crashes do not mutate it; see
+    /// [`live_adjacency`](Self::live_adjacency)).
+    #[inline]
+    pub fn adjacency(&self) -> &[Vec<usize>] {
+        &self.adjacency
+    }
+
+    /// The topology restricted to currently live robots: crashed robots
+    /// lose all incident edges — the "mutated" connectivity graph the
+    /// surviving swarm actually has.
+    pub fn live_adjacency(&self) -> Vec<Vec<usize>> {
+        self.adjacency
+            .iter()
+            .enumerate()
+            .map(|(u, nbrs)| {
+                if self.crashed[u] {
+                    Vec::new()
+                } else {
+                    nbrs.iter().copied().filter(|&v| !self.crashed[v]).collect()
+                }
+            })
+            .collect()
+    }
+
+    /// Is robot `i` currently crashed?
+    pub fn is_crashed(&self, i: usize) -> bool {
+        self.crashed[i]
+    }
+
+    /// Indices of currently crashed robots.
+    pub fn crashed_robots(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.crashed[i]).collect()
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> FaultStats {
+        let ch = self.channel.stats();
+        FaultStats {
+            rounds: self.rounds,
+            sent: ch.accepted,
+            delivered: self.delivered,
+            dropped_loss: ch.dropped_loss,
+            dropped_crash: ch.dropped_crash,
+            duplicated: ch.duplicated,
+            delayed: ch.delayed,
+            crashes: self.crashes,
+            recoveries: self.recoveries,
+        }
+    }
+
+    /// Are any deliveries queued for this or a future round?
+    pub fn has_messages_in_flight(&self) -> bool {
+        self.channel.has_pending()
+    }
+
+    /// Robots with deliveries queued towards them.
+    pub fn pending_recipients(&self) -> Vec<usize> {
+        self.channel.pending_recipients()
+    }
+
+    /// Applies churn events scheduled up to and including `round`.
+    fn apply_churn(&mut self, round: usize) {
+        while self.churn_cursor < self.churn.len() && self.churn[self.churn_cursor].round <= round {
+            let ev = self.churn[self.churn_cursor];
+            self.churn_cursor += 1;
+            match ev.kind {
+                ChurnKind::Crash => {
+                    if !self.crashed[ev.robot] {
+                        self.crashed[ev.robot] = true;
+                        self.crashes += 1;
+                    }
+                }
+                ChurnKind::Recover => {
+                    if self.crashed[ev.robot] {
+                        self.crashed[ev.robot] = false;
+                        self.recoveries += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn commit_outbox(&mut self, from: usize, mut out: Outbox<N::Msg>) -> Result<(), SimError> {
+        for (to, msg) in out.take_queued() {
+            if to == crate::BROADCAST {
+                for k in 0..self.adjacency[from].len() {
+                    let nbr = self.adjacency[from][k];
+                    self.channel.offer(from, nbr, msg.clone());
+                }
+            } else {
+                if !self.adjacency[from].contains(&to) {
+                    return Err(SimError::NotANeighbor { from, to });
+                }
+                self.channel.offer(from, to, msg);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `on_start` on every robot live at round 0 (idempotent).
+    /// Robots crashed by a round-0 churn event never start.
+    pub fn start(&mut self) -> Result<(), SimError> {
+        if self.started {
+            return Ok(());
+        }
+        self.started = true;
+        self.apply_churn(0);
+        for i in 0..self.nodes.len() {
+            if self.crashed[i] {
+                continue;
+            }
+            let mut out = Outbox::new();
+            self.nodes[i].on_start(&mut out);
+            self.commit_outbox(i, out)?;
+        }
+        Ok(())
+    }
+
+    /// Executes one round under the fault model; returns the number of
+    /// messages delivered to live robots.
+    ///
+    /// Unlike the reliable simulator, rounds are meaningful even with an
+    /// empty network: protocols with timeouts act on the round counter.
+    ///
+    /// # Errors
+    ///
+    /// Send-validation errors ([`SimError::NotANeighbor`]).
+    pub fn step_round(&mut self) -> Result<usize, SimError> {
+        self.start()?;
+        let round = self.rounds;
+        if round > 0 {
+            self.apply_churn(round);
+        }
+        let inboxes = self.channel.deliver_next(&self.crashed);
+        let delivered: usize = inboxes.iter().map(Vec::len).sum();
+        self.delivered += delivered;
+        for (i, inbox) in inboxes.iter().enumerate() {
+            if self.crashed[i] {
+                debug_assert!(inbox.is_empty(), "crashed robots receive nothing");
+                continue;
+            }
+            let mut out = Outbox::new();
+            self.nodes[i].on_round(round, inbox, &mut out);
+            self.commit_outbox(i, out)?;
+        }
+        self.rounds += 1;
+        Ok(delivered)
+    }
+
+    /// Runs rounds until no deliveries are queued.
+    ///
+    /// Suitable for protocols that are quiescent-by-messages (flooding,
+    /// tokens). Protocols with retransmission timers should use
+    /// [`run_until`](Self::run_until) instead: a timer waiting to fire
+    /// holds no message in flight, so this method would stop early.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotQuiescent`] (with the pending recipients) when
+    /// `max_rounds` is exceeded, plus any send-validation error.
+    pub fn run_until_quiet(&mut self, max_rounds: usize) -> Result<FaultStats, SimError> {
+        self.start()?;
+        let mut rounds_left = max_rounds;
+        while self.channel.has_pending() {
+            if rounds_left == 0 {
+                return Err(SimError::NotQuiescent {
+                    max_rounds,
+                    pending: self.channel.pending_recipients(),
+                });
+            }
+            self.step_round()?;
+            rounds_left -= 1;
+        }
+        Ok(self.stats())
+    }
+
+    /// Runs rounds (delivering empty inboxes when the network is idle,
+    /// so timeouts tick) until `done(nodes)` is true, for at most
+    /// `max_rounds` total rounds.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotQuiescent`] (with the pending recipients) when
+    /// the round cap is reached before convergence, plus any
+    /// send-validation error.
+    pub fn run_until<F>(&mut self, max_rounds: usize, done: F) -> Result<FaultStats, SimError>
+    where
+        F: Fn(&[N]) -> bool,
+    {
+        self.start()?;
+        while !done(&self.nodes) {
+            if self.rounds >= max_rounds {
+                return Err(SimError::NotQuiescent {
+                    max_rounds,
+                    pending: self.channel.pending_recipients(),
+                });
+            }
+            self.step_round()?;
+        }
+        Ok(self.stats())
+    }
+
+    /// Runs exactly `k` rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates send-validation errors.
+    pub fn run_rounds(&mut self, k: usize) -> Result<FaultStats, SimError> {
+        self.start()?;
+        for _ in 0..k {
+            self.step_round()?;
+        }
+        Ok(self.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::DelayModel;
+    use crate::{Envelope, Simulator};
+
+    /// Floods the minimum ID (leader election); counts received.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct MinId {
+        id: usize,
+        min_seen: usize,
+        received: usize,
+    }
+
+    impl Node for MinId {
+        type Msg = usize;
+        fn on_start(&mut self, out: &mut Outbox<usize>) {
+            out.broadcast(self.id);
+        }
+        fn on_round(&mut self, _round: usize, inbox: &[Envelope<usize>], out: &mut Outbox<usize>) {
+            self.received += inbox.len();
+            for env in inbox {
+                if env.msg < self.min_seen {
+                    self.min_seen = env.msg;
+                    out.broadcast(env.msg);
+                }
+            }
+        }
+    }
+
+    fn minid_nodes(n: usize) -> Vec<MinId> {
+        (0..n)
+            .map(|id| MinId {
+                id,
+                min_seen: id,
+                received: 0,
+            })
+            .collect()
+    }
+
+    fn ring(n: usize) -> Vec<Vec<usize>> {
+        (0..n).map(|i| vec![(i + n - 1) % n, (i + 1) % n]).collect()
+    }
+
+    #[test]
+    fn reliable_plan_matches_simulator_exactly() {
+        let n = 9;
+        let mut reliable = Simulator::new(minid_nodes(n), ring(n)).unwrap();
+        let rel_stats = reliable.run_until_quiet(50).unwrap();
+
+        let mut faulty =
+            FaultySimulator::new(minid_nodes(n), ring(n), FaultPlan::reliable(123)).unwrap();
+        let f_stats = faulty.run_until_quiet(50).unwrap();
+
+        assert_eq!(f_stats.rounds, rel_stats.rounds);
+        assert_eq!(f_stats.sent, rel_stats.messages);
+        assert_eq!(f_stats.delivered, rel_stats.messages);
+        assert_eq!(f_stats.dropped_loss + f_stats.dropped_crash, 0);
+        assert_eq!(faulty.into_nodes(), reliable.into_nodes());
+    }
+
+    #[test]
+    fn loss_degrades_but_replays_identically() {
+        let n = 12;
+        let plan = FaultPlan::reliable(7).with_loss(0.4);
+        let run = |plan: FaultPlan| {
+            let mut sim = FaultySimulator::new(minid_nodes(n), ring(n), plan).unwrap();
+            let stats = sim.run_until_quiet(100).unwrap();
+            (stats, sim.into_nodes())
+        };
+        let (s1, n1) = run(plan.clone());
+        let (s2, n2) = run(plan);
+        assert_eq!(s1, s2);
+        assert_eq!(n1, n2);
+        assert!(s1.dropped_loss > 0);
+    }
+
+    #[test]
+    fn crashed_robot_is_silent_and_recovers() {
+        // Path 0-1-2; robot 1 crashes at round 0 and recovers at round 5:
+        // the min-ID flood cannot cross until recovery.
+        let adj = vec![vec![1], vec![0, 2], vec![1]];
+        let plan = FaultPlan::reliable(0).with_crash(0, 1).with_recovery(5, 1);
+        let mut sim = FaultySimulator::new(minid_nodes(3), adj, plan).unwrap();
+        sim.run_rounds(4).unwrap();
+        assert!(sim.is_crashed(1));
+        assert_eq!(sim.nodes()[2].min_seen, 2, "flood blocked by the crash");
+        assert_eq!(sim.live_adjacency(), vec![vec![], vec![], vec![]]);
+
+        // After recovery robot 1 still holds its pre-crash state but it
+        // missed the original broadcasts; nothing new flows on its own.
+        sim.run_rounds(4).unwrap();
+        assert!(!sim.is_crashed(1));
+        let stats = sim.stats();
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.recoveries, 1);
+        assert!(stats.dropped_crash > 0, "round-0 broadcasts to 1 dropped");
+    }
+
+    #[test]
+    fn round_zero_crash_suppresses_on_start() {
+        let plan = FaultPlan::reliable(0).with_crash(0, 0);
+        let mut sim = FaultySimulator::new(minid_nodes(3), ring(3), plan).unwrap();
+        let stats = sim.run_until_quiet(20).unwrap();
+        // Robot 0 sent nothing; the others broadcast normally.
+        assert!(stats.sent < 6 * 3);
+        assert_eq!(sim.nodes()[0].received, 0);
+    }
+
+    #[test]
+    fn fixed_delay_stretches_convergence() {
+        let n = 8;
+        let reliable_rounds = {
+            let mut sim =
+                FaultySimulator::new(minid_nodes(n), ring(n), FaultPlan::reliable(0)).unwrap();
+            sim.run_until_quiet(100).unwrap().rounds
+        };
+        let delayed_rounds = {
+            let plan = FaultPlan::reliable(0).with_delay(DelayModel::Fixed(2));
+            let mut sim = FaultySimulator::new(minid_nodes(n), ring(n), plan).unwrap();
+            sim.run_until_quiet(100).unwrap().rounds
+        };
+        assert!(
+            delayed_rounds > reliable_rounds,
+            "delay {delayed_rounds} vs reliable {reliable_rounds}"
+        );
+    }
+
+    #[test]
+    fn duplication_inflates_delivery_only() {
+        let n = 8;
+        let plan = FaultPlan::reliable(3).with_duplication(0.5);
+        let mut sim = FaultySimulator::new(minid_nodes(n), ring(n), plan).unwrap();
+        let stats = sim.run_until_quiet(100).unwrap();
+        assert!(stats.duplicated > 0);
+        assert_eq!(stats.delivered, stats.sent);
+        // Duplicates never corrupt the outcome: still elects min ID 0.
+        assert!(sim.nodes().iter().all(|nd| nd.min_seen == 0));
+    }
+
+    #[test]
+    fn run_until_predicate_and_cap() {
+        let n = 6;
+        let mut sim =
+            FaultySimulator::new(minid_nodes(n), ring(n), FaultPlan::reliable(0)).unwrap();
+        let stats = sim
+            .run_until(50, |nodes| nodes.iter().all(|nd| nd.min_seen == 0))
+            .unwrap();
+        assert!(stats.rounds <= n);
+
+        // An impossible predicate reports the cap with pending info.
+        let mut sim =
+            FaultySimulator::new(minid_nodes(n), ring(n), FaultPlan::reliable(0)).unwrap();
+        match sim.run_until(3, |_| false) {
+            Err(SimError::NotQuiescent { max_rounds: 3, .. }) => {}
+            other => panic!("expected NotQuiescent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_plan_rejected() {
+        let plan = FaultPlan::reliable(0).with_crash(0, 99);
+        assert!(matches!(
+            FaultySimulator::new(minid_nodes(3), ring(3), plan),
+            Err(SimError::InvalidFaultPlan { .. })
+        ));
+    }
+
+    #[test]
+    fn not_a_neighbor_still_enforced() {
+        struct Bad;
+        impl Node for Bad {
+            type Msg = ();
+            fn on_start(&mut self, out: &mut Outbox<()>) {
+                out.send(2, ());
+            }
+            fn on_round(&mut self, _: usize, _: &[Envelope<()>], _: &mut Outbox<()>) {}
+        }
+        let adj = vec![vec![1], vec![0, 2], vec![1]];
+        let mut sim =
+            FaultySimulator::new(vec![Bad, Bad, Bad], adj, FaultPlan::reliable(0)).unwrap();
+        assert!(matches!(
+            sim.start(),
+            Err(SimError::NotANeighbor { from: 0, to: 2 })
+        ));
+    }
+}

@@ -48,6 +48,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod channel;
+pub mod fault;
+pub mod harness;
+
+pub use channel::FaultChannel;
+pub use fault::{ChurnEvent, ChurnKind, DelayModel, FaultPlan};
+pub use harness::{FaultStats, FaultySimulator};
+
 use std::error::Error;
 use std::fmt;
 
@@ -102,6 +110,11 @@ impl<M> Outbox<M> {
     /// True when nothing is queued.
     pub fn is_empty(&self) -> bool {
         self.queued.is_empty()
+    }
+
+    /// Drains the queued sends (harness internals).
+    pub(crate) fn take_queued(&mut self) -> Vec<(usize, M)> {
+        std::mem::take(&mut self.queued)
     }
 }
 
@@ -175,6 +188,15 @@ pub enum SimError {
     NotQuiescent {
         /// The round limit that was exceeded.
         max_rounds: usize,
+        /// Nodes that still had messages in flight towards them when the
+        /// limit was hit — the first place to look when debugging a
+        /// protocol that fails to terminate (especially under faults).
+        pending: Vec<usize>,
+    },
+    /// A [`fault::FaultPlan`] is inconsistent with the simulation.
+    InvalidFaultPlan {
+        /// Human-readable description of the problem.
+        reason: String,
     },
 }
 
@@ -193,8 +215,20 @@ impl fmt::Display for SimError {
             SimError::NotANeighbor { from, to } => {
                 write!(f, "node {from} sent to non-neighbor {to}")
             }
-            SimError::NotQuiescent { max_rounds } => {
-                write!(f, "protocol still active after {max_rounds} rounds")
+            SimError::NotQuiescent {
+                max_rounds,
+                pending,
+            } => {
+                write!(
+                    f,
+                    "protocol still active after {max_rounds} rounds \
+                     ({} node(s) with messages in flight: {:?})",
+                    pending.len(),
+                    pending
+                )
+            }
+            SimError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason}")
             }
         }
     }
@@ -321,6 +355,16 @@ impl<N: Node> Simulator<N> {
         self.in_flight.iter().any(|ib| !ib.is_empty())
     }
 
+    /// Nodes with at least one message in flight towards them.
+    pub fn pending_recipients(&self) -> Vec<usize> {
+        self.in_flight
+            .iter()
+            .enumerate()
+            .filter(|(_, ib)| !ib.is_empty())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     fn commit_outbox(&mut self, from: usize, out: Outbox<N::Msg>) -> Result<(), SimError> {
         for (to, msg) in out.queued {
             if to == BROADCAST {
@@ -394,7 +438,10 @@ impl<N: Node> Simulator<N> {
         let mut rounds_left = max_rounds;
         while self.has_messages_in_flight() {
             if rounds_left == 0 {
-                return Err(SimError::NotQuiescent { max_rounds });
+                return Err(SimError::NotQuiescent {
+                    max_rounds,
+                    pending: self.pending_recipients(),
+                });
             }
             self.step_round()?;
             rounds_left -= 1;
@@ -512,10 +559,17 @@ mod tests {
     fn non_quiescent_protocol_hits_limit() {
         let nodes = vec![PingPong, PingPong];
         let mut sim = Simulator::new(nodes, vec![vec![1], vec![0]]).unwrap();
-        assert!(matches!(
-            sim.run_until_quiet(50),
-            Err(SimError::NotQuiescent { max_rounds: 50 })
-        ));
+        match sim.run_until_quiet(50) {
+            Err(SimError::NotQuiescent {
+                max_rounds,
+                pending,
+            }) => {
+                assert_eq!(max_rounds, 50);
+                // Both ping-pong nodes still have a message inbound.
+                assert_eq!(pending, vec![0, 1]);
+            }
+            other => panic!("expected NotQuiescent, got {other:?}"),
+        }
         assert_eq!(sim.stats().rounds, 50);
     }
 

@@ -1,7 +1,9 @@
 //! Property tests for the message-passing simulator: delivery
-//! accounting, loss statistics and deterministic replay.
+//! accounting, loss statistics, deterministic replay, and the
+//! fault-harness ≡ reliable-simulator equivalence under a zero-fault
+//! plan.
 
-use anr_distsim::{Envelope, Node, Outbox, SimStats, Simulator};
+use anr_distsim::{Envelope, FaultPlan, FaultySimulator, Node, Outbox, SimStats, Simulator};
 use proptest::prelude::*;
 
 /// Node that broadcasts once and counts what it receives.
@@ -21,6 +23,76 @@ impl Node for OneShot {
 
 fn ring(n: usize) -> Vec<Vec<usize>> {
     (0..n).map(|i| vec![(i + n - 1) % n, (i + 1) % n]).collect()
+}
+
+/// Gossip node whose state captures the *exact* delivery trace: every
+/// received envelope in order. Any divergence in scheduling between two
+/// runs shows up as a state difference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Gossip {
+    id: usize,
+    min_seen: usize,
+    trace: Vec<(usize, usize)>,
+}
+
+impl Node for Gossip {
+    type Msg = usize;
+    fn on_start(&mut self, out: &mut Outbox<usize>) {
+        out.broadcast(self.id);
+    }
+    fn on_round(&mut self, _round: usize, inbox: &[Envelope<usize>], out: &mut Outbox<usize>) {
+        for env in inbox {
+            self.trace.push((env.from, env.msg));
+            if env.msg < self.min_seen {
+                self.min_seen = env.msg;
+                out.broadcast(env.msg);
+            }
+        }
+    }
+}
+
+fn gossip_nodes(n: usize) -> Vec<Gossip> {
+    (0..n)
+        .map(|id| Gossip {
+            id,
+            min_seen: id,
+            trace: Vec::new(),
+        })
+        .collect()
+}
+
+/// A path `0-1-…-(n-1)` plus `extra` seeded chords: always connected,
+/// shape varies with the seed.
+fn random_connected(n: usize, extra: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut adj: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            let mut v = Vec::new();
+            if i > 0 {
+                v.push(i - 1);
+            }
+            if i + 1 < n {
+                v.push(i + 1);
+            }
+            v
+        })
+        .collect();
+    let mut state = seed ^ 0x9E3779B97F4A7C15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    for _ in 0..extra {
+        let u = (next() % n as u64) as usize;
+        let v = (next() % n as u64) as usize;
+        if u != v && !adj[u].contains(&v) {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+    }
+    adj
 }
 
 fn run(n: usize, loss: f64, seed: u64) -> (SimStats, Vec<usize>) {
@@ -57,6 +129,35 @@ proptest! {
         let b = run(n, loss, seed);
         prop_assert_eq!(a.0, b.0);
         prop_assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_reliable_simulator(
+        n in 3usize..32,
+        extra_edges in 0usize..12,
+        topo_seed in 0u64..1000,
+        plan_seed in 0u64..1000,
+    ) {
+        // Random connected topology: a path plus seeded chords.
+        let adj = random_connected(n, extra_edges, topo_seed);
+
+        let mut reliable = Simulator::new(gossip_nodes(n), adj.clone()).unwrap();
+        let rel_stats = reliable.run_until_quiet(4 * n + 8).unwrap();
+
+        // The zero-fault plan must reproduce the trace exactly,
+        // regardless of its seed (no random draws may be consumed).
+        let mut faulty =
+            FaultySimulator::new(gossip_nodes(n), adj, FaultPlan::reliable(plan_seed)).unwrap();
+        let f_stats = faulty.run_until_quiet(4 * n + 8).unwrap();
+
+        prop_assert_eq!(f_stats.rounds, rel_stats.rounds, "round counts differ");
+        prop_assert_eq!(f_stats.sent, rel_stats.messages, "sent counts differ");
+        prop_assert_eq!(f_stats.delivered, rel_stats.messages, "delivered counts differ");
+        prop_assert_eq!(f_stats.dropped_loss, 0);
+        prop_assert_eq!(f_stats.dropped_crash, 0);
+        prop_assert_eq!(f_stats.duplicated, 0);
+        prop_assert_eq!(f_stats.delayed, 0);
+        prop_assert_eq!(faulty.into_nodes(), reliable.into_nodes(), "final states differ");
     }
 
     #[test]

@@ -163,7 +163,7 @@ pub fn distributed_harmonic_map(
         Simulator::new(nodes, adjacency).expect("mesh adjacency is symmetric and in range");
     let stats = match sim.run_until_quiet(config.max_rounds) {
         Ok(stats) => stats,
-        Err(SimError::NotQuiescent { max_rounds }) => {
+        Err(SimError::NotQuiescent { max_rounds, .. }) => {
             return Err(HarmonicError::NotConverged {
                 iterations: max_rounds,
                 residual: f64::NAN,

@@ -42,6 +42,7 @@
 mod biconnectivity;
 mod graph;
 pub mod protocols;
+pub mod robust;
 mod triangulation;
 mod unionfind;
 

@@ -1,0 +1,871 @@
+//! Loss-tolerant variants of the paper's distributed protocols.
+//!
+//! The protocols in [`crate::protocols`] assume the idealized
+//! synchronous network of Sec. III: every message sent is delivered one
+//! round later. This module wraps each of them in the standard
+//! end-to-end machinery real swarms use — **per-link acknowledgements
+//! with timeout retransmission**, plus an initiator-level **timeout
+//! restart** for the boundary token — so they survive the lossy,
+//! delaying, duplicating, churning networks modeled by
+//! [`anr_distsim::FaultPlan`]:
+//!
+//! * [`RobustFloodNode`] — ack/retransmit value flooding; converges to
+//!   the same per-robot sums as [`crate::protocols::FloodNode`] on the
+//!   reliable network.
+//! * [`RobustHopFieldNode`] — ack/retransmit multi-source BFS; converges
+//!   to the same hop field as [`crate::protocols::HopFieldNode`].
+//! * [`RobustBoundaryLoopNode`] — the boundary-sizing token with per-hop
+//!   acks and an initiator restart timer; converges to the same
+//!   (index, loop size) labels as [`crate::protocols::BoundaryLoopNode`].
+//!
+//! All three are *idempotent at the receiver* (duplicates are re-acked
+//! but change no state), which is what makes retransmission and
+//! duplication safe.
+//!
+//! Because a pending retransmission holds no message in flight, these
+//! protocols are **not** quiescent-by-messages: run them with
+//! [`FaultySimulator::run_until`] and the convergence predicates
+//! provided by the runner functions, not `run_until_quiet`.
+
+use anr_distsim::{Envelope, FaultPlan, FaultStats, FaultySimulator, Node, Outbox, SimError};
+
+/// Retransmission policy shared by the robust protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetransmitConfig {
+    /// Rounds to wait for an ack before resending.
+    pub interval: usize,
+    /// Resends per message before giving up on that neighbor.
+    pub max_retries: usize,
+}
+
+impl Default for RetransmitConfig {
+    fn default() -> Self {
+        RetransmitConfig {
+            interval: 4,
+            max_retries: 12,
+        }
+    }
+}
+
+/// One un-acknowledged send awaiting retransmission.
+#[derive(Debug, Clone, PartialEq)]
+struct PendingSend<M> {
+    to: usize,
+    msg: M,
+    resend_at: usize,
+    retries: usize,
+}
+
+/// Drives the shared retransmit loop: resends due entries, drops
+/// entries that exhausted their retries. Returns sends to make.
+fn tick_retransmits<M: Clone>(
+    pending: &mut Vec<PendingSend<M>>,
+    round: usize,
+    cfg: &RetransmitConfig,
+    out: &mut Outbox<M>,
+) {
+    pending.retain_mut(|entry| {
+        if round >= entry.resend_at {
+            if entry.retries >= cfg.max_retries {
+                return false; // give up on this neighbor
+            }
+            entry.retries += 1;
+            entry.resend_at = round + cfg.interval;
+            out.send(entry.to, entry.msg.clone());
+        }
+        true
+    });
+}
+
+// ---------------------------------------------------------------------
+// Ack/retransmit value flooding
+// ---------------------------------------------------------------------
+
+/// Message of the robust flooding protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RFloodMsg {
+    /// A `(robot id, value)` record being disseminated.
+    Data {
+        /// Robot the record originates from.
+        origin: usize,
+        /// That robot's value.
+        value: f64,
+    },
+    /// Acknowledges receipt of the record originating at `origin`.
+    Ack {
+        /// Origin of the acknowledged record.
+        origin: usize,
+    },
+}
+
+/// Loss-tolerant [`FloodNode`](crate::protocols::FloodNode): every
+/// record is sent per-neighbor and retransmitted until acknowledged (or
+/// retries are exhausted).
+#[derive(Debug, Clone)]
+pub struct RobustFloodNode {
+    /// This node's ID.
+    pub id: usize,
+    /// All values learned so far, indexed by robot ID.
+    pub known: Vec<Option<f64>>,
+    cfg: RetransmitConfig,
+    pending: Vec<PendingSend<RFloodMsg>>,
+    neighbors: Vec<usize>,
+}
+
+impl RobustFloodNode {
+    /// Creates a participant for a network of `n` robots; `neighbors`
+    /// are this node's topology neighbors (acks are per-link).
+    pub fn new(
+        id: usize,
+        value: f64,
+        n: usize,
+        neighbors: Vec<usize>,
+        cfg: RetransmitConfig,
+    ) -> Self {
+        let mut known = vec![None; n];
+        known[id] = Some(value);
+        RobustFloodNode {
+            id,
+            known,
+            cfg,
+            pending: Vec::new(),
+            neighbors,
+        }
+    }
+
+    /// Sum of all known values.
+    pub fn sum(&self) -> f64 {
+        self.known.iter().flatten().sum()
+    }
+
+    /// Does this node know every robot's value?
+    pub fn is_complete(&self) -> bool {
+        self.known.iter().all(Option::is_some)
+    }
+
+    /// No more retransmissions outstanding?
+    pub fn is_settled(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    fn queue_record(
+        &mut self,
+        origin: usize,
+        value: f64,
+        except: Option<usize>,
+        out: &mut Outbox<RFloodMsg>,
+    ) {
+        for k in 0..self.neighbors.len() {
+            let nbr = self.neighbors[k];
+            if Some(nbr) == except {
+                continue;
+            }
+            let msg = RFloodMsg::Data { origin, value };
+            out.send(nbr, msg.clone());
+            self.pending.push(PendingSend {
+                to: nbr,
+                msg,
+                resend_at: self.cfg.interval,
+                retries: 0,
+            });
+        }
+    }
+}
+
+impl Node for RobustFloodNode {
+    type Msg = RFloodMsg;
+
+    fn on_start(&mut self, out: &mut Outbox<RFloodMsg>) {
+        let value = self.known[self.id].expect("own value is set");
+        let origin = self.id;
+        self.queue_record(origin, value, None, out);
+    }
+
+    fn on_round(
+        &mut self,
+        round: usize,
+        inbox: &[Envelope<RFloodMsg>],
+        out: &mut Outbox<RFloodMsg>,
+    ) {
+        for env in inbox {
+            match env.msg {
+                RFloodMsg::Data { origin, value } => {
+                    // Always ack — duplicates mean a lost ack.
+                    out.send(env.from, RFloodMsg::Ack { origin });
+                    if self.known[origin].is_none() {
+                        self.known[origin] = Some(value);
+                        self.queue_record(origin, value, Some(env.from), out);
+                        // Fix up resend times queued during on_round:
+                        // they count from the current round.
+                        for entry in &mut self.pending {
+                            if entry.resend_at < round + self.cfg.interval {
+                                entry.resend_at = round + self.cfg.interval;
+                            }
+                        }
+                    }
+                }
+                RFloodMsg::Ack { origin } => {
+                    self.pending.retain(|e| {
+                        !(e.to == env.from
+                            && matches!(e.msg, RFloodMsg::Data { origin: o, .. } if o == origin))
+                    });
+                }
+            }
+        }
+        tick_retransmits(&mut self.pending, round, &self.cfg, out);
+    }
+}
+
+/// Outcome of a robust protocol run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustRunOutcome<T> {
+    /// The per-robot protocol results.
+    pub results: T,
+    /// Fault-harness accounting (rounds, messages, drops, churn).
+    pub stats: FaultStats,
+}
+
+/// Runs ack/retransmit flooding of `values` over `adjacency` under
+/// `plan`; returns each robot's learned sum.
+///
+/// Convergence means every *live* robot learned every value it can
+/// reach and no retransmissions remain outstanding. Robots crashed at
+/// the end are reported with whatever they knew when they crashed.
+///
+/// # Errors
+///
+/// Propagates harness errors; [`SimError::NotQuiescent`] when the
+/// protocol does not converge within `max_rounds` (e.g. loss so heavy
+/// that retries are exhausted).
+pub fn run_robust_flood_sum(
+    values: &[f64],
+    adjacency: &[Vec<usize>],
+    plan: FaultPlan,
+    cfg: RetransmitConfig,
+    max_rounds: usize,
+) -> Result<RobustRunOutcome<Vec<f64>>, SimError> {
+    let n = values.len();
+    let nodes: Vec<RobustFloodNode> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| RobustFloodNode::new(i, v, n, adjacency[i].clone(), cfg))
+        .collect();
+    let mut sim = FaultySimulator::new(nodes, adjacency.to_vec(), plan)?;
+    let stats = sim.run_until(max_rounds, |nodes| {
+        nodes.iter().all(RobustFloodNode::is_settled)
+    })?;
+    // Drain the tail: in-flight acks/dups may still be delivered.
+    let stats = sim.run_until_quiet(max_rounds.saturating_sub(stats.rounds))?;
+    Ok(RobustRunOutcome {
+        results: sim.into_nodes().iter().map(RobustFloodNode::sum).collect(),
+        stats,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Ack/retransmit multi-source hop field
+// ---------------------------------------------------------------------
+
+/// Message of the robust hop-field protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RHopMsg {
+    /// "Your distance to a source is at most this."
+    Dist(usize),
+    /// Acknowledges a [`RHopMsg::Dist`] carrying this value.
+    DistAck(usize),
+}
+
+/// Loss-tolerant [`HopFieldNode`](crate::protocols::HopFieldNode):
+/// distance improvements are sent per-neighbor with ack/retransmit.
+#[derive(Debug, Clone)]
+pub struct RobustHopFieldNode {
+    /// Whether this node is a source (hop 0).
+    pub is_source: bool,
+    /// Learned hop distance to the nearest source.
+    pub hops: Option<usize>,
+    cfg: RetransmitConfig,
+    pending: Vec<PendingSend<RHopMsg>>,
+    neighbors: Vec<usize>,
+}
+
+impl RobustHopFieldNode {
+    /// Creates a participant with the given topology neighbors.
+    pub fn new(is_source: bool, neighbors: Vec<usize>, cfg: RetransmitConfig) -> Self {
+        RobustHopFieldNode {
+            is_source,
+            hops: None,
+            cfg,
+            pending: Vec::new(),
+            neighbors,
+        }
+    }
+
+    /// No more retransmissions outstanding?
+    pub fn is_settled(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    fn propagate(&mut self, base_round: usize, except: Option<usize>, out: &mut Outbox<RHopMsg>) {
+        let d = self.hops.expect("propagate only after hops set") + 1;
+        for k in 0..self.neighbors.len() {
+            let nbr = self.neighbors[k];
+            if Some(nbr) == except {
+                continue;
+            }
+            // Replace any stale pending towards this neighbor: only the
+            // newest (smallest) distance matters.
+            self.pending.retain(|e| e.to != nbr);
+            out.send(nbr, RHopMsg::Dist(d));
+            self.pending.push(PendingSend {
+                to: nbr,
+                msg: RHopMsg::Dist(d),
+                resend_at: base_round + self.cfg.interval,
+                retries: 0,
+            });
+        }
+    }
+}
+
+impl Node for RobustHopFieldNode {
+    type Msg = RHopMsg;
+
+    fn on_start(&mut self, out: &mut Outbox<RHopMsg>) {
+        if self.is_source {
+            self.hops = Some(0);
+            self.propagate(0, None, out);
+        }
+    }
+
+    fn on_round(&mut self, round: usize, inbox: &[Envelope<RHopMsg>], out: &mut Outbox<RHopMsg>) {
+        for env in inbox {
+            match env.msg {
+                RHopMsg::Dist(d) => {
+                    out.send(env.from, RHopMsg::DistAck(d));
+                    if self.hops.is_none_or(|h| d < h) {
+                        self.hops = Some(d);
+                        self.propagate(round, Some(env.from), out);
+                    }
+                }
+                RHopMsg::DistAck(d) => {
+                    self.pending
+                        .retain(|e| !(e.to == env.from && e.msg == RHopMsg::Dist(d)));
+                }
+            }
+        }
+        tick_retransmits(&mut self.pending, round, &self.cfg, out);
+    }
+}
+
+/// Runs the ack/retransmit hop field; `None` entries mark robots that
+/// never heard from any source (isolated, or cut off by churn).
+///
+/// # Errors
+///
+/// Propagates harness errors; [`SimError::NotQuiescent`] when the
+/// protocol does not settle within `max_rounds`.
+pub fn run_robust_hop_field(
+    sources: &[bool],
+    adjacency: &[Vec<usize>],
+    plan: FaultPlan,
+    cfg: RetransmitConfig,
+    max_rounds: usize,
+) -> Result<RobustRunOutcome<Vec<Option<usize>>>, SimError> {
+    let nodes: Vec<RobustHopFieldNode> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, &is_source)| RobustHopFieldNode::new(is_source, adjacency[i].clone(), cfg))
+        .collect();
+    let mut sim = FaultySimulator::new(nodes, adjacency.to_vec(), plan)?;
+    let stats = sim.run_until(max_rounds, |nodes| {
+        nodes.iter().all(RobustHopFieldNode::is_settled)
+    })?;
+    let stats = sim.run_until_quiet(max_rounds.saturating_sub(stats.rounds))?;
+    Ok(RobustRunOutcome {
+        results: sim.into_nodes().into_iter().map(|nd| nd.hops).collect(),
+        stats,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Boundary token with per-hop acks and initiator restart
+// ---------------------------------------------------------------------
+
+/// Message of the robust boundary-loop protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RLoopMsg {
+    /// Hop-counting token: (initiator, hops so far, launch attempt).
+    Token {
+        /// Initiating boundary vertex.
+        initiator: usize,
+        /// Hops travelled when this message was sent.
+        hops: usize,
+        /// Restart attempt this token belongs to.
+        attempt: usize,
+    },
+    /// Per-hop ack of a token with this (hops, attempt).
+    TokenAck {
+        /// Acknowledged hop count.
+        hops: usize,
+        /// Acknowledged attempt.
+        attempt: usize,
+    },
+    /// Loop-size announcement travelling the loop once more.
+    Size {
+        /// The loop length.
+        size: usize,
+        /// Attempt the size flood belongs to.
+        attempt: usize,
+    },
+    /// Per-hop ack of a size announcement.
+    SizeAck {
+        /// Acknowledged attempt.
+        attempt: usize,
+    },
+}
+
+/// Loss-tolerant [`BoundaryLoopNode`](crate::protocols::BoundaryLoopNode):
+/// the hop-counting token is acknowledged hop-by-hop and retransmitted;
+/// the initiator additionally restarts the whole token (with a fresh
+/// attempt number) if it does not return within `restart_after` rounds
+/// — the backstop for a token that died when a hop exhausted its
+/// retries or a robot crashed mid-loop.
+#[derive(Debug, Clone)]
+pub struct RobustBoundaryLoopNode {
+    /// This node's ID (simulator index).
+    pub id: usize,
+    /// Whether this node launches the token.
+    pub is_initiator: bool,
+    /// Successor on the boundary loop.
+    pub next: usize,
+    /// Learned position along the loop (initiator = 0).
+    pub index: Option<usize>,
+    /// Learned loop size.
+    pub loop_size: Option<usize>,
+    cfg: RetransmitConfig,
+    /// Rounds the initiator waits for its token before restarting.
+    restart_after: usize,
+    /// Restart attempts the initiator may make.
+    max_attempts: usize,
+    attempt: usize,
+    /// Attempt for which this node already forwarded the token.
+    token_done_attempt: Option<usize>,
+    /// Attempt for which this node already forwarded the size.
+    size_done_attempt: Option<usize>,
+    /// True on the initiator once its own token returned.
+    token_returned: bool,
+    /// True on the initiator once the size announcement returned.
+    size_returned: bool,
+    launched_at: usize,
+    pending: Vec<PendingSend<RLoopMsg>>,
+}
+
+impl RobustBoundaryLoopNode {
+    /// Creates a participant.
+    ///
+    /// `restart_after` is the initiator's token timeout in rounds (a
+    /// generous bound is `(loop length + 2) × (interval + 1)`);
+    /// `max_attempts` bounds restarts.
+    pub fn new(
+        id: usize,
+        is_initiator: bool,
+        next: usize,
+        cfg: RetransmitConfig,
+        restart_after: usize,
+        max_attempts: usize,
+    ) -> Self {
+        RobustBoundaryLoopNode {
+            id,
+            is_initiator,
+            next,
+            index: None,
+            loop_size: None,
+            cfg,
+            restart_after,
+            max_attempts,
+            attempt: 0,
+            token_done_attempt: None,
+            size_done_attempt: None,
+            token_returned: false,
+            size_returned: false,
+            launched_at: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Has this node learned everything and stopped transmitting?
+    pub fn is_settled(&self) -> bool {
+        self.index.is_some() && self.loop_size.is_some() && self.pending.is_empty()
+    }
+
+    fn send_tracked(
+        &mut self,
+        to: usize,
+        msg: RLoopMsg,
+        base_round: usize,
+        out: &mut Outbox<RLoopMsg>,
+    ) {
+        out.send(to, msg);
+        self.pending.push(PendingSend {
+            to,
+            msg,
+            resend_at: base_round + self.cfg.interval,
+            retries: 0,
+        });
+    }
+
+    fn launch_token(&mut self, round: usize, out: &mut Outbox<RLoopMsg>) {
+        self.launched_at = round;
+        // Drop any stale token pending from the previous attempt.
+        let next = self.next;
+        self.pending
+            .retain(|e| !matches!(e.msg, RLoopMsg::Token { .. }) || e.to != next);
+        self.send_tracked(
+            self.next,
+            RLoopMsg::Token {
+                initiator: self.id,
+                hops: 1,
+                attempt: self.attempt,
+            },
+            round,
+            out,
+        );
+    }
+}
+
+impl Node for RobustBoundaryLoopNode {
+    type Msg = RLoopMsg;
+
+    fn on_start(&mut self, out: &mut Outbox<RLoopMsg>) {
+        if self.is_initiator {
+            self.index = Some(0);
+            self.launch_token(0, out);
+        }
+    }
+
+    fn on_round(&mut self, round: usize, inbox: &[Envelope<RLoopMsg>], out: &mut Outbox<RLoopMsg>) {
+        for env in inbox {
+            match env.msg {
+                RLoopMsg::Token {
+                    initiator,
+                    hops,
+                    attempt,
+                } => {
+                    // Ack every token copy — a duplicate means the ack
+                    // was lost or the predecessor retransmitted.
+                    out.send(env.from, RLoopMsg::TokenAck { hops, attempt });
+                    if initiator == self.id {
+                        // Our token came home: the loop has `hops` nodes.
+                        if attempt == self.attempt && !self.token_returned {
+                            self.token_returned = true;
+                            self.loop_size = Some(hops);
+                            self.size_done_attempt = Some(attempt);
+                            self.send_tracked(
+                                self.next,
+                                RLoopMsg::Size {
+                                    size: hops,
+                                    attempt,
+                                },
+                                round,
+                                out,
+                            );
+                        }
+                    } else if self.token_done_attempt.is_none_or(|done| attempt > done) {
+                        self.attempt = attempt;
+                        self.token_done_attempt = Some(attempt);
+                        self.index = Some(hops);
+                        self.send_tracked(
+                            self.next,
+                            RLoopMsg::Token {
+                                initiator,
+                                hops: hops + 1,
+                                attempt,
+                            },
+                            round,
+                            out,
+                        );
+                    }
+                }
+                RLoopMsg::TokenAck { hops, attempt } => {
+                    self.pending.retain(|e| {
+                        !(e.to == env.from
+                            && matches!(
+                                e.msg,
+                                RLoopMsg::Token { hops: h, attempt: a, .. }
+                                    if h == hops && a == attempt
+                            ))
+                    });
+                }
+                RLoopMsg::Size { size, attempt } => {
+                    out.send(env.from, RLoopMsg::SizeAck { attempt });
+                    if self.is_initiator {
+                        // The announcement survived the whole loop.
+                        self.size_returned = true;
+                        self.pending
+                            .retain(|e| !matches!(e.msg, RLoopMsg::Size { .. }));
+                    } else {
+                        self.loop_size = Some(size);
+                        // Forward (again, if need be): a re-flooded size
+                        // must pass through nodes that already know it.
+                        if self.size_done_attempt.is_none_or(|done| attempt > done)
+                            || !self
+                                .pending
+                                .iter()
+                                .any(|e| matches!(e.msg, RLoopMsg::Size { .. }))
+                        {
+                            self.size_done_attempt = Some(attempt);
+                            self.pending
+                                .retain(|e| !matches!(e.msg, RLoopMsg::Size { .. }));
+                            self.send_tracked(
+                                self.next,
+                                RLoopMsg::Size { size, attempt },
+                                round,
+                                out,
+                            );
+                        }
+                    }
+                }
+                RLoopMsg::SizeAck { attempt } => {
+                    self.pending.retain(|e| {
+                        !(e.to == env.from
+                            && matches!(e.msg, RLoopMsg::Size { attempt: a, .. } if a == attempt))
+                    });
+                }
+            }
+        }
+        // Initiator restart timer: the token vanished somewhere.
+        if self.is_initiator
+            && !self.token_returned
+            && round >= self.launched_at + self.restart_after
+            && self.attempt + 1 < self.max_attempts
+        {
+            self.attempt += 1;
+            self.launch_token(round, out);
+        }
+        tick_retransmits(&mut self.pending, round, &self.cfg, out);
+    }
+}
+
+/// Runs the robust boundary-loop protocol over a cyclic order of
+/// boundary-vertex IDs (the smallest ID initiates, as in the paper).
+/// Returns `(index, loop size)` per vertex in `ids` order.
+///
+/// # Errors
+///
+/// Propagates harness errors; [`SimError::NotQuiescent`] when the loop
+/// is not labeled within `max_rounds`.
+///
+/// # Panics
+///
+/// Panics when `ids.len() < 3`.
+pub fn run_robust_boundary_loop(
+    ids: &[usize],
+    plan: FaultPlan,
+    cfg: RetransmitConfig,
+    max_rounds: usize,
+) -> Result<RobustRunOutcome<Vec<(usize, usize)>>, SimError> {
+    let n = ids.len();
+    assert!(n >= 3, "a boundary loop needs at least 3 vertices");
+    let initiator_pos = ids
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &id)| id)
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let restart_after = (n + 2) * (cfg.interval + 1);
+    let nodes: Vec<RobustBoundaryLoopNode> = (0..n)
+        .map(|i| {
+            RobustBoundaryLoopNode::new(i, i == initiator_pos, (i + 1) % n, cfg, restart_after, 16)
+        })
+        .collect();
+    let adjacency: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + n - 1) % n, (i + 1) % n]).collect();
+    let mut sim = FaultySimulator::new(nodes, adjacency, plan)?;
+    let stats = sim.run_until(max_rounds, |nodes| {
+        nodes.iter().all(RobustBoundaryLoopNode::is_settled)
+    })?;
+    let stats = sim.run_until_quiet(max_rounds.saturating_sub(stats.rounds))?;
+    Ok(RobustRunOutcome {
+        results: sim
+            .into_nodes()
+            .into_iter()
+            .map(|nd| {
+                (
+                    nd.index.expect("settled nodes have an index"),
+                    nd.loop_size.expect("settled nodes know the size"),
+                )
+            })
+            .collect(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::{run_boundary_loop, run_flood_sum, run_hop_field};
+    use crate::UnitDiskGraph;
+    use anr_distsim::DelayModel;
+    use anr_geom::Point;
+
+    fn grid_graph(cols: usize, rows: usize) -> UnitDiskGraph {
+        let pts: Vec<Point> = (0..cols * rows)
+            .map(|i| Point::new((i % cols) as f64 * 60.0, (i / cols) as f64 * 60.0))
+            .collect();
+        UnitDiskGraph::new(&pts, 80.0)
+    }
+
+    fn nasty_plan(seed: u64) -> FaultPlan {
+        FaultPlan::reliable(seed)
+            .with_loss(0.3)
+            .with_delay(DelayModel::Uniform { min: 0, max: 2 })
+            .with_duplication(0.1)
+    }
+
+    #[test]
+    fn robust_flood_matches_reference_on_reliable_network() {
+        let g = grid_graph(4, 3);
+        let values: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let reference = run_flood_sum(&values, g.adjacency()).unwrap();
+        let robust = run_robust_flood_sum(
+            &values,
+            g.adjacency(),
+            FaultPlan::reliable(0),
+            RetransmitConfig::default(),
+            400,
+        )
+        .unwrap();
+        assert_eq!(robust.results, reference);
+    }
+
+    #[test]
+    fn robust_flood_survives_loss_delay_duplication() {
+        let g = grid_graph(4, 3);
+        let values: Vec<f64> = (0..12).map(|i| (i * i) as f64).collect();
+        let reference = run_flood_sum(&values, g.adjacency()).unwrap();
+        for seed in [1, 2, 3] {
+            let robust = run_robust_flood_sum(
+                &values,
+                g.adjacency(),
+                nasty_plan(seed),
+                RetransmitConfig::default(),
+                2000,
+            )
+            .unwrap();
+            assert_eq!(robust.results, reference, "seed {seed}");
+            assert!(robust.stats.dropped_loss > 0, "plan actually dropped");
+        }
+    }
+
+    #[test]
+    fn robust_flood_overhead_is_positive_under_loss() {
+        let g = grid_graph(4, 3);
+        let values = vec![1.0; 12];
+        let reliable = run_robust_flood_sum(
+            &values,
+            g.adjacency(),
+            FaultPlan::reliable(0),
+            RetransmitConfig::default(),
+            400,
+        )
+        .unwrap();
+        let lossy = run_robust_flood_sum(
+            &values,
+            g.adjacency(),
+            nasty_plan(7),
+            RetransmitConfig::default(),
+            2000,
+        )
+        .unwrap();
+        assert!(
+            lossy.stats.sent > reliable.stats.sent,
+            "retransmissions cost messages: {} vs {}",
+            lossy.stats.sent,
+            reliable.stats.sent
+        );
+        assert!(lossy.stats.rounds >= reliable.stats.rounds);
+    }
+
+    #[test]
+    fn robust_hop_field_matches_centralized_bfs_under_faults() {
+        let g = grid_graph(4, 4);
+        let sources: Vec<bool> = (0..16).map(|i| i == 0 || i == 15).collect();
+        let expect = g.multi_source_hops(&[0, 15]);
+        let reference = run_hop_field(&sources, g.adjacency()).unwrap();
+        assert_eq!(reference, expect);
+        for seed in [4, 5, 6] {
+            let robust = run_robust_hop_field(
+                &sources,
+                g.adjacency(),
+                nasty_plan(seed),
+                RetransmitConfig::default(),
+                2000,
+            )
+            .unwrap();
+            assert_eq!(robust.results, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn robust_hop_field_sees_crash_as_isolation() {
+        // Path 0-1-2-3; source at 0; robot 1 crashes immediately: 2 and
+        // 3 can never hear from the source.
+        let adj = vec![vec![1], vec![0, 2], vec![1, 3], vec![2]];
+        let sources = vec![true, false, false, false];
+        let plan = FaultPlan::reliable(0).with_crash(0, 1);
+        let robust =
+            run_robust_hop_field(&sources, &adj, plan, RetransmitConfig::default(), 500).unwrap();
+        assert_eq!(robust.results[0], Some(0));
+        assert_eq!(robust.results[2], None, "cut off by the crash");
+        assert_eq!(robust.results[3], None);
+    }
+
+    #[test]
+    fn robust_boundary_loop_matches_reference() {
+        let ids = vec![12, 5, 40, 3, 9, 77, 21];
+        let reference = run_boundary_loop(&ids).unwrap();
+        let robust = run_robust_boundary_loop(
+            &ids,
+            FaultPlan::reliable(0),
+            RetransmitConfig::default(),
+            800,
+        )
+        .unwrap();
+        assert_eq!(robust.results, reference);
+    }
+
+    #[test]
+    fn robust_boundary_loop_survives_loss() {
+        let ids: Vec<usize> = (0..10).map(|i| (i * 7 + 3) % 101).collect();
+        let reference = run_boundary_loop(&ids).unwrap();
+        for seed in [8, 9] {
+            let robust = run_robust_boundary_loop(
+                &ids,
+                FaultPlan::reliable(seed).with_loss(0.25),
+                RetransmitConfig::default(),
+                4000,
+            )
+            .unwrap();
+            assert_eq!(robust.results, reference, "seed {seed}");
+            assert!(robust.stats.dropped_loss > 0);
+        }
+    }
+
+    #[test]
+    fn robust_runs_are_deterministic() {
+        let g = grid_graph(3, 3);
+        let values: Vec<f64> = (0..9).map(|i| i as f64 * 0.5).collect();
+        let run = || {
+            run_robust_flood_sum(
+                &values,
+                g.adjacency(),
+                nasty_plan(42),
+                RetransmitConfig::default(),
+                2000,
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.results, b.results);
+    }
+}

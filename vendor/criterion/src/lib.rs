@@ -1,0 +1,150 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides [`Criterion`], [`Bencher`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros with wall-clock
+//! timing (median of a fixed number of samples) instead of criterion's
+//! statistical machinery. Good enough to smoke-run the workspace's
+//! benches without network access to crates.io.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub use std::hint::black_box;
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..2 {
+            black_box(f());
+        }
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        self.last = Some(times[times.len() / 2]);
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last: None,
+        };
+        f(&mut b);
+        match b.last {
+            Some(t) => println!("bench {name:<40} median {t:>12?}"),
+            None => println!("bench {name:<40} (no measurement)"),
+        }
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group sharing a sample-size override.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size.unwrap_or(self.parent.sample_size),
+            last: None,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, name);
+        match b.last {
+            Some(t) => println!("bench {full:<40} median {t:>12?}"),
+            None => println!("bench {full:<40} (no measurement)"),
+        }
+        self
+    }
+
+    /// Ends the group (no-op; parity with criterion).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function invoking each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_time() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_works() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("noop", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+}

@@ -1,0 +1,636 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! re-implements the subset of proptest 1.x the workspace's property
+//! tests use:
+//!
+//! * the [`proptest!`] macro (including `#![proptest_config(...)]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_filter`,
+//!   `prop_flat_map`, range/tuple/[`strategy::Just`] strategies,
+//! * [`collection::vec`] with the usual size-range conversions.
+//!
+//! Differences from real proptest: failing inputs are *not* shrunk
+//! (the panic message reports the generating seed instead), and
+//! `proptest-regressions` files are ignored. Case generation is fully
+//! deterministic: the case RNG is derived from the test name and case
+//! index, so every run explores the same inputs.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Configuration, the per-case RNG, and the case-execution loop.
+
+    /// Runner configuration (only `cases` is honored).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Maximum generator/`prop_assume!` rejections tolerated across
+        /// the whole test before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65536,
+            }
+        }
+    }
+
+    /// Why a test case did not complete successfully.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed: the test fails.
+        Fail(String),
+        /// The case was rejected (`prop_assume!`): try another input.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given reason.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection with the given reason.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    /// Deterministic splitmix64 stream feeding the strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a stream from a seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E3779B97F4A7C15,
+            }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform integer in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty bound");
+            self.next_u64() % bound
+        }
+    }
+
+    /// FNV-1a, used to derive a per-test base seed from the test name so
+    /// different tests explore different (but reproducible) inputs.
+    fn fnv1a(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Runs the case loop for one `proptest!` test. Panics (failing the
+    /// `#[test]`) on the first assertion failure.
+    pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: &S, mut case: F)
+    where
+        S: crate::strategy::Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name);
+        let mut rejects: u32 = 0;
+        let mut passed: u32 = 0;
+        let mut attempt: u64 = 0;
+        while passed < config.cases {
+            let seed = base
+                .wrapping_add(attempt.wrapping_mul(0x2545F4914F6CDD1D))
+                .wrapping_add(1);
+            attempt += 1;
+            let mut rng = TestRng::from_seed(seed);
+            let value = match strategy.generate(&mut rng) {
+                Ok(v) => v,
+                Err(why) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= config.max_global_rejects,
+                        "proptest stand-in: too many generator rejections in `{name}` ({why})"
+                    );
+                    continue;
+                }
+            };
+            match case(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= config.max_global_rejects,
+                        "proptest stand-in: too many `prop_assume!` rejections in `{name}` ({why})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest stand-in: case {} of `{name}` failed (case seed {seed:#x}): {msg}",
+                        passed + 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// `generate` returns `Err` when a filter rejects the draw; the
+    /// runner retries with a fresh seed.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, &'static str>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects generated values failing `pred`.
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                pred,
+            }
+        }
+
+        /// Generates an intermediate value, then draws from the strategy
+        /// it maps to.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy (parity with real proptest's
+        /// `.boxed()`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> Result<T, &'static str> {
+            Ok(self.0.clone())
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> Result<O, &'static str> {
+            self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Result<S::Value, &'static str> {
+            // Retry locally a few times before punting to the runner, so
+            // moderately selective filters do not exhaust its budget.
+            for _ in 0..16 {
+                let v = self.inner.generate(rng)?;
+                if (self.pred)(&v) {
+                    return Ok(v);
+                }
+            }
+            Err(self.whence)
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> Result<T::Value, &'static str> {
+            let mid = self.inner.generate(rng)?;
+            (self.f)(mid).generate(rng)
+        }
+    }
+
+    /// Reference-counted type-erased strategy.
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Result<T, &'static str> {
+            self.inner.generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Result<$t, &'static str> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = (rng.next_u64() as u128) % span;
+                    Ok((self.start as i128 + draw as i128) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Result<$t, &'static str> {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    let draw = (rng.next_u64() as u128) % span;
+                    Ok((*self.start() as i128 + draw as i128) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Result<$t, &'static str> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let unit = rng.unit_f64() as $t;
+                    Ok(self.start + (self.end - self.start) * unit)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Result<$t, &'static str> {
+                    let unit = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                    Ok(self.start() + (self.end() - self.start()) * unit)
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    impl Strategy for Range<char> {
+        type Value = char;
+        fn generate(&self, rng: &mut TestRng) -> Result<char, &'static str> {
+            let lo = self.start as u32;
+            let hi = self.end as u32;
+            assert!(lo < hi, "empty range strategy");
+            for _ in 0..8 {
+                let draw = lo + (rng.below(u64::from(hi - lo))) as u32;
+                if let Some(c) = char::from_u32(draw) {
+                    return Ok(c);
+                }
+            }
+            Err("no valid char in range")
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, &'static str> {
+                    let ($($name,)+) = self;
+                    Ok(($($name.generate(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Minimum length (inclusive).
+        pub min: usize,
+        /// Maximum length (inclusive).
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length falls in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, &'static str> {
+            let len =
+                self.size.min + rng.below((self.size.max - self.size.min + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let strategy = ($($strat,)*);
+                $crate::test_runner::run(
+                    &config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &strategy,
+                    |($($arg,)*)| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case (with an optional formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        // Bind first: leaves comparison operators un-negated so user
+        // assertions on floats don't trip clippy's partial-ord lint.
+        let __prop_assert_holds: bool = $cond;
+        if !__prop_assert_holds {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case when the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case, asking the runner for a fresh input.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 10usize..20, y in -1.0..1.0f64) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn maps_and_filters_compose(
+            p in (0.0..100.0f64, 0.0..100.0f64)
+                .prop_map(|(a, b)| (a, b))
+                .prop_filter("first > 1", |&(a, _)| a > 1.0)
+        ) {
+            prop_assert!(p.0 > 1.0);
+        }
+
+        #[test]
+        fn vecs_sized(v in prop::collection::vec(0u64..5, 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_applies(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_property_panics() {
+        proptest! {
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn assume_rejects_and_retries() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            fn inner(x in 0u32..100) {
+                prop_assume!(x % 2 == 0);
+                prop_assert!(x % 2 == 0);
+            }
+        }
+        inner();
+    }
+}
