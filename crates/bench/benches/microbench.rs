@@ -90,6 +90,7 @@ fn bench_lloyd(c: &mut Criterion) {
     let cfg = LloydConfig {
         tolerance: 1.0,
         max_iterations: 1,
+        ..Default::default()
     };
     c.bench_function("lloyd_iteration_144", |b| {
         b.iter(|| {

@@ -31,6 +31,8 @@ fn main() -> Result<(), BenchError> {
         let lloyd_cfg = LloydConfig {
             tolerance: 1.0,
             max_iterations: 30,
+            // This ablation audits per-step connectivity.
+            record_history: true,
         };
         let r_s = problem.sensing_range();
 

@@ -11,7 +11,7 @@
 
 use anr_bench::{
     paper_separations, print_sweep_header, quick_flag, quick_separations, scenario_flag,
-    sweep_scenario,
+    sweep_scenarios_parallel,
 };
 use anr_march::MarchConfig;
 
@@ -28,8 +28,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = MarchConfig::default();
 
     print_sweep_header();
-    for id in scenarios {
-        sweep_scenario(id, &separations, &config)?;
-    }
+    sweep_scenarios_parallel(&scenarios, &separations, &config)?;
     Ok(())
 }

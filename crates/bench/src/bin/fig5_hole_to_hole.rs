@@ -8,7 +8,7 @@
 
 use anr_bench::{
     paper_separations, print_sweep_header, quick_flag, quick_separations, scenario_flag,
-    sweep_scenario,
+    sweep_scenarios_parallel,
 };
 use anr_march::MarchConfig;
 
@@ -23,8 +23,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => vec![6, 7],
     };
     print_sweep_header();
-    for id in scenarios {
-        sweep_scenario(id, &separations, &MarchConfig::default())?;
-    }
+    sweep_scenarios_parallel(&scenarios, &separations, &MarchConfig::default())?;
     Ok(())
 }

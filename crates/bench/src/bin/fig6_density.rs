@@ -23,6 +23,7 @@ fn main() -> Result<(), BenchError> {
         lloyd: anr_coverage::LloydConfig {
             tolerance: 0.5,
             max_iterations: 80,
+            ..Default::default()
         },
         ..Default::default()
     };

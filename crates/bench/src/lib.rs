@@ -19,6 +19,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
+pub use timing::{run_pipeline_bench, BenchOptions, PipelineBenchReport};
+
 use anr_march::{
     direct_translation, hungarian_direct, march, MarchConfig, MarchError, MarchOutcome,
     MarchProblem, Method,
@@ -234,6 +238,34 @@ pub fn sweep_scenario(id: u8, separations: &[f64], config: &MarchConfig) -> Resu
     if let Some(dir) = charts_flag() {
         if let Err(e) = write_sweep_charts(id, &rows, &dir) {
             eprintln!("warning: failed to write charts to {}: {e}", dir.display());
+        }
+    }
+    Ok(())
+}
+
+/// Runs the comparison sweep for several scenarios concurrently (the
+/// scenarios fan out over [`anr_par::par_map`]; each sweep itself is
+/// serial), then prints CSV rows in scenario order and — when
+/// `--charts <dir>` is passed — writes the per-scenario SVG charts.
+/// The output is identical, byte for byte, to calling
+/// [`sweep_scenario`] once per id.
+///
+/// # Errors
+///
+/// Propagates the first scenario/method failure, in id order.
+pub fn sweep_scenarios_parallel(
+    ids: &[u8],
+    separations: &[f64],
+    config: &MarchConfig,
+) -> Result<(), BenchError> {
+    let results = anr_par::par_map(ids, 0, |&id| sweep_scenario_rows(id, separations, config));
+    for (i, result) in results.into_iter().enumerate() {
+        let rows = result?;
+        print_rows(&rows);
+        if let Some(dir) = charts_flag() {
+            if let Err(e) = write_sweep_charts(ids[i], &rows, &dir) {
+                eprintln!("warning: failed to write charts to {}: {e}", dir.display());
+            }
         }
     }
     Ok(())

@@ -1,0 +1,459 @@
+//! Wall-clock trajectory of the marching pipeline.
+//!
+//! [`run_pipeline_bench`] times every stage of the pipeline —
+//! mesh → harmonic map → rotation search → full march → guarded
+//! Lloyd — on the seed scenarios, pitting the PCG harmonic solver
+//! against the Gauss–Seidel reference, and times the fault sweep
+//! serial versus parallel. The result is a deterministic-schema JSON
+//! document (`BENCH_pipeline.json` at the repo root); the numbers, of
+//! course, depend on the machine, so the core count rides along.
+
+use crate::BenchError;
+use anr_coverage::{GridPartition, LloydConfig};
+use anr_harmonic::{fill_holes, harmonic_map_to_disk, DiskOverlay, HarmonicConfig, Solver};
+use anr_march::{march, run_fault_sweep, MarchConfig, MarchProblem, Method, SweepConfig};
+use anr_mesh::FoiMesher;
+use anr_netgraph::{extract_triangulation, UnitDiskGraph};
+use anr_scenarios::{build_scenario, ScenarioParams};
+use std::time::Instant;
+
+/// What to bench and how hard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchOptions {
+    /// Smoke mode: scenario 1 only, fewer robots, one repeat — fast
+    /// enough for CI.
+    pub smoke: bool,
+    /// Timed repetitions per stage; the median is reported.
+    pub repeats: usize,
+}
+
+/// One timed stage of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// Stage name (`"mesh"`, `"harmonic_pcg"`, ...).
+    pub stage: &'static str,
+    /// Median wall time over the repeats, milliseconds.
+    pub median_ms: f64,
+}
+
+/// PCG-versus-Gauss-Seidel comparison on one scenario's target mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverComparison {
+    /// Median PCG wall time, milliseconds.
+    pub pcg_ms: f64,
+    /// Median Gauss–Seidel wall time, milliseconds.
+    pub gs_ms: f64,
+    /// `gs_ms / pcg_ms`.
+    pub speedup: f64,
+    /// PCG iterations to converge.
+    pub pcg_iterations: usize,
+    /// Gauss–Seidel sweeps to converge.
+    pub gs_iterations: usize,
+    /// Max per-vertex distance between the two disk embeddings.
+    pub max_position_diff: f64,
+}
+
+/// Everything measured on one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioTimings {
+    /// Scenario id (1–7).
+    pub id: u8,
+    /// Robots in the deployment.
+    pub robots: usize,
+    /// Vertices of the hole-filled target-FoI mesh the harmonic solves
+    /// run on.
+    pub mesh_vertices: usize,
+    /// The per-stage medians.
+    pub stages: Vec<StageTiming>,
+    /// The harmonic-solver duel.
+    pub harmonic: SolverComparison,
+}
+
+/// Serial-versus-parallel fault-sweep timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSweepTiming {
+    /// Robots in the swept deployment.
+    pub robots: usize,
+    /// Grid cells per protocol.
+    pub cells: usize,
+    /// Median wall time with `workers = 1`, milliseconds.
+    pub serial_ms: f64,
+    /// Median wall time with auto workers, milliseconds.
+    pub parallel_ms: f64,
+    /// The auto worker count used.
+    pub workers: usize,
+    /// Did the two runs produce byte-identical JSON?
+    pub byte_identical: bool,
+}
+
+/// The full benchmark trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineBenchReport {
+    /// Logical cores of the machine the numbers were taken on.
+    pub cores: usize,
+    /// Repeats per stage.
+    pub repeats: usize,
+    /// Was this a smoke run?
+    pub smoke: bool,
+    /// One entry per benched scenario.
+    pub scenarios: Vec<ScenarioTimings>,
+    /// The fault-sweep duel.
+    pub fault_sweep: FaultSweepTiming,
+}
+
+/// Medians the wall time of `f` over `repeats` runs, in milliseconds.
+/// The closure's result is returned (from the last run) so the timed
+/// work cannot be optimized away.
+fn median_ms<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    assert!(repeats >= 1);
+    let mut times: Vec<f64> = Vec::with_capacity(repeats);
+    let mut last = None;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let out = f();
+        times.push(t0.elapsed().as_secs_f64() * 1000.0);
+        last = Some(out);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mid = times.len() / 2;
+    let median = if times.len() % 2 == 1 {
+        times[mid]
+    } else {
+        (times[mid - 1] + times[mid]) / 2.0
+    };
+    (median, last.expect("repeats >= 1"))
+}
+
+fn bench_scenario(
+    id: u8,
+    robots: usize,
+    separation: f64,
+    repeats: usize,
+) -> Result<ScenarioTimings, BenchError> {
+    let s = build_scenario(
+        id,
+        &ScenarioParams {
+            robots,
+            separation_ranges: separation,
+            ..Default::default()
+        },
+    )?;
+    let problem = MarchProblem::with_lattice_deployment(s.m1, s.m2, s.robots, s.range)?;
+    let n = problem.num_robots();
+    let config = MarchConfig::default();
+    let spacing = config.resolve_mesh_spacing(problem.m2.area(), n);
+
+    // Stage 1: grid-mesh the target FoI and fill its holes.
+    let (mesh_ms, filled2) = median_ms(repeats, || {
+        let foi2 = FoiMesher::new(spacing).mesh(&problem.m2)?;
+        fill_holes(foi2.mesh()).map_err(anr_march::MarchError::from)
+    });
+    let filled2 = filled2?;
+
+    // Stage 2: the harmonic duel on that mesh — same system, two
+    // solvers.
+    let pcg_cfg = HarmonicConfig {
+        solver: Solver::Pcg,
+        ..HarmonicConfig::default()
+    };
+    let gs_cfg = HarmonicConfig {
+        solver: Solver::GaussSeidel,
+        ..HarmonicConfig::default()
+    };
+    let (pcg_ms, pcg_map) = median_ms(repeats, || harmonic_map_to_disk(filled2.mesh(), &pcg_cfg));
+    let (gs_ms, gs_map) = median_ms(repeats, || harmonic_map_to_disk(filled2.mesh(), &gs_cfg));
+    let pcg_map = pcg_map.map_err(anr_march::MarchError::from)?;
+    let gs_map = gs_map.map_err(anr_march::MarchError::from)?;
+    let max_position_diff = pcg_map
+        .positions()
+        .iter()
+        .zip(gs_map.positions())
+        .map(|(a, b)| a.distance(*b))
+        .fold(0.0f64, f64::max);
+
+    // Stage 3: rotation search over the composed disk maps (method (a)
+    // objective). The deployment-side map is prepared untimed.
+    let t_mesh = extract_triangulation(&problem.positions, problem.range)
+        .map_err(anr_march::MarchError::from)?;
+    let filled_t = fill_holes(&t_mesh).map_err(anr_march::MarchError::from)?;
+    let disk_t =
+        harmonic_map_to_disk(filled_t.mesh(), &pcg_cfg).map_err(anr_march::MarchError::from)?;
+    let robot_disk: Vec<_> = (0..n).map(|v| disk_t.position(v)).collect();
+    let overlay = DiskOverlay::new(
+        filled2.mesh(),
+        pcg_map.positions(),
+        filled2.virtual_vertices(),
+    );
+    let links = UnitDiskGraph::new(&problem.positions, problem.range).links();
+    let (rotation_ms, _) = median_ms(repeats, || {
+        config.rotation.maximize(|theta| {
+            let q = overlay.map_all(&robot_disk, theta);
+            if links.is_empty() {
+                return 1.0;
+            }
+            links
+                .iter()
+                .filter(|&&(i, j)| q[i].position.distance(q[j].position) <= problem.range)
+                .count() as f64
+                / links.len() as f64
+        })
+    });
+
+    // Stage 4: the full pipeline, end to end.
+    let (march_ms, outcome) =
+        median_ms(repeats, || march(&problem, Method::MaxStableLinks, &config));
+    let outcome = outcome?;
+
+    // Stage 5: the guarded Lloyd refinement from the mapped positions.
+    let partition = GridPartition::new(&problem.m2, spacing * 0.2);
+    let lloyd_cfg = LloydConfig {
+        record_history: true,
+        ..config.lloyd
+    };
+    let (lloyd_ms, _) = median_ms(repeats, || {
+        anr_coverage::run_lloyd_guarded(
+            &outcome.mapped,
+            &partition,
+            &config.density,
+            &lloyd_cfg,
+            problem.range,
+        )
+    });
+
+    Ok(ScenarioTimings {
+        id,
+        robots: n,
+        mesh_vertices: filled2.mesh().num_vertices(),
+        stages: vec![
+            StageTiming {
+                stage: "mesh",
+                median_ms: mesh_ms,
+            },
+            StageTiming {
+                stage: "harmonic_pcg",
+                median_ms: pcg_ms,
+            },
+            StageTiming {
+                stage: "harmonic_gs",
+                median_ms: gs_ms,
+            },
+            StageTiming {
+                stage: "rotation",
+                median_ms: rotation_ms,
+            },
+            StageTiming {
+                stage: "march",
+                median_ms: march_ms,
+            },
+            StageTiming {
+                stage: "lloyd",
+                median_ms: lloyd_ms,
+            },
+        ],
+        harmonic: SolverComparison {
+            pcg_ms,
+            gs_ms,
+            speedup: if pcg_ms > 0.0 { gs_ms / pcg_ms } else { 0.0 },
+            pcg_iterations: pcg_map.iterations(),
+            gs_iterations: gs_map.iterations(),
+            max_position_diff,
+        },
+    })
+}
+
+fn bench_fault_sweep(
+    robots: usize,
+    smoke: bool,
+    repeats: usize,
+) -> Result<FaultSweepTiming, BenchError> {
+    let s = build_scenario(
+        1,
+        &ScenarioParams {
+            robots,
+            separation_ranges: 10.0,
+            ..Default::default()
+        },
+    )?;
+    let problem = MarchProblem::with_lattice_deployment(s.m1, s.m2, s.robots, s.range)?;
+    let base = if smoke {
+        SweepConfig {
+            loss_rates: vec![0.0, 0.1],
+            crash_counts: vec![0, 1],
+            max_rounds: 2000,
+            ..Default::default()
+        }
+    } else {
+        SweepConfig::default()
+    };
+    let cells = base.loss_rates.len() * base.crash_counts.len();
+    let workers = anr_par::default_workers();
+    let serial_cfg = SweepConfig {
+        workers: 1,
+        ..base.clone()
+    };
+    let parallel_cfg = SweepConfig { workers, ..base };
+    let (serial_ms, serial) = median_ms(repeats, || {
+        run_fault_sweep(&problem.positions, problem.range, &serial_cfg)
+    });
+    let (parallel_ms, parallel) = median_ms(repeats, || {
+        run_fault_sweep(&problem.positions, problem.range, &parallel_cfg)
+    });
+    let byte_identical = serial?.to_json() == parallel?.to_json();
+    Ok(FaultSweepTiming {
+        robots: problem.num_robots(),
+        cells,
+        serial_ms,
+        parallel_ms,
+        workers,
+        byte_identical,
+    })
+}
+
+/// Runs the full pipeline benchmark.
+///
+/// # Errors
+///
+/// Propagates scenario construction and pipeline failures.
+pub fn run_pipeline_bench(opts: &BenchOptions) -> Result<PipelineBenchReport, BenchError> {
+    // The scenario FoIs have the paper's fixed areas, so the robot count
+    // can't drop below the paper's 144 even in smoke mode — fewer robots
+    // make the deployment too sparse to triangulate. Smoke trims
+    // scenarios and repeats instead. The full run deploys a denser
+    // 1296-robot swarm (mesh spacing tracks robot pitch, so the
+    // harmonic system grows with the swarm): at ~400 vertices both
+    // solvers finish in well under a millisecond and constant factors
+    // dominate; at ~3400 the O(n) vs O(√n) iteration counts are what
+    // you measure.
+    let (ids, robots, separation): (&[u8], usize, f64) = if opts.smoke {
+        (&[1], 144, 10.0)
+    } else {
+        (&[1, 2, 3, 4, 5, 6, 7], 1296, 10.0)
+    };
+    let mut scenarios = Vec::new();
+    for &id in ids {
+        scenarios.push(bench_scenario(id, robots, separation, opts.repeats)?);
+    }
+    let fault_sweep = bench_fault_sweep(64, opts.smoke, opts.repeats)?;
+    Ok(PipelineBenchReport {
+        cores: anr_par::default_workers(),
+        repeats: opts.repeats,
+        smoke: opts.smoke,
+        scenarios,
+        fault_sweep,
+    })
+}
+
+fn json_ms(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+impl PipelineBenchReport {
+    /// Serializes the report as a self-contained JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"anr-bench-pipeline/1\",\n");
+        s.push_str(&format!("  \"cores\": {},\n", self.cores));
+        s.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        s.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        s.push_str("  \"scenarios\": [\n");
+        for (si, sc) in self.scenarios.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"id\": {},\n", sc.id));
+            s.push_str(&format!("      \"robots\": {},\n", sc.robots));
+            s.push_str(&format!("      \"mesh_vertices\": {},\n", sc.mesh_vertices));
+            s.push_str("      \"stages\": [\n");
+            for (i, st) in sc.stages.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"stage\": \"{}\", \"median_ms\": {}}}{}\n",
+                    st.stage,
+                    json_ms(st.median_ms),
+                    if i + 1 < sc.stages.len() { "," } else { "" },
+                ));
+            }
+            s.push_str("      ],\n");
+            let h = &sc.harmonic;
+            s.push_str(&format!(
+                "      \"harmonic\": {{\"pcg_ms\": {}, \"gs_ms\": {}, \"speedup\": {:.2}, \
+                 \"pcg_iterations\": {}, \"gs_iterations\": {}, \"max_position_diff\": {:.3e}}}\n",
+                json_ms(h.pcg_ms),
+                json_ms(h.gs_ms),
+                h.speedup,
+                h.pcg_iterations,
+                h.gs_iterations,
+                h.max_position_diff,
+            ));
+            s.push_str(&format!(
+                "    }}{}\n",
+                if si + 1 < self.scenarios.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n");
+        let fsw = &self.fault_sweep;
+        s.push_str(&format!(
+            "  \"fault_sweep\": {{\"robots\": {}, \"cells\": {}, \"serial_ms\": {}, \
+             \"parallel_ms\": {}, \"workers\": {}, \"byte_identical\": {}}}\n",
+            fsw.robots,
+            fsw.cells,
+            json_ms(fsw.serial_ms),
+            json_ms(fsw.parallel_ms),
+            fsw.workers,
+            fsw.byte_identical,
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        let mut k = 0;
+        let (m, last) = median_ms(3, || {
+            k += 1;
+            k
+        });
+        assert!(m >= 0.0);
+        assert_eq!(last, 3);
+    }
+
+    #[test]
+    fn smoke_bench_runs_and_serializes() {
+        let report = run_pipeline_bench(&BenchOptions {
+            smoke: true,
+            repeats: 1,
+        })
+        .unwrap();
+        assert_eq!(report.scenarios.len(), 1);
+        assert!(report.fault_sweep.byte_identical);
+        let sc = &report.scenarios[0];
+        assert_eq!(sc.stages.len(), 6);
+        // Same linear system, two solvers: the embeddings agree tightly.
+        assert!(
+            sc.harmonic.max_position_diff < 1e-6,
+            "diff {}",
+            sc.harmonic.max_position_diff
+        );
+        let json = report.to_json();
+        for key in [
+            "\"schema\": \"anr-bench-pipeline/1\"",
+            "\"stage\": \"harmonic_pcg\"",
+            "\"stage\": \"lloyd\"",
+            "\"speedup\"",
+            "\"fault_sweep\"",
+            "\"byte_identical\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -76,7 +76,7 @@ pub enum Command {
         robots: usize,
     },
     /// `anr fault-sweep [--id N] [--robots R] [--loss CSV] [--crashes CSV]
-    /// [--seed S] [--out FILE]`
+    /// [--seed S] [--workers W] [--out FILE]`
     FaultSweep {
         /// Scenario id (1–7) whose deployment supplies the topology.
         id: u8,
@@ -88,8 +88,20 @@ pub enum Command {
         crashes: Vec<usize>,
         /// Master seed.
         seed: u64,
+        /// Worker threads for the grid (0 = auto).
+        workers: usize,
         /// Write the JSON grid here instead of stdout.
         out: Option<PathBuf>,
+    },
+    /// `anr bench [--smoke] [--repeats N] [--out FILE]`
+    Bench {
+        /// Tiny problem sizes and one repeat — a CI smoke run.
+        smoke: bool,
+        /// Timed repetitions per stage (the median is reported).
+        repeats: usize,
+        /// Where to write the JSON trajectory (default
+        /// `BENCH_pipeline.json`).
+        out: PathBuf,
     },
     /// `anr info` — the scenario catalog.
     Info,
@@ -166,7 +178,9 @@ USAGE:
   anr render   --id <1-7> [--out <dir>] [--separation <ranges>]
   anr mission  [--stops <k>] [--robots <n>]
   anr fault-sweep [--id <1-7>] [--robots <n>] [--loss <p,p,...>]
-               [--crashes <k,k,...>] [--seed <s>] [--out <file.json>]
+               [--crashes <k,k,...>] [--seed <s>] [--workers <w>]
+               [--out <file.json>]
+  anr bench    [--smoke] [--repeats <n>] [--out <file.json>]
   anr info
   anr help
 ";
@@ -332,6 +346,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
             let mut loss = vec![0.0, 0.05, 0.1, 0.2];
             let mut crashes = vec![0usize, 1, 2];
             let mut seed = 42u64;
+            let mut workers = 0usize;
             let mut out = None;
             while let Some(flag) = cur.next() {
                 match flag.as_str() {
@@ -356,6 +371,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
                     "--seed" => {
                         seed = parse_num("--seed", &cur.value_for("--seed")?, "an integer")?
                     }
+                    "--workers" => {
+                        workers = parse_num(
+                            "--workers",
+                            &cur.value_for("--workers")?,
+                            "an integer (0 = auto)",
+                        )?
+                    }
                     "--out" => out = Some(PathBuf::from(cur.value_for("--out")?)),
                     other => {
                         return Err(ArgError::UnknownFlag {
@@ -370,6 +392,39 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
                 loss,
                 crashes,
                 seed,
+                workers,
+                out,
+            })
+        }
+        "bench" => {
+            let mut smoke = false;
+            let mut repeats = 5usize;
+            let mut out = PathBuf::from("BENCH_pipeline.json");
+            while let Some(flag) = cur.next() {
+                match flag.as_str() {
+                    "--smoke" => smoke = true,
+                    "--repeats" => {
+                        repeats =
+                            parse_num("--repeats", &cur.value_for("--repeats")?, "an integer ≥ 1")?
+                    }
+                    "--out" => out = PathBuf::from(cur.value_for("--out")?),
+                    other => {
+                        return Err(ArgError::UnknownFlag {
+                            flag: other.to_string(),
+                        })
+                    }
+                }
+            }
+            if repeats == 0 {
+                return Err(ArgError::BadValue {
+                    flag: "--repeats",
+                    value: "0".to_string(),
+                    expected: "an integer ≥ 1",
+                });
+            }
+            Ok(Command::Bench {
+                smoke,
+                repeats,
                 out,
             })
         }
@@ -492,6 +547,7 @@ mod tests {
                 loss: vec![0.0, 0.05, 0.1, 0.2],
                 crashes: vec![0, 1, 2],
                 seed: 42,
+                workers: 0,
                 out: None,
             }
         );
@@ -511,6 +567,8 @@ mod tests {
             "0,2,4",
             "--seed",
             "7",
+            "--workers",
+            "4",
             "--out",
             "grid.json",
         ])
@@ -523,9 +581,37 @@ mod tests {
                 loss: vec![0.0, 0.3],
                 crashes: vec![0, 2, 4],
                 seed: 7,
+                workers: 4,
                 out: Some(PathBuf::from("grid.json")),
             }
         );
+    }
+
+    #[test]
+    fn bench_defaults_and_flags() {
+        assert_eq!(
+            parse(&["bench"]).unwrap(),
+            Command::Bench {
+                smoke: false,
+                repeats: 5,
+                out: PathBuf::from("BENCH_pipeline.json"),
+            }
+        );
+        assert_eq!(
+            parse(&["bench", "--smoke", "--repeats", "3", "--out", "b.json"]).unwrap(),
+            Command::Bench {
+                smoke: true,
+                repeats: 3,
+                out: PathBuf::from("b.json"),
+            }
+        );
+        assert!(matches!(
+            parse(&["bench", "--repeats", "0"]),
+            Err(ArgError::BadValue {
+                flag: "--repeats",
+                ..
+            })
+        ));
     }
 
     #[test]

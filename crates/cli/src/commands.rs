@@ -254,6 +254,7 @@ pub fn run_command(command: Command) -> Result<(), CliError> {
             loss,
             crashes,
             seed,
+            workers,
             out,
         } => {
             let problem = scenario_problem(id, 10.0, robots)?;
@@ -267,6 +268,7 @@ pub fn run_command(command: Command) -> Result<(), CliError> {
                 loss_rates: loss,
                 crash_counts: crashes,
                 seed,
+                workers,
                 ..Default::default()
             };
             let report = run_fault_sweep(&problem.positions, problem.range, &config)?;
@@ -283,6 +285,39 @@ pub fn run_command(command: Command) -> Result<(), CliError> {
                 }
                 None => print!("{json}"),
             }
+            Ok(())
+        }
+        Command::Bench {
+            smoke,
+            repeats,
+            out,
+        } => {
+            let report = anr_bench::run_pipeline_bench(&anr_bench::BenchOptions { smoke, repeats })
+                .map_err(|e| CliError::BadParameter(e.to_string()))?;
+            std::fs::write(&out, report.to_json())?;
+            for sc in &report.scenarios {
+                eprintln!(
+                    "scenario {}: {} robots, {} mesh vertices — PCG {:.1} ms vs GS {:.1} ms \
+                     ({:.1}× speedup, max diff {:.1e})",
+                    sc.id,
+                    sc.robots,
+                    sc.mesh_vertices,
+                    sc.harmonic.pcg_ms,
+                    sc.harmonic.gs_ms,
+                    sc.harmonic.speedup,
+                    sc.harmonic.max_position_diff,
+                );
+            }
+            eprintln!(
+                "fault sweep ({} cells/protocol): serial {:.1} ms vs {} workers {:.1} ms, \
+                 byte-identical = {}",
+                report.fault_sweep.cells,
+                report.fault_sweep.serial_ms,
+                report.fault_sweep.workers,
+                report.fault_sweep.parallel_ms,
+                report.fault_sweep.byte_identical,
+            );
+            eprintln!("benchmark trajectory written to {}", out.display());
             Ok(())
         }
         Command::Mission { stops, robots } => {
@@ -406,6 +441,7 @@ mod tests {
             loss: vec![0.0, 0.1],
             crashes: vec![0, 1],
             seed: 5,
+            workers: 0,
             out: Some(path.clone()),
         })
         .unwrap();
@@ -424,6 +460,7 @@ mod tests {
                 loss: vec![0.0],
                 crashes: vec![500],
                 seed: 5,
+                workers: 0,
                 out: None,
             }),
             Err(CliError::BadParameter(_))

@@ -42,6 +42,12 @@ pub struct SweepConfig {
     pub max_rounds: usize,
     /// Retransmission policy for the robust protocols.
     pub retransmit: RetransmitConfig,
+    /// Worker threads for the (loss × crashes) grid: every cell is an
+    /// independent seeded simulation, so they fan out over
+    /// [`anr_par::par_map`]. `0` (the default) means auto
+    /// ([`anr_par::default_workers`]); `1` forces the serial order. The
+    /// report — and its JSON — is byte-identical whatever the count.
+    pub workers: usize,
 }
 
 impl Default for SweepConfig {
@@ -52,6 +58,7 @@ impl Default for SweepConfig {
             seed: 42,
             max_rounds: 4000,
             retransmit: RetransmitConfig::default(),
+            workers: 0,
         }
     }
 }
@@ -388,49 +395,61 @@ pub fn run_fault_sweep(
         },
     ];
 
-    for (li, &loss) in config.loss_rates.iter().enumerate() {
-        for (ci, &crash_count) in config.crash_counts.iter().enumerate() {
-            let seed = cell_seed(config.seed, li, ci);
-            let crashed_ids = pick_crashed(n, crash_count, seed ^ 0xC2A5);
-            let mut crashed = vec![false; n];
-            let mut plan = FaultPlan::reliable(seed);
-            if loss > 0.0 {
-                plan = plan.with_loss(loss);
-            }
-            for &r in &crashed_ids {
-                crashed[r] = true;
-                plan = plan.with_crash(0, r);
-            }
-            let runs = [
-                flood_cell(
-                    &adjacency,
-                    &values,
-                    plan.clone(),
-                    &crashed,
-                    cfg,
-                    config.max_rounds,
-                )?,
-                hop_field_cell(&adjacency, &sources, plan, &crashed, cfg, config.max_rounds)?,
-            ];
-            for (grid, run) in grids.iter_mut().zip(runs) {
-                let overhead = if grid.baseline_sent == 0 {
-                    1000
-                } else {
-                    (run.stats.sent as u64 * 1000 / grid.baseline_sent as u64) as u32
-                };
-                grid.cells.push(SurvivalStats {
-                    loss_permille: permille(loss),
-                    crashes: crash_count,
-                    converged: run.converged,
-                    correct: run.correct,
-                    rounds: run.stats.rounds,
-                    sent: run.stats.sent,
-                    delivered: run.stats.delivered,
-                    dropped_loss: run.stats.dropped_loss,
-                    dropped_crash: run.stats.dropped_crash,
-                    overhead_permille: overhead,
-                });
-            }
+    // Every cell is an independent seeded simulation: fan them out and
+    // fold the results back in loss-major order, so the report (and its
+    // JSON) is byte-identical to the serial sweep for any worker count.
+    let coords: Vec<(usize, usize)> = (0..config.loss_rates.len())
+        .flat_map(|li| (0..config.crash_counts.len()).map(move |ci| (li, ci)))
+        .collect();
+    let cell_results = anr_par::par_map(&coords, config.workers, |&(li, ci)| {
+        let loss = config.loss_rates[li];
+        let crash_count = config.crash_counts[ci];
+        let seed = cell_seed(config.seed, li, ci);
+        let crashed_ids = pick_crashed(n, crash_count, seed ^ 0xC2A5);
+        let mut crashed = vec![false; n];
+        let mut plan = FaultPlan::reliable(seed);
+        if loss > 0.0 {
+            plan = plan.with_loss(loss);
+        }
+        for &r in &crashed_ids {
+            crashed[r] = true;
+            plan = plan.with_crash(0, r);
+        }
+        Ok([
+            flood_cell(
+                &adjacency,
+                &values,
+                plan.clone(),
+                &crashed,
+                cfg,
+                config.max_rounds,
+            )?,
+            hop_field_cell(&adjacency, &sources, plan, &crashed, cfg, config.max_rounds)?,
+        ])
+    });
+
+    for (&(li, ci), runs) in coords.iter().zip(cell_results) {
+        let runs: [CellRun; 2] = runs?;
+        let loss = config.loss_rates[li];
+        let crash_count = config.crash_counts[ci];
+        for (grid, run) in grids.iter_mut().zip(runs) {
+            let overhead = if grid.baseline_sent == 0 {
+                1000
+            } else {
+                (run.stats.sent as u64 * 1000 / grid.baseline_sent as u64) as u32
+            };
+            grid.cells.push(SurvivalStats {
+                loss_permille: permille(loss),
+                crashes: crash_count,
+                converged: run.converged,
+                correct: run.correct,
+                rounds: run.stats.rounds,
+                sent: run.stats.sent,
+                delivered: run.stats.delivered,
+                dropped_loss: run.stats.dropped_loss,
+                dropped_crash: run.stats.dropped_crash,
+                overhead_permille: overhead,
+            });
         }
     }
 
@@ -531,7 +550,33 @@ mod tests {
             seed: 7,
             max_rounds: 3000,
             retransmit: RetransmitConfig::default(),
+            workers: 0,
         }
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let pts = lattice(3, 4);
+        let serial = run_fault_sweep(
+            &pts,
+            80.0,
+            &SweepConfig {
+                workers: 1,
+                ..small_config()
+            },
+        )
+        .unwrap();
+        let parallel = run_fault_sweep(
+            &pts,
+            80.0,
+            &SweepConfig {
+                workers: 4,
+                ..small_config()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.to_json(), parallel.to_json());
     }
 
     #[test]

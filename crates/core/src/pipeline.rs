@@ -174,7 +174,12 @@ pub fn march(
         // centroids resolve the density gradient instead of locking into
         // a coarse discrete fixed point.
         let partition = GridPartition::new(&problem.m2, spacing * 0.2);
-        let lloyd = run_lloyd_guarded(&targets, &partition, &config.density, &config.lloyd, range);
+        // The timeline metrics need the per-iteration site history.
+        let lloyd_config = anr_coverage::LloydConfig {
+            record_history: true,
+            ..config.lloyd
+        };
+        let lloyd = run_lloyd_guarded(&targets, &partition, &config.density, &lloyd_config, range);
         total_distance += lloyd.total_movement;
         timeline.extend(lloyd.history.iter().cloned());
         (lloyd.sites, lloyd.iterations)
@@ -222,6 +227,7 @@ mod tests {
             lloyd: anr_coverage::LloydConfig {
                 tolerance: 2.0,
                 max_iterations: 10,
+                ..Default::default()
             },
             ..Default::default()
         }

@@ -113,6 +113,7 @@ pub fn optimal_coverage_positions(region: &PolygonWithHoles, n: usize) -> Option
         &LloydConfig {
             tolerance: spacing * 0.1,
             max_iterations: 60,
+            ..Default::default()
         },
     );
     Some(result.sites)
@@ -151,6 +152,7 @@ impl Default for MarchConfig {
             lloyd: LloydConfig {
                 tolerance: 1.0,
                 max_iterations: 30,
+                ..Default::default()
             },
             density: Density::Uniform,
             refine_coverage: true,

@@ -12,6 +12,12 @@ pub struct LloydConfig {
     pub tolerance: f64,
     /// Iteration budget. Default 100.
     pub max_iterations: usize,
+    /// Record the full site vector after every iteration in
+    /// [`LloydResult::history`] (default `false`). Recording clones all
+    /// sites each iteration — pure overhead for callers that only want
+    /// the final positions, so opt in only when a timeline is needed
+    /// (e.g. transition metrics or per-step connectivity audits).
+    pub record_history: bool,
 }
 
 impl Default for LloydConfig {
@@ -19,6 +25,7 @@ impl Default for LloydConfig {
         LloydConfig {
             tolerance: 0.5,
             max_iterations: 100,
+            record_history: false,
         }
     }
 }
@@ -38,6 +45,7 @@ pub struct LloydResult {
     pub converged: bool,
     /// Site positions after every iteration (excluding the initial
     /// positions) — the sampled timeline used by transition metrics.
+    /// Empty unless [`LloydConfig::record_history`] is set.
     pub history: Vec<Vec<Point>>,
 }
 
@@ -74,7 +82,9 @@ pub fn run_lloyd(
             max_move = max_move.max(d);
             *s = *t;
         }
-        history.push(cur.clone());
+        if config.record_history {
+            history.push(cur.clone());
+        }
         if max_move < config.tolerance {
             converged = true;
             break;
@@ -113,6 +123,9 @@ pub fn run_lloyd_guarded(
     let mut iterations = 0;
     let mut converged = false;
     let mut history = Vec::new();
+    // One candidate buffer for the whole run, mutated in place for each
+    // halved fraction instead of re-collected.
+    let mut candidate = cur.clone();
 
     while iterations < config.max_iterations {
         iterations += 1;
@@ -121,43 +134,45 @@ pub fn run_lloyd_guarded(
         // Find the largest fraction of the step that keeps the network
         // connected. Full step first, then halve.
         let mut fraction = 1.0f64;
-        let mut accepted: Option<Vec<Point>> = None;
+        let mut accepted = false;
         for _ in 0..7 {
-            let candidate: Vec<Point> = cur
-                .iter()
-                .zip(&targets)
-                .map(|(s, t)| {
-                    let p = s.lerp(*t, fraction);
-                    // Do not step across a hole: if the straight segment
-                    // is blocked, keep this robot in place this round.
-                    if partition.region().segment_blocked(Segment::new(*s, p)) {
-                        *s
-                    } else {
-                        partition.region().clamp_inside(p)
-                    }
-                })
-                .collect();
-            if UnitDiskGraph::new(&candidate, range).is_connected() {
-                accepted = Some(candidate);
+            let mut moved = false;
+            for ((c, s), t) in candidate.iter_mut().zip(&cur).zip(&targets) {
+                let p = s.lerp(*t, fraction);
+                // Do not step across a hole: if the straight segment
+                // is blocked, keep this robot in place this round.
+                let clamped = if partition.region().segment_blocked(Segment::new(*s, p)) {
+                    *s
+                } else {
+                    partition.region().clamp_inside(p)
+                };
+                moved |= clamped != *s;
+                *c = clamped;
+            }
+            // Nobody moves at this fraction: the topology is exactly the
+            // current one, so there is nothing to re-check.
+            if !moved || UnitDiskGraph::new(&candidate, range).is_connected() {
+                accepted = true;
                 break;
             }
             fraction /= 2.0;
         }
 
-        let next = match accepted {
-            Some(next) => next,
+        if !accepted {
             // Even tiny steps disconnect: freeze this iteration.
-            None => cur.clone(),
-        };
+            candidate.copy_from_slice(&cur);
+        }
 
         let mut max_move = 0.0f64;
-        for (s, n) in cur.iter().zip(&next) {
+        for (s, n) in cur.iter().zip(&candidate) {
             let d = s.distance(*n);
             total_movement += d;
             max_move = max_move.max(d);
         }
-        cur = next;
-        history.push(cur.clone());
+        std::mem::swap(&mut cur, &mut candidate);
+        if config.record_history {
+            history.push(cur.clone());
+        }
         if max_move < config.tolerance {
             converged = true;
             break;
@@ -267,6 +282,58 @@ mod tests {
             assert!(region.contains(*p));
             assert!(!region.in_hole(*p));
         }
+    }
+
+    #[test]
+    fn history_is_opt_in() {
+        let region = square(100.0);
+        let part = GridPartition::new(&region, 2.5);
+        let sites = vec![Point::new(5.0, 95.0), Point::new(90.0, 10.0)];
+        let quiet = run_lloyd(&sites, &part, &Density::Uniform, &LloydConfig::default());
+        assert!(quiet.history.is_empty(), "history off by default");
+        let recorded = run_lloyd(
+            &sites,
+            &part,
+            &Density::Uniform,
+            &LloydConfig {
+                record_history: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(recorded.history.len(), recorded.iterations);
+        // Recording is observation only: the run itself is unchanged.
+        assert_eq!(quiet.sites, recorded.sites);
+        assert_eq!(quiet.iterations, recorded.iterations);
+        assert_eq!(quiet.total_movement, recorded.total_movement);
+        assert_eq!(recorded.history.last(), Some(&recorded.sites));
+    }
+
+    #[test]
+    fn guarded_history_is_opt_in_and_identical() {
+        let region = square(400.0);
+        let part = GridPartition::new(&region, 10.0);
+        let sites: Vec<Point> = (0..9)
+            .map(|i| Point::new(180.0 + (i % 3) as f64 * 12.0, 180.0 + (i / 3) as f64 * 12.0))
+            .collect();
+        let cfg = LloydConfig {
+            max_iterations: 8,
+            ..Default::default()
+        };
+        let quiet = run_lloyd_guarded(&sites, &part, &Density::Uniform, &cfg, 80.0);
+        assert!(quiet.history.is_empty());
+        let recorded = run_lloyd_guarded(
+            &sites,
+            &part,
+            &Density::Uniform,
+            &LloydConfig {
+                record_history: true,
+                ..cfg
+            },
+            80.0,
+        );
+        assert_eq!(recorded.history.len(), recorded.iterations);
+        assert_eq!(quiet.sites, recorded.sites);
+        assert_eq!(quiet.total_movement, recorded.total_movement);
     }
 
     #[test]

@@ -60,23 +60,36 @@ impl GridPartition {
     /// Assigns every sample to its nearest site; returns per-site sample
     /// index lists (the discrete Voronoi regions).
     ///
+    /// The nearest-site pass — the hot loop of every Lloyd iteration,
+    /// `samples × sites` distance computations — fans out over worker
+    /// threads ([`anr_par`]); ties and output order are identical to the
+    /// serial loop whatever the worker count.
+    ///
     /// # Panics
     ///
     /// Panics when `sites` is empty.
     pub fn assign(&self, sites: &[Point]) -> Vec<Vec<usize>> {
         assert!(!sites.is_empty(), "need at least one site");
+        let nearest = anr_par::par_chunks(&self.samples, 2048, 0, |chunk| {
+            chunk
+                .iter()
+                .map(|&s| {
+                    let mut best = 0usize;
+                    let mut best_d = f64::INFINITY;
+                    for (i, &site) in sites.iter().enumerate() {
+                        let d = site.distance_sq(s);
+                        if d < best_d {
+                            best_d = d;
+                            best = i;
+                        }
+                    }
+                    best
+                })
+                .collect::<Vec<usize>>()
+        });
         let mut regions: Vec<Vec<usize>> = vec![Vec::new(); sites.len()];
-        for (k, &s) in self.samples.iter().enumerate() {
-            let mut best = 0usize;
-            let mut best_d = f64::INFINITY;
-            for (i, &site) in sites.iter().enumerate() {
-                let d = site.distance_sq(s);
-                if d < best_d {
-                    best_d = d;
-                    best = i;
-                }
-            }
-            regions[best].push(k);
+        for (k, &i) in nearest.iter().flatten().enumerate() {
+            regions[i].push(k);
         }
         regions
     }

@@ -68,7 +68,15 @@ proptest! {
         let sites: Vec<Point> = (0..n)
             .map(|k| Point::new(10.0 + (k % 4) as f64 * 4.0, 10.0 + (k / 4) as f64 * 4.0))
             .collect();
-        let r = run_lloyd(&sites, &part, &Density::Uniform, &LloydConfig::default());
+        let r = run_lloyd(
+            &sites,
+            &part,
+            &Density::Uniform,
+            &LloydConfig {
+                record_history: true,
+                ..Default::default()
+            },
+        );
         prop_assert!(r.total_movement.is_finite());
         prop_assert!(r.total_movement > 0.0);
         prop_assert_eq!(r.history.len(), r.iterations);

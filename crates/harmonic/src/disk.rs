@@ -3,6 +3,7 @@
 use crate::HarmonicError;
 use anr_geom::Point;
 use anr_mesh::TriMesh;
+use anr_sparse::{pcg_jacobi2, CsrMatrix, PcgConfig};
 use std::collections::VecDeque;
 use std::f64::consts::TAU;
 
@@ -31,6 +32,31 @@ pub enum Weighting {
     MeanValue,
 }
 
+/// Which numerical method computes the interior positions.
+///
+/// Both solve the **same** linear system — the interior sub-block of
+/// the weighted graph Laplacian with the pinned boundary moved to the
+/// right-hand side — so they agree to solver tolerance and both inherit
+/// Tutte's embedding guarantee. They differ only in cost:
+///
+/// * [`Solver::Pcg`] factors nothing and converges in O(√n)-ish
+///   iterations (Jacobi-preconditioned conjugate gradient);
+/// * [`Solver::GaussSeidel`] is the seed's O(n)-iteration sweep — kept
+///   as the reference implementation, as the ablation baseline, and as
+///   the model of the paper's distributed averaging protocol.
+///
+/// CG needs a symmetric matrix; [`Weighting::MeanValue`] weights are
+/// asymmetric (w(v,u) ≠ w(u,v)), so that combination silently runs
+/// Gauss–Seidel regardless of the configured solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Solver {
+    /// Sparse CG with a Jacobi preconditioner (the default).
+    #[default]
+    Pcg,
+    /// The reference Gauss–Seidel averaging sweep.
+    GaussSeidel,
+}
+
 /// Configuration for [`harmonic_map_to_disk`].
 #[derive(Debug, Clone, Copy)]
 pub struct HarmonicConfig {
@@ -39,10 +65,15 @@ pub struct HarmonicConfig {
     /// Interior weights (default: uniform, as in the paper).
     pub weighting: Weighting,
     /// Convergence tolerance on the largest per-iteration vertex
-    /// displacement, in unit-disk units (default `1e-9`).
+    /// displacement, in unit-disk units (default `1e-9`). The PCG
+    /// solver stops on the diagonally scaled residual — the same
+    /// quantity in the same units — so one tolerance serves both.
     pub tolerance: f64,
-    /// Iteration budget (default 100 000).
+    /// Iteration budget (default 100 000). Applies to whichever solver
+    /// runs; PCG typically uses a few dozen iterations of it.
     pub max_iterations: usize,
+    /// Interior solver (default: [`Solver::Pcg`]).
+    pub solver: Solver,
 }
 
 impl Default for HarmonicConfig {
@@ -52,6 +83,7 @@ impl Default for HarmonicConfig {
             weighting: Weighting::Uniform,
             tolerance: 1e-9,
             max_iterations: 100_000,
+            solver: Solver::Pcg,
         }
     }
 }
@@ -87,7 +119,8 @@ impl DiskMap {
         &self.boundary
     }
 
-    /// Iterations the averaging ran for.
+    /// Iterations the interior solver ran for (Gauss–Seidel sweeps or
+    /// PCG iterations, per [`HarmonicConfig::solver`]).
     #[inline]
     pub fn iterations(&self) -> usize {
         self.iterations
@@ -226,14 +259,69 @@ pub fn harmonic_map_to_disk(
         Weighting::MeanValue => (0..n).map(|v| mean_value_weights(mesh, v)).collect(),
     };
 
-    // Gauss–Seidel averaging of the interior.
+    // Solve the interior (mean-value weights are asymmetric, so only
+    // uniform weighting is CG-eligible).
     let interior: Vec<usize> = (0..n).filter(|&v| !is_boundary[v]).collect();
+    let symmetric = config.weighting == Weighting::Uniform;
+    let iterations = solve_interior(
+        mesh,
+        &interior,
+        &is_boundary,
+        &weights,
+        &mut pos,
+        config.tolerance,
+        config.max_iterations,
+        config.solver,
+        symmetric,
+    )?;
+
+    Ok(DiskMap {
+        positions: pos,
+        boundary,
+        iterations,
+    })
+}
+
+/// Solves the pinned-boundary averaging fixed point for the interior
+/// vertices of `pos` in place, returning the solver iteration count.
+///
+/// Every interior vertex `v` must satisfy
+/// `pos[v] = Σ_u w(v,u)·pos[u] / Σ_u w(v,u)` — equivalently the sparse
+/// linear system `Σ_u w(v,u)·(pos[v] − pos[u]) = 0` with boundary
+/// positions moved to the right-hand side. [`Solver::GaussSeidel`]
+/// relaxes it by sweeps; [`Solver::Pcg`] (when `symmetric`, which makes
+/// the interior matrix SPD given the already-checked boundary
+/// reachability) solves it directly, one CG run per coordinate.
+#[allow(clippy::too_many_arguments)]
+fn solve_interior(
+    mesh: &TriMesh,
+    interior: &[usize],
+    is_boundary: &[bool],
+    weights: &[Vec<f64>],
+    pos: &mut [Point],
+    tolerance: f64,
+    max_iterations: usize,
+    solver: Solver,
+    symmetric: bool,
+) -> Result<usize, HarmonicError> {
+    if solver == Solver::Pcg && symmetric {
+        return solve_interior_pcg(
+            mesh,
+            interior,
+            is_boundary,
+            weights,
+            pos,
+            tolerance,
+            max_iterations,
+        );
+    }
+    // Gauss–Seidel averaging sweeps (the reference path).
     let mut iterations = 0usize;
     let mut residual = f64::INFINITY;
-    while iterations < config.max_iterations {
+    while iterations < max_iterations {
         iterations += 1;
         residual = 0.0;
-        for &v in &interior {
+        for &v in interior {
             let nbrs = mesh.vertex_neighbors(v);
             let ws = &weights[v];
             let mut sx = 0.0;
@@ -248,22 +336,83 @@ pub fn harmonic_map_to_disk(
             residual = residual.max(np.distance(pos[v]));
             pos[v] = np;
         }
-        if residual < config.tolerance {
+        if residual < tolerance {
             break;
         }
     }
-    if residual >= config.tolerance {
+    if residual >= tolerance {
         return Err(HarmonicError::NotConverged {
             iterations,
             residual,
         });
     }
+    Ok(iterations)
+}
 
-    Ok(DiskMap {
-        positions: pos,
-        boundary,
-        iterations,
-    })
+/// The [`Solver::Pcg`] path of [`solve_interior`]: assemble the interior
+/// Laplacian once, then run one Jacobi-PCG solve per coordinate.
+fn solve_interior_pcg(
+    mesh: &TriMesh,
+    interior: &[usize],
+    is_boundary: &[bool],
+    weights: &[Vec<f64>],
+    pos: &mut [Point],
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<usize, HarmonicError> {
+    let m = interior.len();
+    if m == 0 {
+        return Ok(0);
+    }
+    let mut interior_index = vec![usize::MAX; pos.len()];
+    for (i, &v) in interior.iter().enumerate() {
+        interior_index[v] = i;
+    }
+
+    // Row v: (Σ_u w)·x_v − Σ_{u interior} w·x_u = Σ_{u boundary} w·pos_u.
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+    let mut bx = vec![0.0; m];
+    let mut by = vec![0.0; m];
+    for (i, &v) in interior.iter().enumerate() {
+        let nbrs = mesh.vertex_neighbors(v);
+        let ws = &weights[v];
+        let mut row: Vec<(usize, f64)> = Vec::with_capacity(nbrs.len() + 1);
+        let mut degree = 0.0;
+        for (k, &u) in nbrs.iter().enumerate() {
+            let w = ws[k];
+            degree += w;
+            if is_boundary[u] {
+                bx[i] += w * pos[u].x;
+                by[i] += w * pos[u].y;
+            } else {
+                row.push((interior_index[u], -w));
+            }
+        }
+        row.push((i, degree));
+        rows.push(row);
+    }
+    let a = CsrMatrix::from_rows(m, &rows);
+
+    let x0: Vec<f64> = interior.iter().map(|&v| pos[v].x).collect();
+    let y0: Vec<f64> = interior.iter().map(|&v| pos[v].y).collect();
+    let cfg = PcgConfig {
+        tolerance,
+        max_iterations,
+    };
+    // One paired solve: the x and y systems share the matrix, so the
+    // lockstep recurrence reads every stored entry once per iteration
+    // instead of once per coordinate.
+    let s = pcg_jacobi2(&a, &bx, &by, &x0, &y0, &cfg);
+    if !s.converged {
+        return Err(HarmonicError::NotConverged {
+            iterations: s.iterations,
+            residual: s.residual,
+        });
+    }
+    for (i, &v) in interior.iter().enumerate() {
+        pos[v] = Point::new(s.x[i], s.y[i]);
+    }
+    Ok(s.iterations)
 }
 
 /// Computes a harmonic (Tutte) map of `mesh` with an **arbitrary** fixed
@@ -346,33 +495,23 @@ pub fn harmonic_map_with_boundary(
         .fold(0.0f64, f64::max)
         .max(1.0);
     let tol = config.tolerance * scale;
-    let mut iterations = 0usize;
-    let mut residual = f64::INFINITY;
-    while iterations < config.max_iterations {
-        iterations += 1;
-        residual = 0.0;
-        for &v in &interior {
-            let nbrs = mesh.vertex_neighbors(v);
-            let mut sx = 0.0;
-            let mut sy = 0.0;
-            for &u in nbrs {
-                sx += pos[u].x;
-                sy += pos[u].y;
-            }
-            let np = Point::new(sx / nbrs.len() as f64, sy / nbrs.len() as f64);
-            residual = residual.max(np.distance(pos[v]));
-            pos[v] = np;
-        }
-        if residual < tol {
-            break;
-        }
-    }
-    if residual >= tol {
-        return Err(HarmonicError::NotConverged {
-            iterations,
-            residual,
-        });
-    }
+    // The pinned-boundary map always averages uniformly (the weights in
+    // `config.weighting` describe the *disk* map); uniform weights are
+    // symmetric, so the configured solver applies as-is.
+    let weights: Vec<Vec<f64>> = (0..n)
+        .map(|v| vec![1.0; mesh.vertex_neighbors(v).len()])
+        .collect();
+    let iterations = solve_interior(
+        mesh,
+        &interior,
+        &is_boundary,
+        &weights,
+        &mut pos,
+        tol,
+        config.max_iterations,
+        config.solver,
+        true,
+    )?;
     Ok(DiskMap::from_parts(pos, boundary, iterations))
 }
 
@@ -601,6 +740,80 @@ mod tests {
                 harmonic_map_with_boundary(&mesh, &[Point::ORIGIN; 3], &HarmonicConfig::default());
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn pcg_matches_gauss_seidel_reference() {
+        let mesh = grid(7, 10.0);
+        let pcg = harmonic_map_to_disk(&mesh, &HarmonicConfig::default()).unwrap();
+        let gs = harmonic_map_to_disk(
+            &mesh,
+            &HarmonicConfig {
+                solver: Solver::GaussSeidel,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for v in 0..mesh.num_vertices() {
+            let d = pcg.position(v).distance(gs.position(v));
+            assert!(d < 1e-6, "vertex {v} differs by {d}");
+        }
+        // The point of the exercise: far fewer iterations.
+        assert!(
+            pcg.iterations() < gs.iterations(),
+            "PCG {} vs GS {} iterations",
+            pcg.iterations(),
+            gs.iterations()
+        );
+    }
+
+    #[test]
+    fn pcg_matches_reference_on_custom_boundary() {
+        let mesh = grid(6, 10.0);
+        let disk = harmonic_map_to_disk(&mesh, &HarmonicConfig::default()).unwrap();
+        let pinned: Vec<Point> = (0..disk.boundary().len())
+            .map(|k| {
+                let theta = TAU * k as f64 / disk.boundary().len() as f64;
+                Point::new(12.0 + 9.0 * theta.cos(), -3.0 + 5.0 * theta.sin())
+            })
+            .collect();
+        let pcg = harmonic_map_with_boundary(&mesh, &pinned, &HarmonicConfig::default()).unwrap();
+        let gs = harmonic_map_with_boundary(
+            &mesh,
+            &pinned,
+            &HarmonicConfig {
+                solver: Solver::GaussSeidel,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for v in 0..mesh.num_vertices() {
+            let d = pcg.position(v).distance(gs.position(v));
+            assert!(d < 1e-6, "vertex {v} differs by {d}");
+        }
+    }
+
+    #[test]
+    fn mean_value_weights_use_the_reference_solver() {
+        // Mean-value weights are asymmetric, so Solver::Pcg must fall
+        // back to Gauss–Seidel: both solver settings give identical
+        // results (bit-identical, same code path).
+        let mesh = grid(5, 10.0);
+        let pcg_cfg = HarmonicConfig {
+            weighting: Weighting::MeanValue,
+            ..Default::default()
+        };
+        let gs_cfg = HarmonicConfig {
+            weighting: Weighting::MeanValue,
+            solver: Solver::GaussSeidel,
+            ..Default::default()
+        };
+        let a = harmonic_map_to_disk(&mesh, &pcg_cfg).unwrap();
+        let b = harmonic_map_to_disk(&mesh, &gs_cfg).unwrap();
+        assert_eq!(a.iterations(), b.iterations());
+        for v in 0..mesh.num_vertices() {
+            assert_eq!(a.position(v), b.position(v));
+        }
     }
 
     #[test]

@@ -59,7 +59,7 @@ mod rotation;
 pub use compose::{DiskOverlay, MappedPoint};
 pub use disk::{
     harmonic_map_to_disk, harmonic_map_with_boundary, BoundaryParam, DiskMap, HarmonicConfig,
-    Weighting,
+    Solver, Weighting,
 };
 pub use distributed::{
     distributed_harmonic_map, DistributedHarmonicConfig, DistributedHarmonicOutcome,

@@ -1,0 +1,40 @@
+//! Property tests: parallel maps are observationally identical to the
+//! serial maps they replace, for arbitrary inputs and worker counts.
+
+use anr_par::{par_chunks, par_map};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn par_map_equals_serial_map(
+        items in prop::collection::vec(-1.0e6..1.0e6f64, 0..120),
+        workers in 0usize..9,
+    ) {
+        // Includes workers = 0 (auto), 1 (inline), and counts larger
+        // than the item count (short inputs with up to 8 workers).
+        let f = |&x: &f64| (x * 1.5 - 3.0, x.to_bits().count_ones());
+        let serial: Vec<_> = items.iter().map(f).collect();
+        prop_assert_eq!(par_map(&items, workers, f), serial);
+    }
+
+    #[test]
+    fn par_map_many_workers_few_items(
+        items in prop::collection::vec(0u64..1000, 0..4),
+    ) {
+        let serial: Vec<u64> = items.iter().map(|&x| x + 7).collect();
+        prop_assert_eq!(par_map(&items, 32, |&x| x + 7), serial);
+    }
+
+    #[test]
+    fn par_chunks_equals_serial_chunks(
+        items in prop::collection::vec(0u32..10_000, 0..200),
+        chunk in 1usize..40,
+        workers in 0usize..6,
+    ) {
+        let f = |c: &[u32]| c.iter().map(|&x| u64::from(x) * 3).sum::<u64>();
+        let serial: Vec<u64> = items.chunks(chunk).map(f).collect();
+        prop_assert_eq!(par_chunks(&items, chunk, workers, f), serial);
+    }
+}

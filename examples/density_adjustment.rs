@@ -37,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lloyd: anr_marching::coverage::LloydConfig {
             tolerance: 0.5,
             max_iterations: 80,
+            ..Default::default()
         },
         ..Default::default()
     };

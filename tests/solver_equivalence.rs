@@ -1,0 +1,112 @@
+//! Integration: the PCG and Gauss–Seidel harmonic solvers agree on
+//! every seed scenario mesh — same linear system, different solver, so
+//! the embeddings must coincide to solver tolerance.
+
+use anr_marching::coverage::deploy_exactly;
+use anr_marching::harmonic::{fill_holes, harmonic_map_to_disk, HarmonicConfig, Solver};
+use anr_marching::march::MarchConfig;
+use anr_marching::mesh::FoiMesher;
+use anr_marching::netgraph::extract_triangulation;
+use anr_marching::scenarios::{all_scenarios, ScenarioParams};
+use anr_mesh::TriMesh;
+
+fn pcg_config() -> HarmonicConfig {
+    HarmonicConfig {
+        solver: Solver::Pcg,
+        ..HarmonicConfig::default()
+    }
+}
+
+fn gs_config() -> HarmonicConfig {
+    HarmonicConfig {
+        solver: Solver::GaussSeidel,
+        ..HarmonicConfig::default()
+    }
+}
+
+/// Solves `mesh` with both solvers and returns the max per-vertex
+/// distance between the embeddings plus the two iteration counts.
+fn compare_solvers(mesh: &TriMesh) -> (f64, usize, usize) {
+    let pcg = harmonic_map_to_disk(mesh, &pcg_config()).unwrap();
+    let gs = harmonic_map_to_disk(mesh, &gs_config()).unwrap();
+    let max_diff = pcg
+        .positions()
+        .iter()
+        .zip(gs.positions())
+        .map(|(a, b)| a.distance(*b))
+        .fold(0.0f64, f64::max);
+    (max_diff, pcg.iterations(), gs.iterations())
+}
+
+#[test]
+fn pcg_matches_gauss_seidel_on_every_scenario_foi_mesh() {
+    let scenarios = all_scenarios(&ScenarioParams::default()).unwrap();
+    for s in &scenarios {
+        let spacing = MarchConfig::default().resolve_mesh_spacing(s.m2.area(), s.robots);
+        let meshed = FoiMesher::new(spacing).mesh(&s.m2).unwrap();
+        let filled = fill_holes(meshed.mesh()).unwrap();
+        let (max_diff, pcg_iters, gs_iters) = compare_solvers(filled.mesh());
+        assert!(
+            max_diff < 1e-6,
+            "scenario {}: embeddings diverge by {max_diff}",
+            s.id
+        );
+        assert!(
+            pcg_iters < gs_iters,
+            "scenario {}: PCG took {pcg_iters} iterations vs GS {gs_iters}",
+            s.id
+        );
+    }
+}
+
+#[test]
+fn pcg_matches_gauss_seidel_on_every_robot_triangulation() {
+    let scenarios = all_scenarios(&ScenarioParams::default()).unwrap();
+    for s in &scenarios {
+        let positions = deploy_exactly(&s.m1, s.robots).unwrap();
+        let t = extract_triangulation(&positions, s.range).unwrap();
+        let filled = fill_holes(&t).unwrap();
+        let (max_diff, pcg_iters, gs_iters) = compare_solvers(filled.mesh());
+        assert!(
+            max_diff < 1e-6,
+            "scenario {}: robot-mesh embeddings diverge by {max_diff}",
+            s.id
+        );
+        assert!(
+            pcg_iters < gs_iters,
+            "scenario {}: PCG took {pcg_iters} iterations vs GS {gs_iters}",
+            s.id
+        );
+    }
+}
+
+#[test]
+fn full_pipeline_agrees_across_solvers() {
+    // End to end: the march outcome under the PCG default matches the
+    // Gauss–Seidel reference — destinations differ only by solver
+    // tolerance, far below a millimetre at field scale.
+    use anr_marching::march::{march, MarchProblem, Method};
+    let scenarios = all_scenarios(&ScenarioParams::default()).unwrap();
+    let s = &scenarios[0];
+    let problem =
+        MarchProblem::with_lattice_deployment(s.m1.clone(), s.m2.clone(), s.robots, s.range)
+            .unwrap();
+    let pcg_cfg = MarchConfig {
+        harmonic: pcg_config(),
+        ..MarchConfig::default()
+    };
+    let gs_cfg = MarchConfig {
+        harmonic: gs_config(),
+        ..MarchConfig::default()
+    };
+    let a = march(&problem, Method::MaxStableLinks, &pcg_cfg).unwrap();
+    let b = march(&problem, Method::MaxStableLinks, &gs_cfg).unwrap();
+    assert_eq!(a.rotation, b.rotation, "same rotation chosen");
+    let max_diff = a
+        .mapped
+        .iter()
+        .zip(&b.mapped)
+        .map(|(p, q)| p.distance(*q))
+        .fold(0.0f64, f64::max);
+    assert!(max_diff < 1e-3, "mapped positions diverge by {max_diff} m");
+}
