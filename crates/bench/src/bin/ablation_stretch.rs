@@ -24,6 +24,7 @@ fn main() -> Result<(), BenchError> {
             // second legs are included.
             let stats =
                 edge_stretch_stats(&problem.positions, &outcome.final_positions, problem.range)
+                    .expect("endpoint rows are finite and matched")
                     .expect("paper deployments have links");
             println!(
                 "{},{},{:.3},{:.3},{:.3},{:.3}",

@@ -11,11 +11,11 @@
 use crate::BenchError;
 use anr_coverage::{GridPartition, LloydConfig};
 use anr_harmonic::{fill_holes, harmonic_map_to_disk, DiskOverlay, HarmonicConfig, Solver};
-use anr_march::{march, run_fault_sweep, MarchConfig, MarchProblem, Method, SweepConfig};
+use anr_march::{march_traced, run_fault_sweep, MarchConfig, MarchProblem, Method, SweepConfig};
 use anr_mesh::FoiMesher;
 use anr_netgraph::{extract_triangulation, UnitDiskGraph};
 use anr_scenarios::{build_scenario, ScenarioParams};
-use std::time::Instant;
+use anr_trace::Tracer;
 
 /// What to bench and how hard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +65,11 @@ pub struct ScenarioTimings {
     pub mesh_vertices: usize,
     /// The per-stage medians.
     pub stages: Vec<StageTiming>,
+    /// Per-stage wall-time medians of the pipeline's **own** trace
+    /// spans (triangulate, harmonic maps, rotation search, repair,
+    /// trajectories, Lloyd, metrics), collected from the same runs as
+    /// the `march` stage timing.
+    pub march_stages: Vec<StageTiming>,
     /// The harmonic-solver duel.
     pub harmonic: SolverComparison,
 }
@@ -101,27 +106,38 @@ pub struct PipelineBenchReport {
     pub fault_sweep: FaultSweepTiming,
 }
 
+/// Median of a set of timings, `0.0` when empty.
+fn median_of(mut times: Vec<f64>) -> f64 {
+    if times.is_empty() {
+        return 0.0;
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mid = times.len() / 2;
+    if times.len() % 2 == 1 {
+        times[mid]
+    } else {
+        (times[mid - 1] + times[mid]) / 2.0
+    }
+}
+
 /// Medians the wall time of `f` over `repeats` runs, in milliseconds.
+/// Each run is timed through a wall-clock tracer span — the same clock
+/// the pipeline's own stage spans use — rather than an ad-hoc timer.
 /// The closure's result is returned (from the last run) so the timed
 /// work cannot be optimized away.
 fn median_ms<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     assert!(repeats >= 1);
-    let mut times: Vec<f64> = Vec::with_capacity(repeats);
+    let tracer = Tracer::wall(2 * repeats);
     let mut last = None;
     for _ in 0..repeats {
-        let t0 = Instant::now();
-        let out = f();
-        times.push(t0.elapsed().as_secs_f64() * 1000.0);
-        last = Some(out);
+        let _rep = tracer.span("bench_rep");
+        last = Some(f());
     }
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    let mid = times.len() / 2;
-    let median = if times.len() % 2 == 1 {
-        times[mid]
-    } else {
-        (times[mid - 1] + times[mid]) / 2.0
-    };
-    (median, last.expect("repeats >= 1"))
+    let times = tracer.span_durations_ms("bench_rep");
+    // With anr-trace's `off` feature the spans vanish and the medians
+    // degrade to 0.0; with tracing on, every repeat leaves one span.
+    assert!(!tracer.is_enabled() || times.len() == repeats);
+    (median_of(times), last.expect("repeats >= 1"))
 }
 
 fn bench_scenario(
@@ -199,10 +215,30 @@ fn bench_scenario(
         })
     });
 
-    // Stage 4: the full pipeline, end to end.
-    let (march_ms, outcome) =
-        median_ms(repeats, || march(&problem, Method::MaxStableLinks, &config));
+    // Stage 4: the full pipeline, end to end. The same runs feed the
+    // per-stage view: march emits a wall-clocked span for every
+    // pipeline stage, so the stage medians come for free.
+    let stage_tracer = Tracer::wall(1 << 17);
+    let (march_ms, outcome) = median_ms(repeats, || {
+        march_traced(&problem, Method::MaxStableLinks, &config, &stage_tracer)
+    });
     let outcome = outcome?;
+    let march_stages: Vec<StageTiming> = [
+        "triangulate",
+        "harmonic_m1",
+        "harmonic_m2",
+        "rotation",
+        "repair",
+        "trajectories",
+        "lloyd",
+        "metrics",
+    ]
+    .iter()
+    .map(|&stage| StageTiming {
+        stage,
+        median_ms: median_of(stage_tracer.span_durations_ms(stage)),
+    })
+    .collect();
 
     // Stage 5: the guarded Lloyd refinement from the mapped positions.
     let partition = GridPartition::new(&problem.m2, spacing * 0.2);
@@ -250,6 +286,7 @@ fn bench_scenario(
                 median_ms: lloyd_ms,
             },
         ],
+        march_stages,
         harmonic: SolverComparison {
             pcg_ms,
             gs_ms,
@@ -353,7 +390,7 @@ impl PipelineBenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"anr-bench-pipeline/1\",\n");
+        s.push_str("  \"schema\": \"anr-bench-pipeline/2\",\n");
         s.push_str(&format!("  \"cores\": {},\n", self.cores));
         s.push_str(&format!("  \"repeats\": {},\n", self.repeats));
         s.push_str(&format!("  \"smoke\": {},\n", self.smoke));
@@ -370,6 +407,20 @@ impl PipelineBenchReport {
                     st.stage,
                     json_ms(st.median_ms),
                     if i + 1 < sc.stages.len() { "," } else { "" },
+                ));
+            }
+            s.push_str("      ],\n");
+            s.push_str("      \"march_stages\": [\n");
+            for (i, st) in sc.march_stages.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"stage\": \"{}\", \"median_ms\": {}}}{}\n",
+                    st.stage,
+                    json_ms(st.median_ms),
+                    if i + 1 < sc.march_stages.len() {
+                        ","
+                    } else {
+                        ""
+                    },
                 ));
             }
             s.push_str("      ],\n");
@@ -436,6 +487,11 @@ mod tests {
         assert!(report.fault_sweep.byte_identical);
         let sc = &report.scenarios[0];
         assert_eq!(sc.stages.len(), 6);
+        assert_eq!(sc.march_stages.len(), 8);
+        // Every pipeline stage span was seen and timed on this machine.
+        for st in &sc.march_stages {
+            assert!(st.median_ms > 0.0, "stage `{}` never timed", st.stage);
+        }
         // Same linear system, two solvers: the embeddings agree tightly.
         assert!(
             sc.harmonic.max_position_diff < 1e-6,
@@ -444,9 +500,12 @@ mod tests {
         );
         let json = report.to_json();
         for key in [
-            "\"schema\": \"anr-bench-pipeline/1\"",
+            "\"schema\": \"anr-bench-pipeline/2\"",
             "\"stage\": \"harmonic_pcg\"",
             "\"stage\": \"lloyd\"",
+            "\"march_stages\"",
+            "\"stage\": \"triangulate\"",
+            "\"stage\": \"trajectories\"",
             "\"speedup\"",
             "\"fault_sweep\"",
             "\"byte_identical\": true",

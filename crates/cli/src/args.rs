@@ -103,10 +103,30 @@ pub enum Command {
         /// `BENCH_pipeline.json`).
         out: PathBuf,
     },
+    /// `anr audit [--id N] [--method a|b] [--separation S] [--robots R]`
+    Audit {
+        /// Scenario id (1–7); `None` audits every bundled scenario.
+        id: Option<u8>,
+        /// Method whose transition is audited (`all` is rejected).
+        method: MethodArg,
+        /// FoI separation in communication ranges.
+        separation: f64,
+        /// Robot count.
+        robots: usize,
+    },
     /// `anr info` — the scenario catalog.
     Info,
     /// `anr help` / `--help`.
     Help,
+}
+
+/// A full CLI invocation: global flags plus the subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// `--trace <file.jsonl>`: write every trace event here.
+    pub trace: Option<PathBuf>,
+    /// The subcommand.
+    pub command: Command,
 }
 
 /// Argument-parsing errors.
@@ -172,17 +192,32 @@ pub const HELP: &str = "\
 anr — optimal marching of autonomous networked robots (ICDCS 2016)
 
 USAGE:
+  anr [--trace <file.jsonl>] <command> [flags]
+
+COMMANDS:
   anr scenario --id <1-7> [--method a|b|direct|hungarian|all]
                [--separation <ranges>] [--robots <n>]
+               (`march` is an alias for `scenario`)
   anr sweep    --id <1-7> [--quick] [--charts <dir>]
   anr render   --id <1-7> [--out <dir>] [--separation <ranges>]
   anr mission  [--stops <k>] [--robots <n>]
   anr fault-sweep [--id <1-7>] [--robots <n>] [--loss <p,p,...>]
                [--crashes <k,k,...>] [--seed <s>] [--workers <w>]
                [--out <file.json>]
+  anr audit    [--id <1-7>] [--method a|b] [--separation <ranges>]
+               [--robots <n>]
   anr bench    [--smoke] [--repeats <n>] [--out <file.json>]
   anr info
   anr help
+
+GLOBAL FLAGS:
+  --trace <file.jsonl>   write structured trace events (pipeline stage
+                         spans, solver iterations, audit violations,
+                         fault-sweep cells) as JSON Lines
+
+`anr audit` re-checks the continuous-time connectivity guarantee with
+the closed-form per-link extremum (no sampling) and exits non-zero if
+any audited transition ever disconnects.
 ";
 
 struct Cursor {
@@ -243,7 +278,37 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "info" => Ok(Command::Info),
-        "scenario" => {
+        "audit" => {
+            let mut id = None;
+            let mut method = MethodArg::OursA;
+            let mut separation = 30.0;
+            let mut robots = 144usize;
+            while let Some(flag) = cur.next() {
+                match flag.as_str() {
+                    "--id" => id = Some(parse_num::<u8>("--id", &cur.value_for("--id")?, "1-7")?),
+                    "--method" => method = MethodArg::parse(&cur.value_for("--method")?)?,
+                    "--separation" => {
+                        separation =
+                            parse_num("--separation", &cur.value_for("--separation")?, "a number")?
+                    }
+                    "--robots" => {
+                        robots = parse_num("--robots", &cur.value_for("--robots")?, "an integer")?
+                    }
+                    other => {
+                        return Err(ArgError::UnknownFlag {
+                            flag: other.to_string(),
+                        })
+                    }
+                }
+            }
+            Ok(Command::Audit {
+                id,
+                method,
+                separation,
+                robots,
+            })
+        }
+        "scenario" | "march" => {
             let mut id = None;
             let mut method = MethodArg::All;
             let mut separation = 30.0;
@@ -432,6 +497,31 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
             got: other.to_string(),
         }),
     }
+}
+
+/// Parses a full invocation: the global `--trace <file>` flag (accepted
+/// anywhere on the command line) plus the subcommand.
+///
+/// # Errors
+///
+/// [`ArgError`] describing the first problem encountered.
+pub fn parse_invocation<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, ArgError> {
+    let mut trace = None;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--trace" {
+            trace = Some(PathBuf::from(it.next().ok_or(ArgError::MissingValue {
+                flag: "--trace".to_string(),
+            })?));
+        } else {
+            rest.push(arg);
+        }
+    }
+    Ok(Invocation {
+        trace,
+        command: parse_args(rest)?,
+    })
 }
 
 #[cfg(test)]
@@ -627,6 +717,70 @@ mod tests {
         for h in [&["help"][..], &["--help"], &["-h"]] {
             assert_eq!(parse(h).unwrap(), Command::Help);
         }
+    }
+
+    #[test]
+    fn march_is_a_scenario_alias() {
+        assert_eq!(
+            parse(&["march", "--id", "2"]).unwrap(),
+            parse(&["scenario", "--id", "2"]).unwrap(),
+        );
+    }
+
+    #[test]
+    fn audit_defaults_and_flags() {
+        assert_eq!(
+            parse(&["audit"]).unwrap(),
+            Command::Audit {
+                id: None,
+                method: MethodArg::OursA,
+                separation: 30.0,
+                robots: 144,
+            }
+        );
+        assert_eq!(
+            parse(&["audit", "--id", "4", "--method", "b", "--robots", "36"]).unwrap(),
+            Command::Audit {
+                id: Some(4),
+                method: MethodArg::OursB,
+                separation: 30.0,
+                robots: 36,
+            }
+        );
+    }
+
+    #[test]
+    fn invocation_extracts_global_trace_flag() {
+        let inv = parse_invocation(
+            ["--trace", "out.jsonl", "march", "--id", "1"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(inv.trace, Some(PathBuf::from("out.jsonl")));
+        assert!(matches!(inv.command, Command::Scenario { id: 1, .. }));
+
+        // The flag is global: it also parses after the subcommand.
+        let inv = parse_invocation(
+            ["audit", "--id", "3", "--trace", "t.jsonl"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(inv.trace, Some(PathBuf::from("t.jsonl")));
+        assert!(matches!(inv.command, Command::Audit { id: Some(3), .. }));
+
+        let inv = parse_invocation(["info"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(inv.trace, None);
+
+        assert!(matches!(
+            parse_invocation(
+                ["scenario", "--id", "1", "--trace"]
+                    .iter()
+                    .map(|s| s.to_string())
+            ),
+            Err(ArgError::MissingValue { .. })
+        ));
     }
 
     #[test]

@@ -3,11 +3,13 @@
 use crate::{Command, MethodArg};
 use anr_geom::Point;
 use anr_march::{
-    direct_translation, hungarian_direct, march, march_mission, run_fault_sweep, MarchConfig,
-    MarchError, MarchOutcome, MarchProblem, Method, Mission, SweepConfig,
+    audit_piecewise, direct_translation, hungarian_direct, march_mission, march_traced,
+    run_fault_sweep_traced, MarchConfig, MarchError, MarchOutcome, MarchProblem, Method,
+    MetricsError, Mission, SweepConfig,
 };
 use anr_netgraph::UnitDiskGraph;
 use anr_scenarios::{blob, build_scenario, ScenarioError, ScenarioParams};
+use anr_trace::Tracer;
 use anr_viz::{palette, SvgCanvas};
 use std::error::Error;
 use std::fmt;
@@ -26,6 +28,13 @@ pub enum CliError {
     BadParameter(String),
     /// The fault-sweep simulation failed.
     Sim(anr_distsim::SimError),
+    /// The continuous-time audit itself failed to run.
+    Metrics(MetricsError),
+    /// `anr audit` found a transition that disconnects.
+    AuditFailed {
+        /// Scenario ids whose transition lost connectivity.
+        scenarios: Vec<u8>,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -36,11 +45,26 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io: {e}"),
             CliError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
             CliError::Sim(e) => write!(f, "simulation: {e}"),
+            CliError::Metrics(e) => write!(f, "audit: {e}"),
+            CliError::AuditFailed { scenarios } => {
+                let ids: Vec<String> = scenarios.iter().map(u8::to_string).collect();
+                write!(
+                    f,
+                    "audit failed: network disconnects in scenario(s) {}",
+                    ids.join(", ")
+                )
+            }
         }
     }
 }
 
 impl Error for CliError {}
+
+impl From<MetricsError> for CliError {
+    fn from(e: MetricsError) -> Self {
+        CliError::Metrics(e)
+    }
+}
 
 impl From<anr_distsim::SimError> for CliError {
     fn from(e: anr_distsim::SimError) -> Self {
@@ -80,6 +104,17 @@ fn scenario_problem(id: u8, separation: f64, robots: usize) -> Result<MarchProbl
     )?)
 }
 
+/// Normalized times for a timeline of `len` rows, matching the spacing
+/// `evaluate_timeline` uses when it computes the reported metrics.
+fn uniform_times(len: usize) -> Vec<f64> {
+    if len <= 1 {
+        vec![0.0]
+    } else {
+        let steps = (len - 1) as f64;
+        (0..len).map(|k| k as f64 / steps).collect()
+    }
+}
+
 fn print_outcome(name: &str, out: &MarchOutcome) {
     println!(
         "{:<20} L = {:.3}  D = {:>9.0} m  C = {}  preserved {}/{} links, {} new",
@@ -93,12 +128,24 @@ fn print_outcome(name: &str, out: &MarchOutcome) {
     );
 }
 
-/// Executes a parsed command. Returns the process exit code.
+/// Executes a parsed command with tracing disabled.
 ///
 /// # Errors
 ///
 /// [`CliError`] on any failure; `main` prints it and exits non-zero.
 pub fn run_command(command: Command) -> Result<(), CliError> {
+    run_command_traced(command, &Tracer::disabled())
+}
+
+/// Executes a parsed command, emitting structured events to `tracer`
+/// (pipeline stage spans, solver iterations, audit violations,
+/// fault-sweep cells). With [`Tracer::disabled`] this is exactly
+/// [`run_command`]: tracing is observation only.
+///
+/// # Errors
+///
+/// [`CliError`] on any failure; `main` prints it and exits non-zero.
+pub fn run_command_traced(command: Command, tracer: &Tracer) -> Result<(), CliError> {
     match command {
         Command::Help => {
             print!("{}", crate::args::HELP);
@@ -147,7 +194,7 @@ pub fn run_command(command: Command) -> Result<(), CliError> {
                 m => vec![(label_of(m), m)],
             };
             for (name, m) in runs {
-                let out = run_method(&problem, m, &config)?;
+                let out = run_method(&problem, m, &config, tracer)?;
                 print_outcome(name, &out);
             }
             Ok(())
@@ -169,7 +216,7 @@ pub fn run_command(command: Command) -> Result<(), CliError> {
                     ("direct_translation", MethodArg::Direct),
                     ("hungarian", MethodArg::Hungarian),
                 ] {
-                    let out = run_method(&problem, m, &config)?;
+                    let out = run_method(&problem, m, &config, tracer)?;
                     println!(
                         "{id},{sep},{name},{:.1},{:.4},{}",
                         out.metrics.total_distance,
@@ -212,7 +259,12 @@ pub fn run_command(command: Command) -> Result<(), CliError> {
             separation,
         } => {
             let problem = scenario_problem(id, separation, 144)?;
-            let outcome = march(&problem, Method::MaxStableLinks, &MarchConfig::default())?;
+            let outcome = march_traced(
+                &problem,
+                Method::MaxStableLinks,
+                &MarchConfig::default(),
+                tracer,
+            )?;
             std::fs::create_dir_all(&out)?;
 
             let initial = UnitDiskGraph::new(&problem.positions, problem.range);
@@ -271,7 +323,8 @@ pub fn run_command(command: Command) -> Result<(), CliError> {
                 workers,
                 ..Default::default()
             };
-            let report = run_fault_sweep(&problem.positions, problem.range, &config)?;
+            let report =
+                run_fault_sweep_traced(&problem.positions, problem.range, &config, tracer)?;
             let json = report.to_json();
             match out {
                 Some(path) => {
@@ -320,6 +373,53 @@ pub fn run_command(command: Command) -> Result<(), CliError> {
             eprintln!("benchmark trajectory written to {}", out.display());
             Ok(())
         }
+        Command::Audit {
+            id,
+            method,
+            separation,
+            robots,
+        } => {
+            if method == MethodArg::All {
+                return Err(CliError::BadParameter(
+                    "audit needs a single method (a, b, direct, or hungarian)".to_string(),
+                ));
+            }
+            let ids: Vec<u8> = match id {
+                Some(i) => vec![i],
+                None => (1..=7).collect(),
+            };
+            let config = MarchConfig::default();
+            let mut failed = Vec::new();
+            for id in ids {
+                let problem = scenario_problem(id, separation, robots)?;
+                let outcome = run_method(&problem, method, &config, tracer)?;
+                let times = uniform_times(outcome.timeline.len());
+                let report = audit_piecewise(&outcome.timeline, &times, problem.range, tracer)?;
+                println!(
+                    "scenario {id}: C = {}  L = {:.3}  ({}/{} initial links stable, {} violations)",
+                    report.global_connectivity,
+                    report.stable_link_ratio,
+                    report.preserved_links,
+                    report.initial_links,
+                    report.violations.len(),
+                );
+                for v in &report.violations {
+                    println!(
+                        "  link ({}, {}) out of range on s in [{:.4}, {:.4}] (max distance {:.1} m)",
+                        v.link.0, v.link.1, v.interval.0, v.interval.1, v.max_distance,
+                    );
+                }
+                if report.global_connectivity != 1 {
+                    failed.push(id);
+                }
+            }
+            if failed.is_empty() {
+                println!("audit: every audited transition stayed connected (C = 1)");
+                Ok(())
+            } else {
+                Err(CliError::AuditFailed { scenarios: failed })
+            }
+        }
         Command::Mission { stops, robots } => {
             if stops < 2 {
                 return Err(CliError::BadParameter(
@@ -365,10 +465,11 @@ fn run_method(
     problem: &MarchProblem,
     method: MethodArg,
     config: &MarchConfig,
+    tracer: &Tracer,
 ) -> Result<MarchOutcome, CliError> {
     Ok(match method {
-        MethodArg::OursA => march(problem, Method::MaxStableLinks, config)?,
-        MethodArg::OursB => march(problem, Method::MinMovingDistance, config)?,
+        MethodArg::OursA => march_traced(problem, Method::MaxStableLinks, config, tracer)?,
+        MethodArg::OursB => march_traced(problem, Method::MinMovingDistance, config, tracer)?,
         MethodArg::Direct => direct_translation(problem, config)?,
         MethodArg::Hungarian => hungarian_direct(problem, config)?,
         MethodArg::All => unreachable!("expanded by the caller"),
@@ -430,6 +531,63 @@ mod tests {
     fn errors_display() {
         let e = CliError::BadParameter("x".into());
         assert!(!e.to_string().is_empty());
+        let e = CliError::AuditFailed {
+            scenarios: vec![3, 5],
+        };
+        assert!(e.to_string().contains("3, 5"));
+    }
+
+    #[test]
+    fn audit_certifies_one_scenario() {
+        run_command(Command::Audit {
+            id: Some(1),
+            method: MethodArg::OursA,
+            separation: 12.0,
+            robots: 144,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn audit_rejects_method_all() {
+        assert!(matches!(
+            run_command(Command::Audit {
+                id: Some(1),
+                method: MethodArg::All,
+                separation: 12.0,
+                robots: 64,
+            }),
+            Err(CliError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn traced_scenario_emits_stage_spans() {
+        let tracer = Tracer::ring(1 << 16);
+        run_command_traced(
+            Command::Scenario {
+                id: 1,
+                method: MethodArg::OursA,
+                separation: 12.0,
+                robots: 144,
+            },
+            &tracer,
+        )
+        .unwrap();
+        let events = tracer.events();
+        for stage in [
+            "march",
+            "triangulate",
+            "harmonic_m1",
+            "harmonic_m2",
+            "lloyd",
+        ] {
+            assert!(
+                events.iter().any(|e| e.name == stage),
+                "missing stage span `{stage}` in CLI trace"
+            );
+        }
+        assert!(events.iter().any(|e| e.name == "pcg_iter"));
     }
 
     #[test]

@@ -20,5 +20,5 @@
 mod args;
 mod commands;
 
-pub use args::{parse_args, ArgError, Command, MethodArg};
-pub use commands::{run_command, CliError};
+pub use args::{parse_args, parse_invocation, ArgError, Command, Invocation, MethodArg};
+pub use commands::{run_command, run_command_traced, CliError};

@@ -1,10 +1,11 @@
 //! The `anr` binary: see `anr help`.
 
-use anr_cli::{parse_args, run_command, Command};
+use anr_cli::{parse_invocation, run_command, run_command_traced, Command};
+use anr_trace::Tracer;
 
 fn main() {
-    let command = match parse_args(std::env::args().skip(1)) {
-        Ok(cmd) => cmd,
+    let invocation = match parse_invocation(std::env::args().skip(1)) {
+        Ok(inv) => inv,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();
@@ -12,7 +13,22 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if let Err(e) = run_command(command) {
+    let tracer = match &invocation.trace {
+        Some(path) => match Tracer::jsonl_file(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot open trace file {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+        None => Tracer::disabled(),
+    };
+    let result = run_command_traced(invocation.command, &tracer);
+    if let Err(e) = tracer.flush() {
+        eprintln!("error: flushing trace: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

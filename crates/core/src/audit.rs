@@ -1,0 +1,765 @@
+//! Continuous-time invariant audit: exact link stability and global
+//! connectivity over piecewise-linear motion (Definitions 1 and 2).
+//!
+//! The paper's definitions quantify over **every instant** `t ∈ [0, T]`.
+//! For synchronized piecewise-linear motion the squared inter-robot
+//! distance on one linear piece is a convex quadratic in the time
+//! parameter,
+//!
+//! ```text
+//! d²(τ) = ‖u + τ·w‖² = ‖w‖² τ² + 2(u·w) τ + ‖u‖²,
+//! ```
+//!
+//! (`u` the relative position at the piece start, `w` the relative
+//! displacement over the piece), so no sampling is ever needed:
+//!
+//! * the **maximum** of `d` over a piece is attained at a piece endpoint
+//!   (convexity) — a link is stable on `[0, T]` iff it is within range
+//!   at every piece breakpoint;
+//! * the instants where a pair **crosses** the range `r` are the roots
+//!   of `d²(τ) = r²` — the unit-disk edge set only changes at those
+//!   roots, so connectivity is certified by checking one instant inside
+//!   each open interval between consecutive roots (at a root instant the
+//!   edge set is a superset of both one-sided limits, because `d ≤ r` is
+//!   a closed condition; a supergraph of a connected graph is
+//!   connected).
+//!
+//! [`audit_piecewise`] runs both checks over an explicit breakpoint
+//! timeline; [`audit_trajectories`] derives that timeline from a
+//! [`TrajectorySet`]'s own polyline waypoints. Violations are reported
+//! with the offending link, the exact out-of-range interval, and the
+//! maximum distance reached, and are mirrored as `anr-trace` events.
+
+use crate::metrics::MetricsError;
+use crate::trajectory::TrajectorySet;
+use anr_geom::Point;
+use anr_netgraph::{RollbackUnionFind, UnitDiskGraph};
+use anr_trace::{TraceValue, Tracer};
+use std::collections::HashMap;
+
+/// An initial link that left communication range during the transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkViolation {
+    /// The offending link `(i, j)`, `i < j`.
+    pub link: (usize, usize),
+    /// First maximal normalized-time interval during which the pair was
+    /// out of range (exact roots of `d²(s) = r²`, not samples).
+    pub interval: (f64, f64),
+    /// Maximum distance the pair reached over the whole transition.
+    pub max_distance: f64,
+}
+
+/// Result of a continuous-time audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditReport {
+    /// Number of robots audited.
+    pub robots: usize,
+    /// Links of the initial unit-disk graph (denominator of `L`).
+    pub initial_links: usize,
+    /// Initial links within range at **every** instant.
+    pub preserved_links: usize,
+    /// Exact total stable link ratio `L` (1.0 when there are no links).
+    pub stable_link_ratio: f64,
+    /// 1 when the network was connected at every instant, else 0.
+    pub global_connectivity: u8,
+    /// Every broken initial link, with its exact violation interval.
+    pub violations: Vec<LinkViolation>,
+    /// Maximal normalized-time intervals during which the network was
+    /// disconnected (empty iff `global_connectivity == 1`).
+    pub disconnected_intervals: Vec<(f64, f64)>,
+    /// Linear motion pieces audited (timeline rows − 1).
+    pub pieces: usize,
+    /// Connectivity check instants examined (one per open interval
+    /// between consecutive edge-set change events).
+    pub connectivity_checks: usize,
+}
+
+impl AuditReport {
+    /// True when both invariants held: `C = 1` and no link violations.
+    #[must_use]
+    pub fn certified(&self) -> bool {
+        self.global_connectivity == 1 && self.violations.is_empty()
+    }
+}
+
+/// Audits a [`TrajectorySet`] continuously over `s ∈ [0, 1]`.
+///
+/// The breakpoint timeline is the union of every polyline's waypoint
+/// instants, so each piece is exactly linear and the audit is exact.
+///
+/// # Errors
+///
+/// [`MetricsError`] on empty sets, non-positive range, or non-finite
+/// positions.
+pub fn audit_trajectories(
+    set: &TrajectorySet,
+    range: f64,
+    tracer: &Tracer,
+) -> Result<AuditReport, MetricsError> {
+    let times = set.breakpoints();
+    let rows: Vec<Vec<Point>> = times.iter().map(|&s| set.positions_at(s)).collect();
+    audit_piecewise(&rows, &times, range, tracer)
+}
+
+/// Audits an explicit piecewise-linear timeline: `rows[k]` holds every
+/// robot's position at normalized time `times[k]`, and every robot moves
+/// **linearly** between consecutive rows (rows must therefore include
+/// every trajectory breakpoint — see
+/// [`TrajectorySet::breakpoints`]).
+///
+/// Emits `audit_violation` / `audit_disconnect` trace events as
+/// violations are found and a final `audit_summary` event.
+///
+/// # Errors
+///
+/// [`MetricsError`] on an empty or ragged timeline, mismatched or
+/// non-monotonic `times`, non-positive `range`, or non-finite positions.
+pub fn audit_piecewise(
+    rows: &[Vec<Point>],
+    times: &[f64],
+    range: f64,
+    tracer: &Tracer,
+) -> Result<AuditReport, MetricsError> {
+    validate(rows, times, range)?;
+    let n = rows[0].len();
+    let r2 = range * range;
+
+    let initial = UnitDiskGraph::new(&rows[0], range);
+    let links = initial.links();
+    let initial_links = links.len();
+
+    // ------------------------------------------------------------------
+    // Link stability: d is convex on every linear piece, so its maximum
+    // over [0, 1] is attained at a row instant. Exact, no sampling.
+    // ------------------------------------------------------------------
+    let mut max_dist_sq = vec![0.0f64; links.len()];
+    for row in rows {
+        for (k, &(i, j)) in links.iter().enumerate() {
+            max_dist_sq[k] = max_dist_sq[k].max(row[i].distance_sq(row[j]));
+        }
+    }
+
+    let mut violations = Vec::new();
+    for (k, &(i, j)) in links.iter().enumerate() {
+        if max_dist_sq[k] <= r2 {
+            continue;
+        }
+        let interval = first_out_interval(rows, times, (i, j), r2);
+        let max_distance = max_dist_sq[k].sqrt();
+        tracer.event(
+            "audit_violation",
+            &[
+                ("i", TraceValue::U64(i as u64)),
+                ("j", TraceValue::U64(j as u64)),
+                ("s_lo", TraceValue::F64(interval.0)),
+                ("s_hi", TraceValue::F64(interval.1)),
+                ("max_distance", TraceValue::F64(max_distance)),
+            ],
+        );
+        violations.push(LinkViolation {
+            link: (i, j),
+            interval,
+            max_distance,
+        });
+    }
+    let preserved_links = initial_links - violations.len();
+    let stable_link_ratio = if initial_links == 0 {
+        1.0
+    } else {
+        preserved_links as f64 / initial_links as f64
+    };
+
+    // ------------------------------------------------------------------
+    // Continuous connectivity: within a piece the edge set changes only
+    // at roots of d²(τ) = r²; one connectivity check per open interval
+    // between consecutive roots certifies the whole piece (at the roots
+    // themselves the edge set is a superset of both one-sided limits).
+    // ------------------------------------------------------------------
+    let mut disconnected_intervals: Vec<(f64, f64)> = Vec::new();
+    let mut connectivity_checks = 0usize;
+    if rows.len() == 1 {
+        connectivity_checks = 1;
+        if !initial.is_connected() {
+            disconnected_intervals.push((times[0], times[0]));
+        }
+    }
+    let mut events: Vec<f64> = Vec::new();
+    // Pairs ever in range during the current piece, with their in-range
+    // sub-interval of [0, 1] — one interval per pair, because d² is
+    // convex so {τ : d²(τ) ≤ r²} is connected. Each connectivity check
+    // then unions only these candidate edges (≈ the unit-disk degree
+    // sum) instead of re-scanning all n² pairs per check instant.
+    let mut candidates: Vec<(u32, u32, f64, f64)> = Vec::new();
+    for piece in 0..rows.len().saturating_sub(1) {
+        let (a, b) = (&rows[piece], &rows[piece + 1]);
+        events.clear();
+        candidates.clear();
+        let mut scan_pair = |i: usize, j: usize| {
+            let u = a[i] - a[j];
+            let w = (b[i] - b[j]) - u;
+            let (qa, qb, qc) = (w.norm_sq(), u.dot(w), u.norm_sq() - r2);
+            if qa <= 0.0 {
+                // Constant relative distance: no crossing, in range
+                // for the whole piece or not at all.
+                if qc <= 0.0 {
+                    candidates.push((i as u32, j as u32, 0.0, 1.0));
+                }
+                return;
+            }
+            let disc = qb * qb - qa * qc;
+            if disc <= 0.0 {
+                return; // never touches the range circle (or grazes it)
+            }
+            let sq = disc.sqrt();
+            let (t1, t2) = ((-qb - sq) / qa, (-qb + sq) / qa); // in range on [t1, t2]
+            if t2 <= 0.0 || t1 >= 1.0 {
+                return; // only in range outside this piece
+            }
+            candidates.push((i as u32, j as u32, t1.max(0.0), t2.min(1.0)));
+            for root in [t1, t2] {
+                if root > 0.0 && root < 1.0 {
+                    events.push(root);
+                }
+            }
+        };
+        // d(τ) ≥ d(0) − τ‖w‖ ≥ d(0) − 2·dmax, so only pairs starting
+        // within r + 2·dmax of each other can ever be in range on this
+        // piece: a grid with that cell size prunes the O(n²) scan to
+        // near-neighbors. The candidate/event multisets are unchanged
+        // (the scan itself re-filters), so results stay deterministic
+        // even though grid iteration order is not.
+        if n >= 64 {
+            let dmax = a
+                .iter()
+                .zip(b)
+                .map(|(p, q)| p.distance(*q))
+                .fold(0.0f64, f64::max);
+            for_each_near_pair(a, range + 2.0 * dmax, &mut scan_pair);
+        } else {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    scan_pair(i, j);
+                }
+            }
+        }
+        events.sort_by(f64::total_cmp);
+        events.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
+
+        // One check instant inside every open interval between events.
+        // The edge set is constant on each interval, so certifying its
+        // midpoint certifies the interval. Large swarms can have
+        // hundreds of thousands of events per piece, so connectivity is
+        // decided offline: each edge covers a contiguous run of
+        // intervals (its in-range set is one interval), and a
+        // divide-and-conquer over the interval axis with a rollback
+        // union-find visits every interval in O(E log E) total unions
+        // instead of O(E · edges).
+        let mids: Vec<f64> = (0..=events.len())
+            .map(|k| {
+                let lo = if k == 0 { 0.0 } else { events[k - 1] };
+                let hi = events.get(k).copied().unwrap_or(1.0);
+                0.5 * (lo + hi)
+            })
+            .collect();
+        connectivity_checks += mids.len();
+
+        let spans: Vec<(u32, u32, u32, u32)> = candidates
+            .iter()
+            .filter_map(|&(i, j, elo, ehi)| {
+                let a = mids.partition_point(|&m| m < elo);
+                let b = mids.partition_point(|&m| m <= ehi);
+                (a < b).then(|| (i, j, a as u32, (b - 1) as u32))
+            })
+            .collect();
+
+        let mut bad_intervals = Vec::new();
+        if n > 1 {
+            let mut uf = RollbackUnionFind::new(n);
+            disconnected_leaves(0, mids.len() - 1, &spans, &mut uf, &mut bad_intervals);
+        }
+        for k in bad_intervals {
+            let lo = if k == 0 { 0.0 } else { events[k - 1] };
+            let hi = events.get(k).copied().unwrap_or(1.0);
+            let s0 = times[piece] + lo * (times[piece + 1] - times[piece]);
+            let s1 = times[piece] + hi * (times[piece + 1] - times[piece]);
+            tracer.event(
+                "audit_disconnect",
+                &[("s_lo", TraceValue::F64(s0)), ("s_hi", TraceValue::F64(s1))],
+            );
+            merge_interval(&mut disconnected_intervals, (s0, s1));
+        }
+    }
+    let global_connectivity = u8::from(disconnected_intervals.is_empty());
+
+    tracer.event(
+        "audit_summary",
+        &[
+            ("robots", TraceValue::U64(n as u64)),
+            ("initial_links", TraceValue::U64(initial_links as u64)),
+            ("violations", TraceValue::U64(violations.len() as u64)),
+            ("stable_link_ratio", TraceValue::F64(stable_link_ratio)),
+            (
+                "global_connectivity",
+                TraceValue::U64(u64::from(global_connectivity)),
+            ),
+            (
+                "connectivity_checks",
+                TraceValue::U64(connectivity_checks as u64),
+            ),
+        ],
+    );
+
+    Ok(AuditReport {
+        robots: n,
+        initial_links,
+        preserved_links,
+        stable_link_ratio,
+        global_connectivity,
+        violations,
+        disconnected_intervals,
+        pieces: rows.len().saturating_sub(1),
+        connectivity_checks,
+    })
+}
+
+fn validate(rows: &[Vec<Point>], times: &[f64], range: f64) -> Result<(), MetricsError> {
+    if range.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(MetricsError::NonPositiveRange { range });
+    }
+    if rows.is_empty() {
+        return Err(MetricsError::EmptyTimeline);
+    }
+    if times.len() != rows.len() {
+        return Err(MetricsError::LengthMismatch {
+            expected: rows.len(),
+            got: times.len(),
+        });
+    }
+    let n = rows[0].len();
+    for (k, row) in rows.iter().enumerate() {
+        if row.len() != n {
+            return Err(MetricsError::RaggedTimeline {
+                row: k,
+                got: row.len(),
+                expected: n,
+            });
+        }
+        if let Some(robot) = row.iter().position(|p| !p.is_finite()) {
+            return Err(MetricsError::NonFinitePosition { row: k, robot });
+        }
+    }
+    if let Some(idx) = times
+        .windows(2)
+        .position(|w| w[1].partial_cmp(&w[0]) != Some(std::cmp::Ordering::Greater))
+    {
+        return Err(MetricsError::NonMonotonicTimes { index: idx + 1 });
+    }
+    if times.iter().any(|t| !t.is_finite()) {
+        return Err(MetricsError::NonMonotonicTimes { index: 0 });
+    }
+    Ok(())
+}
+
+/// Calls `f(i, j)` (with `i < j`) exactly once for every pair of points
+/// within `cutoff` of each other — and possibly for some farther pairs,
+/// which the callback must re-filter. Uniform grid with `cutoff`-sized
+/// cells: near pairs share a cell or sit in 8-adjacent cells, and each
+/// unordered cell pair is enumerated once via a forward
+/// half-neighborhood. `O(n + near pairs)` instead of `O(n²)`; iteration
+/// order is unspecified.
+fn for_each_near_pair(points: &[Point], cutoff: f64, f: &mut impl FnMut(usize, usize)) {
+    debug_assert!(cutoff > 0.0 && cutoff.is_finite());
+    let inv = 1.0 / cutoff;
+    let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+    for (k, p) in points.iter().enumerate() {
+        let key = ((p.x * inv).floor() as i64, (p.y * inv).floor() as i64);
+        cells.entry(key).or_default().push(k as u32);
+    }
+    const FWD: [(i64, i64); 4] = [(1, -1), (1, 0), (1, 1), (0, 1)];
+    for (&(cx, cy), members) in &cells {
+        for (s, &i) in members.iter().enumerate() {
+            for &j in &members[s + 1..] {
+                f(i.min(j) as usize, i.max(j) as usize);
+            }
+        }
+        for (dx, dy) in FWD {
+            if let Some(other) = cells.get(&(cx.saturating_add(dx), cy.saturating_add(dy))) {
+                for &i in members {
+                    for &j in other {
+                        f(i.min(j) as usize, i.max(j) as usize);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Offline dynamic connectivity over the interval axis `[k_lo, k_hi]`:
+/// an edge whose interval run covers the whole node is unioned once
+/// here; the rest are handed to whichever children they overlap. Each
+/// leaf is one open interval between consecutive edge-set change
+/// events — its index is pushed to `out` when the graph there is
+/// disconnected. Leaves are visited left to right, so `out` stays
+/// sorted. Unions are rolled back on exit, so each edge costs
+/// `O(log E)` unions overall instead of one scan per interval.
+fn disconnected_leaves(
+    k_lo: usize,
+    k_hi: usize,
+    spans: &[(u32, u32, u32, u32)],
+    uf: &mut RollbackUnionFind,
+    out: &mut Vec<usize>,
+) {
+    let mark = uf.checkpoint();
+    if k_lo == k_hi {
+        for &(i, j, _, _) in spans {
+            uf.union(i as usize, j as usize);
+        }
+        if uf.num_sets() != 1 {
+            out.push(k_lo);
+        }
+        uf.rollback(mark);
+        return;
+    }
+    let mid = k_lo + (k_hi - k_lo) / 2;
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &(i, j, a, b) in spans {
+        if a as usize <= k_lo && k_hi <= b as usize {
+            uf.union(i as usize, j as usize);
+        } else {
+            if a as usize <= mid {
+                left.push((i, j, a, b));
+            }
+            if b as usize > mid {
+                right.push((i, j, a, b));
+            }
+        }
+    }
+    disconnected_leaves(k_lo, mid, &left, uf, out);
+    disconnected_leaves(mid + 1, k_hi, &right, uf, out);
+    uf.rollback(mark);
+}
+
+/// The first maximal normalized-time interval during which link `(i, j)`
+/// is out of range, from the exact per-piece quadratic roots.
+fn first_out_interval(
+    rows: &[Vec<Point>],
+    times: &[f64],
+    (i, j): (usize, usize),
+    r2: f64,
+) -> (f64, f64) {
+    let mut start: Option<f64> = None;
+    let mut end = times[0];
+    for piece in 0..rows.len() - 1 {
+        let (a, b) = (&rows[piece], &rows[piece + 1]);
+        let u = a[i] - a[j];
+        let w = (b[i] - b[j]) - u;
+        let (qa, qb, qc) = (w.norm_sq(), u.dot(w), u.norm_sq() - r2);
+        // Out-of-range sub-intervals of [0, 1]: where q(τ) > 0. q is
+        // convex, so that region is [0, 1] minus the root interval.
+        let mut outs: Vec<(f64, f64)> = Vec::new();
+        if qa <= 0.0 {
+            if qc > 0.0 {
+                outs.push((0.0, 1.0));
+            }
+        } else {
+            let disc = qb * qb - qa * qc;
+            if disc <= 0.0 {
+                if qc > 0.0 {
+                    outs.push((0.0, 1.0));
+                }
+            } else {
+                let sq = disc.sqrt();
+                let (t1, t2) = ((-qb - sq) / qa, (-qb + sq) / qa);
+                if t1 > 0.0 {
+                    outs.push((0.0, t1.min(1.0)));
+                }
+                if t2 < 1.0 {
+                    outs.push((t2.max(0.0), 1.0));
+                }
+            }
+        }
+        let span = times[piece + 1] - times[piece];
+        for (lo, hi) in outs {
+            if hi <= lo {
+                continue;
+            }
+            let (s0, s1) = (times[piece] + lo * span, times[piece] + hi * span);
+            match start {
+                None => {
+                    start = Some(s0);
+                    end = s1;
+                }
+                Some(_) if s0 <= end + 1e-12 => end = end.max(s1),
+                Some(s) => return (s, end), // gap: first interval complete
+            }
+        }
+        // In-range for the rest of this piece and a violation already
+        // found: if the next piece starts in range the interval is over —
+        // handled by the gap check above on the next out interval.
+    }
+    match start {
+        Some(s) => (s, end),
+        // max_dist > r only at an isolated instant (grazing): degenerate.
+        None => (times[0], times[0]),
+    }
+}
+
+/// Appends `iv` to `list`, merging with the previous interval when they
+/// touch (intervals arrive in increasing order).
+fn merge_interval(list: &mut Vec<(f64, f64)>, iv: (f64, f64)) {
+    if let Some(last) = list.last_mut() {
+        if iv.0 <= last.1 + 1e-12 {
+            last.1 = last.1.max(iv.1);
+            return;
+        }
+    }
+    list.push(iv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::Polyline;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn near_pair_grid_covers_all_near_pairs_once() {
+        // Deterministic scatter; the grid must report every pair within
+        // the cutoff (farther extras are allowed) and never repeat one.
+        let mut seed = 0xdead_beef_u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let pts: Vec<Point> = (0..200)
+            .map(|_| p(next() * 900.0 - 450.0, next() * 900.0 - 450.0))
+            .collect();
+        for cutoff in [40.0, 120.0, 2000.0] {
+            let mut got: Vec<(usize, usize)> = Vec::new();
+            for_each_near_pair(&pts, cutoff, &mut |i, j| {
+                assert!(i < j);
+                got.push((i, j));
+            });
+            got.sort_unstable();
+            assert!(
+                got.windows(2).all(|w| w[0] != w[1]),
+                "duplicate pair at cutoff {cutoff}"
+            );
+            let got: std::collections::HashSet<_> = got.into_iter().collect();
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    if pts[i].distance(pts[j]) <= cutoff {
+                        assert!(
+                            got.contains(&(i, j)),
+                            "missing near pair ({i}, {j}) at cutoff {cutoff}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The grid-pruned scan path (n ≥ 64) must behave exactly like the
+    /// dense one: a rigidly translating 70-robot chain certifies, and an
+    /// endpoint robot detouring out of range mid-piece is caught as both
+    /// a violation and a disconnect.
+    #[test]
+    fn grid_path_large_swarm_audits_exactly() {
+        let n = 70;
+        let mut polys: Vec<Polyline> = (0..n)
+            .map(|i| {
+                let x = i as f64 * 50.0;
+                Polyline::new(vec![p(x, 0.0), p(x + 300.0, 40.0)])
+            })
+            .collect();
+        let set = TrajectorySet::new(polys.clone());
+        let r = audit_trajectories(&set, 80.0, &Tracer::disabled()).unwrap();
+        assert!(r.certified(), "rigid translation must certify");
+        assert_eq!(r.initial_links, n - 1);
+
+        // Robot 0 detours far below the chain before rejoining: its only
+        // link breaks and it disconnects, invisible at the endpoints.
+        polys[0] = Polyline::new(vec![p(0.0, 0.0), p(150.0, -200.0), p(300.0, 40.0)]);
+        let set = TrajectorySet::new(polys);
+        let r = audit_trajectories(&set, 80.0, &Tracer::disabled()).unwrap();
+        assert_eq!(r.global_connectivity, 0);
+        assert!(!r.violations.is_empty());
+        assert!(!r.disconnected_intervals.is_empty());
+    }
+
+    #[test]
+    fn stationary_pair_certifies() {
+        let set = TrajectorySet::new(vec![
+            Polyline::stationary(p(0.0, 0.0)),
+            Polyline::stationary(p(50.0, 0.0)),
+        ]);
+        let r = audit_trajectories(&set, 80.0, &Tracer::disabled()).unwrap();
+        assert!(r.certified());
+        assert_eq!(r.initial_links, 1);
+        assert_eq!(r.preserved_links, 1);
+        assert_eq!(r.stable_link_ratio, 1.0);
+    }
+
+    /// The regression scenario from the issue: a link that is within
+    /// range at **all 11 default sample instants** but bows out of range
+    /// between samples. Sampled metrics call it stable; the exact
+    /// auditor must not.
+    #[test]
+    fn link_breaking_between_samples_is_caught() {
+        // Robot A parked at the origin; robot B runs x: 76 → 80.2 → 72.4
+        // (total arclength 12, so the 80.2 peak sits at s = 4.2/12 =
+        // 0.35, strictly between the s = 0.3 and s = 0.4 samples).
+        let set = TrajectorySet::new(vec![
+            Polyline::stationary(p(0.0, 0.0)),
+            Polyline::new(vec![p(76.0, 0.0), p(80.2, 0.0), p(72.4, 0.0)]),
+        ]);
+        let range = 80.0;
+
+        // Sanity: the default 10-interval sampling sees nothing wrong.
+        for k in 0..=10 {
+            let s = k as f64 / 10.0;
+            let rowa = set.positions_at(s);
+            assert!(
+                rowa[0].distance(rowa[1]) <= range,
+                "sample {k} already out of range — scenario miscalibrated"
+            );
+        }
+
+        let r = audit_trajectories(&set, range, &Tracer::disabled()).unwrap();
+        assert!(!r.certified());
+        assert_eq!(r.violations.len(), 1);
+        let v = &r.violations[0];
+        assert_eq!(v.link, (0, 1));
+        assert!((v.max_distance - 80.2).abs() < 1e-9);
+        // Exact interval: |76 + 12s| = 80 ⇒ s = 1/3; on the way back
+        // |80.2 − 12(s − 0.35)·(7.8/0.65)/…| — endpoints from the roots.
+        assert!(
+            v.interval.0 > 0.3 && v.interval.0 < 0.35,
+            "{:?}",
+            v.interval
+        );
+        assert!(
+            v.interval.1 > 0.35 && v.interval.1 < 0.4,
+            "{:?}",
+            v.interval
+        );
+        assert!((set.positions_at(v.interval.0)[1].x - 80.0).abs() < 1e-9);
+        assert!((set.positions_at(v.interval.1)[1].x - 80.0).abs() < 1e-9);
+        // L reflects the broken link exactly.
+        assert_eq!(r.preserved_links, 0);
+        assert_eq!(r.stable_link_ratio, 0.0);
+    }
+
+    #[test]
+    fn transient_partition_between_rows_is_caught() {
+        // Bridge handover: A and B are 140 apart (never linked). Relay
+        // R1 starts between them and slides past B; relay R2 slides in
+        // from beyond A to take over the bridge. Both row instants are
+        // connected (R1 bridges at s = 0, R2 at s = 1), but mid-piece
+        // each relay is within range of only its own side, so the
+        // network splits into {A, R2} | {B, R1} — a partition no
+        // row-instant check can see.
+        let rows = vec![
+            vec![p(0.0, 0.0), p(140.0, 0.0), p(70.0, 10.0), p(-70.0, 10.0)],
+            vec![p(0.0, 0.0), p(140.0, 0.0), p(210.0, 10.0), p(70.0, 10.0)],
+        ];
+        for row in &rows {
+            assert!(
+                UnitDiskGraph::new(row, 80.0).is_connected(),
+                "row instants must look fine — scenario miscalibrated"
+            );
+        }
+        let times = vec![0.0, 1.0];
+        let r = audit_piecewise(&rows, &times, 80.0, &Tracer::disabled()).unwrap();
+        assert_eq!(r.global_connectivity, 0);
+        assert_eq!(r.disconnected_intervals.len(), 1);
+        let (lo, hi) = r.disconnected_intervals[0];
+        // A–R1 breaks at 70 + 140τ = √6300 ⇒ τ ≈ 0.067; B–R2 restores
+        // the bridge symmetrically at τ ≈ 0.933.
+        let tau = (6300.0f64.sqrt() - 70.0) / 140.0;
+        assert!((lo - tau).abs() < 1e-9, "lo = {lo}, expected {tau}");
+        assert!((hi - (1.0 - tau)).abs() < 1e-9, "hi = {hi}");
+        // Initial links: A–R1, A–R2, B–R1; only A–R1 breaks.
+        assert_eq!(r.initial_links, 3);
+        assert_eq!(r.preserved_links, 2);
+        assert!((r.stable_link_ratio - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rigid_translation_certifies_exactly() {
+        let from = [p(0.0, 0.0), p(60.0, 0.0), p(30.0, 50.0)];
+        let to: Vec<Point> = from.iter().map(|q| p(q.x + 900.0, q.y + 40.0)).collect();
+        let set = TrajectorySet::straight(&from, &to, &[]);
+        let r = audit_trajectories(&set, 80.0, &Tracer::disabled()).unwrap();
+        assert!(r.certified());
+        assert_eq!(r.stable_link_ratio, 1.0);
+    }
+
+    #[test]
+    fn violation_events_are_traced() {
+        let set = TrajectorySet::new(vec![
+            Polyline::stationary(p(0.0, 0.0)),
+            Polyline::new(vec![p(76.0, 0.0), p(80.2, 0.0), p(72.4, 0.0)]),
+        ]);
+        let tracer = Tracer::ring(256);
+        let r = audit_trajectories(&set, 80.0, &tracer).unwrap();
+        assert!(!r.certified());
+        let events = tracer.events();
+        assert!(events.iter().any(|e| e.name == "audit_violation"));
+        let summary = events.iter().find(|e| e.name == "audit_summary").unwrap();
+        assert!(summary
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "violations" && *v == TraceValue::U64(1)));
+    }
+
+    #[test]
+    fn bad_input_is_an_error_not_a_panic() {
+        let row = vec![p(0.0, 0.0)];
+        assert!(matches!(
+            audit_piecewise(std::slice::from_ref(&row), &[0.0], 0.0, &Tracer::disabled()),
+            Err(MetricsError::NonPositiveRange { .. })
+        ));
+        assert!(matches!(
+            audit_piecewise(&[], &[], 80.0, &Tracer::disabled()),
+            Err(MetricsError::EmptyTimeline)
+        ));
+        assert!(matches!(
+            audit_piecewise(
+                &[row.clone(), vec![]],
+                &[0.0, 1.0],
+                80.0,
+                &Tracer::disabled()
+            ),
+            Err(MetricsError::RaggedTimeline { row: 1, .. })
+        ));
+        assert!(matches!(
+            audit_piecewise(
+                &[row.clone(), row.clone()],
+                &[0.0],
+                80.0,
+                &Tracer::disabled()
+            ),
+            Err(MetricsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            audit_piecewise(&[row.clone(), row], &[0.5, 0.5], 80.0, &Tracer::disabled()),
+            Err(MetricsError::NonMonotonicTimes { .. })
+        ));
+    }
+
+    #[test]
+    fn single_row_connectivity() {
+        let connected = vec![p(0.0, 0.0), p(50.0, 0.0)];
+        let r = audit_piecewise(&[connected], &[0.0], 80.0, &Tracer::disabled()).unwrap();
+        assert_eq!(r.global_connectivity, 1);
+        let split = vec![p(0.0, 0.0), p(500.0, 0.0)];
+        let r = audit_piecewise(&[split], &[0.0], 80.0, &Tracer::disabled()).unwrap();
+        assert_eq!(r.global_connectivity, 0);
+        assert_eq!(r.disconnected_intervals, vec![(0.0, 0.0)]);
+    }
+}

@@ -51,9 +51,10 @@ pub fn direct_translation(
         })
         .collect();
     let transition = TrajectorySet::new(paths);
-    let timeline = transition.sample(config.time_samples);
+    let times = transition.sample_times_with_breakpoints(config.time_samples);
+    let timeline = transition.sample_at(&times);
     let total_distance = transition.total_length();
-    let metrics = evaluate_timeline(&timeline, problem.range, total_distance);
+    let metrics = evaluate_timeline(&timeline, problem.range, total_distance)?;
 
     Ok(MarchOutcome {
         initial: problem.positions.clone(),
@@ -90,9 +91,10 @@ pub fn hungarian_direct(
     let finals: Vec<Point> = (0..n).map(|i| coverage[assignment.target_of(i)]).collect();
 
     let transition = TrajectorySet::straight(&problem.positions, &finals, &problem.obstacles());
-    let timeline = transition.sample(config.time_samples);
+    let times = transition.sample_times_with_breakpoints(config.time_samples);
+    let timeline = transition.sample_at(&times);
     let total_distance = transition.total_length();
-    let metrics = evaluate_timeline(&timeline, problem.range, total_distance);
+    let metrics = evaluate_timeline(&timeline, problem.range, total_distance)?;
 
     Ok(MarchOutcome {
         initial: problem.positions.clone(),

@@ -33,6 +33,8 @@ pub enum MarchError {
     Harmonic(anr_harmonic::HarmonicError),
     /// Assignment error from a baseline.
     Assign(anr_assign::AssignError),
+    /// Invalid input to the metrics / continuous-audit layer.
+    Metrics(crate::MetricsError),
 }
 
 impl fmt::Display for MarchError {
@@ -57,6 +59,7 @@ impl fmt::Display for MarchError {
             MarchError::Mesh(e) => write!(f, "meshing error: {e}"),
             MarchError::Harmonic(e) => write!(f, "harmonic map error: {e}"),
             MarchError::Assign(e) => write!(f, "assignment error: {e}"),
+            MarchError::Metrics(e) => write!(f, "metrics error: {e}"),
         }
     }
 }
@@ -68,6 +71,7 @@ impl Error for MarchError {
             MarchError::Mesh(e) => Some(e),
             MarchError::Harmonic(e) => Some(e),
             MarchError::Assign(e) => Some(e),
+            MarchError::Metrics(e) => Some(e),
             _ => None,
         }
     }
@@ -94,6 +98,12 @@ impl From<anr_harmonic::HarmonicError> for MarchError {
 impl From<anr_assign::AssignError> for MarchError {
     fn from(e: anr_assign::AssignError) -> Self {
         MarchError::Assign(e)
+    }
+}
+
+impl From<crate::MetricsError> for MarchError {
+    fn from(e: crate::MetricsError) -> Self {
+        MarchError::Metrics(e)
     }
 }
 

@@ -28,6 +28,7 @@ use anr_distsim::{FaultPlan, FaultStats, FaultySimulator, SimError};
 use anr_geom::Point;
 use anr_netgraph::robust::{RetransmitConfig, RobustFloodNode, RobustHopFieldNode};
 use anr_netgraph::UnitDiskGraph;
+use anr_trace::{TraceValue, Tracer};
 
 /// Parameters of a fault sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -339,6 +340,30 @@ pub fn run_fault_sweep(
     range: f64,
     config: &SweepConfig,
 ) -> Result<FaultSweepReport, SimError> {
+    run_fault_sweep_traced(positions, range, config, &Tracer::disabled())
+}
+
+/// [`run_fault_sweep`] with structured tracing: the sweep runs inside a
+/// `fault_sweep` span, and every finished grid cell emits a
+/// `sweep_cell` summary event (protocol, loss, crashes, convergence,
+/// rounds, messages). Cell events are emitted in the deterministic
+/// loss-major fold order — **not** from the worker threads — so the
+/// trace is byte-identical for any worker count. Tracing is observation
+/// only: the report matches [`run_fault_sweep`] exactly.
+///
+/// # Errors
+///
+/// Same as [`run_fault_sweep`].
+///
+/// # Panics
+///
+/// Same as [`run_fault_sweep`].
+pub fn run_fault_sweep_traced(
+    positions: &[Point],
+    range: f64,
+    config: &SweepConfig,
+    tracer: &Tracer,
+) -> Result<FaultSweepReport, SimError> {
     let n = positions.len();
     assert!(n >= 2, "a sweep needs at least 2 robots");
     for &loss in &config.loss_rates {
@@ -355,6 +380,17 @@ pub fn run_fault_sweep(
             });
         }
     }
+    let _sweep_span = tracer.span_with(
+        "fault_sweep",
+        vec![
+            ("robots", TraceValue::U64(n as u64)),
+            (
+                "cells",
+                TraceValue::U64((config.loss_rates.len() * config.crash_counts.len()) as u64),
+            ),
+            ("seed", TraceValue::U64(config.seed)),
+        ],
+    );
     let graph = UnitDiskGraph::new(positions, range);
     let adjacency = graph.adjacency().to_vec();
     let values: Vec<f64> = (1..=n).map(|i| i as f64).collect();
@@ -438,6 +474,21 @@ pub fn run_fault_sweep(
             } else {
                 (run.stats.sent as u64 * 1000 / grid.baseline_sent as u64) as u32
             };
+            if tracer.is_enabled() {
+                tracer.event(
+                    "sweep_cell",
+                    &[
+                        ("protocol", TraceValue::Str(grid.protocol.clone())),
+                        ("loss_permille", TraceValue::U64(permille(loss) as u64)),
+                        ("crashes", TraceValue::U64(crash_count as u64)),
+                        ("converged", TraceValue::Bool(run.converged)),
+                        ("correct", TraceValue::Bool(run.correct)),
+                        ("rounds", TraceValue::U64(run.stats.rounds as u64)),
+                        ("sent", TraceValue::U64(run.stats.sent as u64)),
+                        ("overhead_permille", TraceValue::U64(overhead as u64)),
+                    ],
+                );
+            }
             grid.cells.push(SurvivalStats {
                 loss_permille: permille(loss),
                 crashes: crash_count,
@@ -702,6 +753,35 @@ mod tests {
             "balanced braces"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn traced_sweep_is_observation_only_and_worker_independent() {
+        let pts = lattice(3, 4);
+        let plain = run_fault_sweep(&pts, 80.0, &small_config()).unwrap();
+        let traced_run = |workers: usize| {
+            let tracer = Tracer::ring(65_536);
+            let report = run_fault_sweep_traced(
+                &pts,
+                80.0,
+                &SweepConfig {
+                    workers,
+                    ..small_config()
+                },
+                &tracer,
+            )
+            .unwrap();
+            let lines: Vec<String> = tracer.events().iter().map(anr_trace::jsonl_line).collect();
+            (report, lines)
+        };
+        let (r1, l1) = traced_run(1);
+        let (r4, l4) = traced_run(4);
+        assert_eq!(plain, r1, "tracing must not perturb the sweep");
+        assert_eq!(r1, r4);
+        assert_eq!(l1, l4, "trace byte-identical for any worker count");
+        // One summary event per (protocol × loss × crash) cell.
+        let cells = l1.iter().filter(|l| l.contains("sweep_cell")).count();
+        assert_eq!(cells, 2 * 2 * 2);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod baselines;
 mod distributed;
 mod energy;
@@ -63,6 +64,7 @@ mod replan;
 mod resilience;
 mod trajectory;
 
+pub use audit::{audit_piecewise, audit_trajectories, AuditReport, LinkViolation};
 pub use baselines::{direct_translation, hungarian_direct};
 pub use distributed::{
     distributed_objective, distributed_objective_under_faults, DistributedObjective,
@@ -70,10 +72,15 @@ pub use distributed::{
 };
 pub use energy::{EnergyModel, EnergyReport};
 pub use error::MarchError;
-pub use faultsweep::{run_fault_sweep, FaultSweepReport, ProtocolGrid, SurvivalStats, SweepConfig};
-pub use metrics::{edge_stretch_stats, evaluate_timeline, StretchStats, TransitionMetrics};
+pub use faultsweep::{
+    run_fault_sweep, run_fault_sweep_traced, FaultSweepReport, ProtocolGrid, SurvivalStats,
+    SweepConfig,
+};
+pub use metrics::{
+    edge_stretch_stats, evaluate_timeline, MetricsError, StretchStats, TransitionMetrics,
+};
 pub use mission::{march_mission, Mission, MissionMetrics, MissionOutcome};
-pub use pipeline::{march, MarchOutcome, Method};
+pub use pipeline::{march, march_traced, MarchOutcome, Method};
 pub use problem::{optimal_coverage_positions, MarchConfig, MarchProblem};
 pub use repair::{repair_connectivity, repair_connectivity_strict, RepairReport};
 pub use replan::{replan_after_failure, replan_midway, shrink_target_for, ReplanOutcome};

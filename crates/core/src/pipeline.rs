@@ -4,11 +4,12 @@ use crate::{
     evaluate_timeline, repair_connectivity_strict, MarchConfig, MarchError, MarchProblem,
     RepairReport, TrajectorySet, TransitionMetrics,
 };
-use anr_coverage::{run_lloyd_guarded, GridPartition};
+use anr_coverage::{run_lloyd_guarded_traced, GridPartition};
 use anr_geom::Point;
-use anr_harmonic::{fill_holes, harmonic_map_to_disk, DiskOverlay};
+use anr_harmonic::{fill_holes, harmonic_map_to_disk_traced, DiskOverlay};
 use anr_mesh::FoiMesher;
 use anr_netgraph::{extract_triangulation, UnitDiskGraph};
+use anr_trace::{TraceValue, Tracer};
 
 /// Which objective the rotation search optimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,14 +67,53 @@ pub fn march(
     method: Method,
     config: &MarchConfig,
 ) -> Result<MarchOutcome, MarchError> {
+    march_traced(problem, method, config, &Tracer::disabled())
+}
+
+/// [`march`] with structured tracing: every pipeline stage runs inside a
+/// span (`triangulate`, `harmonic_m1`, `harmonic_m2`, `rotation`,
+/// `repair`, `lloyd`, plus `trajectories` and `metrics`), rotation
+/// evaluations and solver iterations are emitted as events, and the
+/// produced outcome is **byte-identical** to the untraced run — tracing
+/// observes, never steers (pinned by a test below).
+///
+/// # Errors
+///
+/// Same as [`march`].
+pub fn march_traced(
+    problem: &MarchProblem,
+    method: Method,
+    config: &MarchConfig,
+    tracer: &Tracer,
+) -> Result<MarchOutcome, MarchError> {
     let n = problem.num_robots();
     let positions = &problem.positions;
     let range = problem.range;
+    let _pipeline = tracer.span_with(
+        "march",
+        vec![
+            ("robots", TraceValue::U64(n as u64)),
+            ("range", TraceValue::F64(range)),
+            (
+                "method",
+                TraceValue::Str(
+                    match method {
+                        Method::MaxStableLinks => "max_stable_links",
+                        Method::MinMovingDistance => "min_moving_distance",
+                    }
+                    .to_string(),
+                ),
+            ),
+        ],
+    );
 
     // ------------------------------------------------------------------
     // 1. Triangulation T of the deployment (Sec. III-A).
     // ------------------------------------------------------------------
-    let t_mesh = extract_triangulation(positions, range)?;
+    let t_mesh = {
+        let _s = tracer.span("triangulate");
+        extract_triangulation(positions, range)?
+    };
     if let Some(robot) = (0..n).find(|&v| t_mesh.vertex_neighbors(v).is_empty()) {
         return Err(MarchError::RobotOutsideTriangulation { robot });
     }
@@ -82,22 +122,29 @@ pub fn march(
     // 2. Harmonic map of T to the unit disk (holes filled first when M1
     //    itself has holes, Sec. III-D-3).
     // ------------------------------------------------------------------
-    let filled_t = fill_holes(&t_mesh)?;
-    let disk_t = harmonic_map_to_disk(filled_t.mesh(), &config.harmonic)?;
-    let robot_disk: Vec<Point> = (0..n).map(|v| disk_t.position(v)).collect();
+    let (filled_t, robot_disk) = {
+        let _s = tracer.span("harmonic_m1");
+        let filled_t = fill_holes(&t_mesh)?;
+        let disk_t = harmonic_map_to_disk_traced(filled_t.mesh(), &config.harmonic, tracer)?;
+        let robot_disk: Vec<Point> = (0..n).map(|v| disk_t.position(v)).collect();
+        (filled_t, robot_disk)
+    };
 
     // ------------------------------------------------------------------
     // 3. Grid + triangulate + harmonic-map the target FoI (Sec. III-B).
     // ------------------------------------------------------------------
     let spacing = config.resolve_mesh_spacing(problem.m2.area(), n);
-    let foi2 = FoiMesher::new(spacing).mesh(&problem.m2)?;
-    let filled2 = fill_holes(foi2.mesh())?;
-    let disk2 = harmonic_map_to_disk(filled2.mesh(), &config.harmonic)?;
-    let overlay = DiskOverlay::new(
-        filled2.mesh(),
-        disk2.positions(),
-        filled2.virtual_vertices(),
-    );
+    let overlay = {
+        let _s = tracer.span("harmonic_m2");
+        let foi2 = FoiMesher::new(spacing).mesh(&problem.m2)?;
+        let filled2 = fill_holes(foi2.mesh())?;
+        let disk2 = harmonic_map_to_disk_traced(filled2.mesh(), &config.harmonic, tracer)?;
+        DiskOverlay::new(
+            filled2.mesh(),
+            disk2.positions(),
+            filled2.virtual_vertices(),
+        )
+    };
 
     // ------------------------------------------------------------------
     // 4. Rotation search (Sec. III-B for (a), III-D-2 for (b)).
@@ -117,28 +164,44 @@ pub fn march(
             .map(|m| problem.m2.clamp_inside(m.position))
             .collect()
     };
+    let rotation_eval = |theta: f64, score: f64| {
+        tracer.event(
+            "rotation_eval",
+            &[
+                ("theta", TraceValue::F64(theta)),
+                ("score", TraceValue::F64(score)),
+            ],
+        );
+    };
 
+    let rotation_span = tracer.span("rotation");
     let (rotation, _score, _evals) = match method {
         Method::MaxStableLinks => config.rotation.maximize(|theta| {
             let q = map_at(theta);
-            if links.is_empty() {
-                return 1.0;
-            }
-            links
-                .iter()
-                .filter(|&&(i, j)| q[i].distance(q[j]) <= range)
-                .count() as f64
-                / links.len() as f64
+            let score = if links.is_empty() {
+                1.0
+            } else {
+                links
+                    .iter()
+                    .filter(|&&(i, j)| q[i].distance(q[j]) <= range)
+                    .count() as f64
+                    / links.len() as f64
+            };
+            rotation_eval(theta, score);
+            score
         }),
         Method::MinMovingDistance => config.rotation.minimize(|theta| {
             let q = map_at(theta);
-            positions
+            let score = positions
                 .iter()
                 .zip(&q)
                 .map(|(p, t)| p.distance(*t))
-                .sum::<f64>()
+                .sum::<f64>();
+            rotation_eval(theta, score);
+            score
         }),
     };
+    drop(rotation_span);
 
     let mut targets = map_at(rotation);
 
@@ -146,30 +209,40 @@ pub fn march(
     // 5. Global-connectivity repair (Sec. III-D-1): isolated subgroups
     //    adopt parallel motion. The network boundary is T's outer loop.
     // ------------------------------------------------------------------
-    let boundary: Vec<usize> = filled_t
-        .mesh()
-        .boundary_loops()
-        .into_iter()
-        .next()
-        .unwrap_or_default()
-        .into_iter()
-        .filter(|&v| v < n)
-        .collect();
-    let repair = repair_connectivity_strict(positions, &mut targets, &boundary, range);
+    let repair = {
+        let _s = tracer.span("repair");
+        let boundary: Vec<usize> = filled_t
+            .mesh()
+            .boundary_loops()
+            .into_iter()
+            .next()
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|&v| v < n)
+            .collect();
+        repair_connectivity_strict(positions, &mut targets, &boundary, range)
+    };
 
     // ------------------------------------------------------------------
-    // 6. Transition trajectories (Eqn. 2) with hole avoidance.
+    // 6. Transition trajectories (Eqn. 2) with hole avoidance. The
+    //    timeline samples the uniform instants PLUS every trajectory
+    //    breakpoint, so motion between rows is exactly linear and the
+    //    metrics below are continuous-time exact.
     // ------------------------------------------------------------------
+    let _trajectories_span = tracer.span("trajectories");
     let obstacles = problem.obstacles();
     let transition = TrajectorySet::straight(positions, &targets, &obstacles);
-    let mut timeline = transition.sample(config.time_samples);
+    let times = transition.sample_times_with_breakpoints(config.time_samples);
+    let mut timeline = transition.sample_at(&times);
     let mut total_distance = transition.total_length();
     let mapped = targets.clone();
+    drop(_trajectories_span);
 
     // ------------------------------------------------------------------
     // 7. Minor local adjustment: connectivity-guarded Lloyd (Sec. III-C).
     // ------------------------------------------------------------------
     let (final_positions, lloyd_iterations) = if config.refine_coverage {
+        let _s = tracer.span("lloyd");
         // Fine partition: ≥ ~50 samples per robot cell, so the weighted
         // centroids resolve the density gradient instead of locking into
         // a coarse discrete fixed point.
@@ -179,7 +252,14 @@ pub fn march(
             record_history: true,
             ..config.lloyd
         };
-        let lloyd = run_lloyd_guarded(&targets, &partition, &config.density, &lloyd_config, range);
+        let lloyd = run_lloyd_guarded_traced(
+            &targets,
+            &partition,
+            &config.density,
+            &lloyd_config,
+            range,
+            tracer,
+        );
         total_distance += lloyd.total_movement;
         timeline.extend(lloyd.history.iter().cloned());
         (lloyd.sites, lloyd.iterations)
@@ -188,9 +268,13 @@ pub fn march(
     };
 
     // ------------------------------------------------------------------
-    // 8. Metrics (Definitions 1 and 2) over the sampled timeline.
+    // 8. Metrics (Definitions 1 and 2), exact over the piecewise-linear
+    //    timeline (transition breakpoints + Lloyd iteration rows).
     // ------------------------------------------------------------------
-    let metrics = evaluate_timeline(&timeline, range, total_distance);
+    let metrics = {
+        let _s = tracer.span("metrics");
+        evaluate_timeline(&timeline, range, total_distance)?
+    };
 
     Ok(MarchOutcome {
         initial: positions.clone(),
@@ -309,6 +393,57 @@ mod tests {
         let out = march(&problem, Method::MaxStableLinks, &cfg).unwrap();
         assert_eq!(out.lloyd_iterations, 0);
         assert_eq!(out.mapped, out.final_positions);
+    }
+
+    #[test]
+    fn tracing_is_observation_only_and_covers_stages() {
+        use anr_trace::TraceKind;
+        let problem = small_problem(700.0);
+        let cfg = fast_config();
+        // The untraced run IS the disabled-tracer run (`march` delegates
+        // with `Tracer::disabled()`), so this comparison pins the
+        // contract: enabling tracing changes no output byte.
+        let plain = march(&problem, Method::MaxStableLinks, &cfg).unwrap();
+        let tracer = Tracer::ring(1 << 16);
+        let traced = march_traced(&problem, Method::MaxStableLinks, &cfg, &tracer).unwrap();
+        assert_eq!(plain.initial, traced.initial);
+        assert_eq!(plain.mapped, traced.mapped);
+        assert_eq!(plain.final_positions, traced.final_positions);
+        assert_eq!(plain.rotation, traced.rotation);
+        assert_eq!(plain.timeline, traced.timeline);
+        assert_eq!(plain.metrics, traced.metrics);
+        assert_eq!(plain.lloyd_iterations, traced.lloyd_iterations);
+
+        let events = tracer.events();
+        for stage in [
+            "march",
+            "triangulate",
+            "harmonic_m1",
+            "harmonic_m2",
+            "rotation",
+            "repair",
+            "trajectories",
+            "lloyd",
+            "metrics",
+        ] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.kind == TraceKind::SpanStart && e.name == stage),
+                "missing span {stage}"
+            );
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.kind == TraceKind::SpanEnd && e.name == stage),
+                "unclosed span {stage}"
+            );
+        }
+        // Solver iterations and rotation evaluations ride along.
+        assert!(events.iter().any(|e| e.name == "pcg_iter"));
+        assert!(events.iter().any(|e| e.name == "rotation_eval"));
+        assert!(events.iter().any(|e| e.name == "lloyd_iter"));
+        assert_eq!(tracer.dropped(), 0, "ring must hold the whole run");
     }
 
     #[test]

@@ -94,6 +94,21 @@ impl Polyline {
         let t = (target - self.cumulative[idx]) / seg_len;
         self.waypoints[idx].lerp(self.waypoints[idx + 1], t)
     }
+
+    /// Normalized times `s` of the waypoints — the breakpoints of the
+    /// piecewise-linear motion. Between consecutive breakpoints the
+    /// robot moves along a single straight segment, so any per-instant
+    /// property that is convex along a segment (inter-robot distance in
+    /// particular) attains its extremes at these instants.
+    ///
+    /// A zero-length path reports a single breakpoint at `0.0`.
+    pub fn breakpoints(&self) -> Vec<f64> {
+        let len = self.length();
+        if len <= 0.0 {
+            return vec![0.0];
+        }
+        self.cumulative.iter().map(|c| c / len).collect()
+    }
 }
 
 /// The synchronized trajectories of a whole swarm.
@@ -148,8 +163,18 @@ impl TrajectorySet {
         self.paths.iter().map(Polyline::length).sum()
     }
 
+    /// All robot positions at normalized time `s ∈ [0, 1]`.
+    pub fn positions_at(&self, s: f64) -> Vec<Point> {
+        self.paths.iter().map(|p| p.position_at(s)).collect()
+    }
+
     /// Samples all robot positions at `samples + 1` uniformly spaced
     /// normalized times (including `s = 0` and `s = 1`).
+    ///
+    /// Uniform samples may step **over** a polyline waypoint, so motion
+    /// between consecutive rows is not necessarily linear; exact
+    /// continuous metrics need [`TrajectorySet::breakpoints`] /
+    /// [`TrajectorySet::sample_at`] instead.
     ///
     /// # Panics
     ///
@@ -157,11 +182,45 @@ impl TrajectorySet {
     pub fn sample(&self, samples: usize) -> Vec<Vec<Point>> {
         assert!(samples > 0, "need at least one sample interval");
         (0..=samples)
-            .map(|k| {
-                let s = k as f64 / samples as f64;
-                self.paths.iter().map(|p| p.position_at(s)).collect()
-            })
+            .map(|k| self.positions_at(k as f64 / samples as f64))
             .collect()
+    }
+
+    /// All robot positions at each of the given normalized `times`.
+    pub fn sample_at(&self, times: &[f64]) -> Vec<Vec<Point>> {
+        times.iter().map(|&s| self.positions_at(s)).collect()
+    }
+
+    /// The union of every path's waypoint instants — sorted, deduped,
+    /// always containing `0.0` and `1.0`. Between consecutive entries
+    /// **every** robot moves along one straight segment, which is what
+    /// makes the closed-form distance-extremum audit exact.
+    pub fn breakpoints(&self) -> Vec<f64> {
+        let mut times = vec![0.0, 1.0];
+        for path in &self.paths {
+            times.extend(path.breakpoints());
+        }
+        times.sort_by(f64::total_cmp);
+        times.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        times
+    }
+
+    /// `samples + 1` uniform instants **augmented with every trajectory
+    /// breakpoint**: a timeline sampled at these times is genuinely
+    /// piecewise-linear row-to-row, so [`crate::evaluate_timeline`] and
+    /// the continuous auditor are exact on it. The uniform instants keep
+    /// the timeline's visual resolution for rendering.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples == 0`.
+    pub fn sample_times_with_breakpoints(&self, samples: usize) -> Vec<f64> {
+        assert!(samples > 0, "need at least one sample interval");
+        let mut times = self.breakpoints();
+        times.extend((0..=samples).map(|k| k as f64 / samples as f64));
+        times.sort_by(f64::total_cmp);
+        times.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        times
     }
 }
 
@@ -458,6 +517,30 @@ mod tests {
         assert_eq!(samples[0][0], p(0.0, 0.0));
         assert_eq!(samples[2][0], p(5.0, 0.0));
         assert_eq!(samples[4][1], p(10.0, 10.0));
+    }
+
+    #[test]
+    fn breakpoints_cover_every_waypoint() {
+        let path = Polyline::new(vec![p(0.0, 0.0), p(10.0, 0.0), p(10.0, 10.0)]);
+        assert_eq!(path.breakpoints(), vec![0.0, 0.5, 1.0]);
+        assert_eq!(Polyline::stationary(p(1.0, 1.0)).breakpoints(), vec![0.0]);
+
+        let set = TrajectorySet::new(vec![
+            path,
+            Polyline::new(vec![p(0.0, 0.0), p(3.0, 0.0), p(4.0, 0.0)]),
+        ]);
+        let bks = set.breakpoints();
+        assert_eq!(bks.first(), Some(&0.0));
+        assert_eq!(bks.last(), Some(&1.0));
+        assert!(bks.contains(&0.5) && bks.contains(&0.75), "{bks:?}");
+        assert!(bks.windows(2).all(|w| w[1] > w[0]), "{bks:?}");
+        // Sampling at the breakpoints reproduces the waypoints exactly.
+        let rows = set.sample_at(&bks);
+        assert_eq!(rows.len(), bks.len());
+        assert_eq!(
+            rows[bks.iter().position(|&s| s == 0.75).unwrap()][1],
+            p(3.0, 0.0)
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::{Density, GridPartition};
 use anr_geom::{Point, Segment};
 use anr_netgraph::UnitDiskGraph;
+use anr_trace::{TraceValue, Tracer};
 
 /// Configuration for the Lloyd iteration.
 #[derive(Debug, Clone, Copy)]
@@ -116,6 +117,34 @@ pub fn run_lloyd_guarded(
     config: &LloydConfig,
     range: f64,
 ) -> LloydResult {
+    run_lloyd_guarded_traced(
+        sites,
+        partition,
+        density,
+        config,
+        range,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`run_lloyd_guarded`] with per-iteration observability: every
+/// iteration emits a `lloyd_iter` event on `tracer` carrying the
+/// iteration number, the accepted step fraction (1.0 for an unguarded
+/// full step, 0.0 when even the smallest step would disconnect), and the
+/// largest single-site move. Tracing is observation only — results are
+/// bit-identical to [`run_lloyd_guarded`].
+///
+/// # Panics
+///
+/// Panics when `sites` is empty or `range <= 0`.
+pub fn run_lloyd_guarded_traced(
+    sites: &[Point],
+    partition: &GridPartition,
+    density: &Density,
+    config: &LloydConfig,
+    range: f64,
+    tracer: &Tracer,
+) -> LloydResult {
     assert!(!sites.is_empty(), "need at least one site");
     assert!(range > 0.0, "communication range must be positive");
     let mut cur = sites.to_vec();
@@ -168,6 +197,19 @@ pub fn run_lloyd_guarded(
             let d = s.distance(*n);
             total_movement += d;
             max_move = max_move.max(d);
+        }
+        if tracer.is_enabled() {
+            tracer.event(
+                "lloyd_iter",
+                &[
+                    ("iter", TraceValue::U64(iterations as u64)),
+                    (
+                        "fraction",
+                        TraceValue::F64(if accepted { fraction } else { 0.0 }),
+                    ),
+                    ("max_move", TraceValue::F64(max_move)),
+                ],
+            );
         }
         std::mem::swap(&mut cur, &mut candidate);
         if config.record_history {
@@ -334,6 +376,32 @@ mod tests {
         assert_eq!(recorded.history.len(), recorded.iterations);
         assert_eq!(quiet.sites, recorded.sites);
         assert_eq!(quiet.total_movement, recorded.total_movement);
+    }
+
+    #[test]
+    fn traced_guarded_lloyd_is_observation_only() {
+        let region = square(400.0);
+        let part = GridPartition::new(&region, 10.0);
+        let sites: Vec<Point> = (0..9)
+            .map(|i| Point::new(180.0 + (i % 3) as f64 * 12.0, 180.0 + (i / 3) as f64 * 12.0))
+            .collect();
+        let cfg = LloydConfig {
+            max_iterations: 8,
+            ..Default::default()
+        };
+        let plain = run_lloyd_guarded(&sites, &part, &Density::Uniform, &cfg, 80.0);
+        let tracer = Tracer::ring(4096);
+        let traced =
+            run_lloyd_guarded_traced(&sites, &part, &Density::Uniform, &cfg, 80.0, &tracer);
+        assert_eq!(plain.sites, traced.sites);
+        assert_eq!(plain.iterations, traced.iterations);
+        assert_eq!(plain.total_movement, traced.total_movement);
+        let iters = tracer
+            .events()
+            .iter()
+            .filter(|e| e.name == "lloyd_iter")
+            .count();
+        assert_eq!(iters, traced.iterations, "one lloyd_iter per iteration");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::fault::{DelayModel, FaultPlan, FaultRng};
 use crate::Envelope;
+use anr_trace::{TraceValue, Tracer};
 
 /// Delivery accounting maintained by the channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,6 +43,7 @@ pub struct FaultChannel<M> {
     slots: std::collections::VecDeque<Vec<Vec<Envelope<M>>>>,
     n: usize,
     stats: ChannelStats,
+    tracer: Tracer,
 }
 
 impl<M: Clone> FaultChannel<M> {
@@ -54,7 +56,16 @@ impl<M: Clone> FaultChannel<M> {
             slots: std::collections::VecDeque::new(),
             n,
             stats: ChannelStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer: every offered message then emits a `msg_send`
+    /// (with its drawn delay), `msg_drop` (reason `loss` or `crash`), or
+    /// `msg_deliver` event. Tracing is observation only — the random
+    /// stream and delivery order are untouched.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// The plan driving this channel.
@@ -75,6 +86,16 @@ impl<M: Clone> FaultChannel<M> {
         let p = self.plan.loss_on(from, to);
         if p > 0.0 && self.rng.unit() < p {
             self.stats.dropped_loss += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.event(
+                    "msg_drop",
+                    &[
+                        ("from", TraceValue::U64(from as u64)),
+                        ("to", TraceValue::U64(to as u64)),
+                        ("reason", TraceValue::Str("loss".to_string())),
+                    ],
+                );
+            }
             return;
         }
         let copies = if self.plan.duplication > 0.0 && self.rng.unit() < self.plan.duplication {
@@ -106,6 +127,16 @@ impl<M: Clone> FaultChannel<M> {
                 msg: msg.clone(),
             });
             self.stats.accepted += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.event(
+                    "msg_send",
+                    &[
+                        ("from", TraceValue::U64(from as u64)),
+                        ("to", TraceValue::U64(to as u64)),
+                        ("delay", TraceValue::U64(delay as u64)),
+                    ],
+                );
+            }
         }
     }
 
@@ -119,7 +150,25 @@ impl<M: Clone> FaultChannel<M> {
         for (to, inbox) in inboxes.iter_mut().enumerate() {
             if crashed.get(to).copied().unwrap_or(false) && !inbox.is_empty() {
                 self.stats.dropped_crash += inbox.len();
+                if self.tracer.is_enabled() {
+                    self.tracer.event(
+                        "msg_drop",
+                        &[
+                            ("to", TraceValue::U64(to as u64)),
+                            ("count", TraceValue::U64(inbox.len() as u64)),
+                            ("reason", TraceValue::Str("crash".to_string())),
+                        ],
+                    );
+                }
                 inbox.clear();
+            } else if !inbox.is_empty() && self.tracer.is_enabled() {
+                self.tracer.event(
+                    "msg_deliver",
+                    &[
+                        ("to", TraceValue::U64(to as u64)),
+                        ("count", TraceValue::U64(inbox.len() as u64)),
+                    ],
+                );
             }
         }
         inboxes

@@ -25,6 +25,7 @@
 use crate::channel::FaultChannel;
 use crate::fault::{ChurnEvent, ChurnKind, FaultPlan};
 use crate::{Node, Outbox, SimError};
+use anr_trace::{TraceValue, Tracer};
 
 /// Accounting for a fault-injected run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,6 +65,7 @@ pub struct FaultySimulator<N: Node> {
     crashes: usize,
     recoveries: usize,
     started: bool,
+    tracer: Tracer,
 }
 
 impl<N: Node> FaultySimulator<N> {
@@ -115,7 +117,19 @@ impl<N: Node> FaultySimulator<N> {
             crashes: 0,
             recoveries: 0,
             started: false,
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Attaches a tracer: message `msg_send` / `msg_drop` /
+    /// `msg_deliver` events flow from the channel, and churn applies
+    /// emit `robot_crash` / `robot_recover` events. Tracing is
+    /// observation only — the run is bit-identical with or without it.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self.channel.set_tracer(tracer);
+        self
     }
 
     /// Read access to the nodes.
@@ -205,12 +219,30 @@ impl<N: Node> FaultySimulator<N> {
                     if !self.crashed[ev.robot] {
                         self.crashed[ev.robot] = true;
                         self.crashes += 1;
+                        if self.tracer.is_enabled() {
+                            self.tracer.event(
+                                "robot_crash",
+                                &[
+                                    ("round", TraceValue::U64(round as u64)),
+                                    ("robot", TraceValue::U64(ev.robot as u64)),
+                                ],
+                            );
+                        }
                     }
                 }
                 ChurnKind::Recover => {
                     if self.crashed[ev.robot] {
                         self.crashed[ev.robot] = false;
                         self.recoveries += 1;
+                        if self.tracer.is_enabled() {
+                            self.tracer.event(
+                                "robot_recover",
+                                &[
+                                    ("round", TraceValue::U64(round as u64)),
+                                    ("robot", TraceValue::U64(ev.robot as u64)),
+                                ],
+                            );
+                        }
                     }
                 }
             }
@@ -508,6 +540,53 @@ mod tests {
             Err(SimError::NotQuiescent { max_rounds: 3, .. }) => {}
             other => panic!("expected NotQuiescent, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_run_is_observation_only() {
+        let n = 9;
+        let plan = FaultPlan::reliable(7)
+            .with_loss(0.3)
+            .with_crash(1, 2)
+            .with_recovery(4, 2);
+        let run = |tracer: Option<&anr_trace::Tracer>| {
+            let mut sim = FaultySimulator::new(minid_nodes(n), ring(n), plan.clone()).unwrap();
+            if let Some(t) = tracer {
+                sim = sim.with_tracer(t);
+            }
+            let stats = sim.run_rounds(10).unwrap();
+            (stats, sim.into_nodes())
+        };
+        let (s_plain, n_plain) = run(None);
+        let tracer = anr_trace::Tracer::ring(65_536);
+        let (s_traced, n_traced) = run(Some(&tracer));
+        assert_eq!(s_plain, s_traced, "tracing must not perturb the run");
+        assert_eq!(n_plain, n_traced);
+
+        let events = tracer.events();
+        let count = |name: &str| events.iter().filter(|e| e.name == name).count();
+        assert_eq!(count("msg_send"), s_traced.sent);
+        assert_eq!(count("robot_crash"), 1);
+        assert_eq!(count("robot_recover"), 1);
+        // Per-inbox delivery events carry counts summing to `delivered`.
+        let delivered: u64 = events
+            .iter()
+            .filter(|e| e.name == "msg_deliver")
+            .map(|e| match &e.fields[1] {
+                ("count", anr_trace::TraceValue::U64(c)) => *c,
+                f => panic!("unexpected field {f:?}"),
+            })
+            .sum();
+        assert_eq!(delivered as usize, s_traced.delivered);
+        let loss_drops = events
+            .iter()
+            .filter(|e| {
+                e.name == "msg_drop"
+                    && matches!(e.fields.last(),
+                        Some(("reason", anr_trace::TraceValue::Str(s))) if s == "loss")
+            })
+            .count();
+        assert_eq!(loss_drops, s_traced.dropped_loss);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use crate::HarmonicError;
 use anr_geom::Point;
 use anr_mesh::TriMesh;
-use anr_sparse::{pcg_jacobi2, CsrMatrix, PcgConfig};
+use anr_sparse::{pcg_jacobi2_traced, CsrMatrix, PcgConfig};
+use anr_trace::{TraceValue, Tracer};
 use std::collections::VecDeque;
 use std::f64::consts::TAU;
 
@@ -174,6 +175,23 @@ pub fn harmonic_map_to_disk(
     mesh: &TriMesh,
     config: &HarmonicConfig,
 ) -> Result<DiskMap, HarmonicError> {
+    harmonic_map_to_disk_traced(mesh, config, &Tracer::disabled())
+}
+
+/// [`harmonic_map_to_disk`] with solver observability: the interior
+/// solve emits a per-iteration residual series on `tracer` — `pcg_iter`
+/// events from the CG path, `gs_sweep` events from the Gauss–Seidel
+/// path. Tracing is observation only: results are bit-identical to the
+/// untraced entry point.
+///
+/// # Errors
+///
+/// Same as [`harmonic_map_to_disk`].
+pub fn harmonic_map_to_disk_traced(
+    mesh: &TriMesh,
+    config: &HarmonicConfig,
+    tracer: &Tracer,
+) -> Result<DiskMap, HarmonicError> {
     if mesh.num_triangles() == 0 {
         return Err(HarmonicError::TooSmall);
     }
@@ -273,6 +291,7 @@ pub fn harmonic_map_to_disk(
         config.max_iterations,
         config.solver,
         symmetric,
+        tracer,
     )?;
 
     Ok(DiskMap {
@@ -303,6 +322,7 @@ fn solve_interior(
     max_iterations: usize,
     solver: Solver,
     symmetric: bool,
+    tracer: &Tracer,
 ) -> Result<usize, HarmonicError> {
     if solver == Solver::Pcg && symmetric {
         return solve_interior_pcg(
@@ -313,6 +333,7 @@ fn solve_interior(
             pos,
             tolerance,
             max_iterations,
+            tracer,
         );
     }
     // Gauss–Seidel averaging sweeps (the reference path).
@@ -336,6 +357,15 @@ fn solve_interior(
             residual = residual.max(np.distance(pos[v]));
             pos[v] = np;
         }
+        if tracer.is_enabled() {
+            tracer.event(
+                "gs_sweep",
+                &[
+                    ("iter", TraceValue::U64(iterations as u64)),
+                    ("residual", TraceValue::F64(residual)),
+                ],
+            );
+        }
         if residual < tolerance {
             break;
         }
@@ -351,6 +381,7 @@ fn solve_interior(
 
 /// The [`Solver::Pcg`] path of [`solve_interior`]: assemble the interior
 /// Laplacian once, then run one Jacobi-PCG solve per coordinate.
+#[allow(clippy::too_many_arguments)]
 fn solve_interior_pcg(
     mesh: &TriMesh,
     interior: &[usize],
@@ -359,6 +390,7 @@ fn solve_interior_pcg(
     pos: &mut [Point],
     tolerance: f64,
     max_iterations: usize,
+    tracer: &Tracer,
 ) -> Result<usize, HarmonicError> {
     let m = interior.len();
     if m == 0 {
@@ -402,7 +434,7 @@ fn solve_interior_pcg(
     // One paired solve: the x and y systems share the matrix, so the
     // lockstep recurrence reads every stored entry once per iteration
     // instead of once per coordinate.
-    let s = pcg_jacobi2(&a, &bx, &by, &x0, &y0, &cfg);
+    let s = pcg_jacobi2_traced(&a, &bx, &by, &x0, &y0, &cfg, tracer);
     if !s.converged {
         return Err(HarmonicError::NotConverged {
             iterations: s.iterations,
@@ -511,6 +543,7 @@ pub fn harmonic_map_with_boundary(
         config.max_iterations,
         config.solver,
         true,
+        &Tracer::disabled(),
     )?;
     Ok(DiskMap::from_parts(pos, boundary, iterations))
 }
@@ -813,6 +846,30 @@ mod tests {
         assert_eq!(a.iterations(), b.iterations());
         for v in 0..mesh.num_vertices() {
             assert_eq!(a.position(v), b.position(v));
+        }
+    }
+
+    #[test]
+    fn traced_map_is_observation_only() {
+        // Both solver paths: tracing emits a residual series without
+        // changing a single output bit.
+        let mesh = grid(6, 10.0);
+        for solver in [Solver::Pcg, Solver::GaussSeidel] {
+            let cfg = HarmonicConfig {
+                solver,
+                ..Default::default()
+            };
+            let plain = harmonic_map_to_disk(&mesh, &cfg).unwrap();
+            let tracer = Tracer::ring(65_536);
+            let traced = harmonic_map_to_disk_traced(&mesh, &cfg, &tracer).unwrap();
+            assert_eq!(plain.positions(), traced.positions());
+            assert_eq!(plain.iterations(), traced.iterations());
+            let name = match solver {
+                Solver::Pcg => "pcg_iter",
+                Solver::GaussSeidel => "gs_sweep",
+            };
+            let count = tracer.events().iter().filter(|e| e.name == name).count();
+            assert_eq!(count, traced.iterations(), "one {name} per iteration");
         }
     }
 

@@ -49,4 +49,4 @@ mod unionfind;
 pub use biconnectivity::{articulation_points, is_biconnected, vertex_connectivity_estimate};
 pub use graph::UnitDiskGraph;
 pub use triangulation::{extract_triangulation, extract_triangulation_distributed};
-pub use unionfind::UnionFind;
+pub use unionfind::{RollbackUnionFind, UnionFind};

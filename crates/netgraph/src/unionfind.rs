@@ -93,6 +93,126 @@ impl UnionFind {
     }
 }
 
+/// Union–find supporting **rollback** to an earlier state, for offline
+/// dynamic-connectivity algorithms (divide-and-conquer over a time
+/// axis, where unions applied on entering a recursion node must be
+/// undone on leaving it).
+///
+/// Uses union by rank **without** path compression — compression moves
+/// pointers irreversibly, which would make undo incorrect — so `find`
+/// is `O(log n)` instead of near-constant. Every successful union is
+/// recorded on an internal op stack; [`RollbackUnionFind::checkpoint`]
+/// marks a stack depth and [`RollbackUnionFind::rollback`] undoes every
+/// union recorded since the mark, in reverse order.
+#[derive(Debug, Clone)]
+pub struct RollbackUnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+    /// `(absorbed_root, absorbing_root, rank_bumped)` per union.
+    ops: Vec<(u32, u32, bool)>,
+}
+
+impl RollbackUnionFind {
+    /// Creates `n` singleton sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` exceeds `u32::MAX` elements.
+    pub fn new(n: usize) -> Self {
+        assert!(u32::try_from(n).is_ok(), "RollbackUnionFind: n too large");
+        RollbackUnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (no path compression).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is out of range.
+    pub fn find(&self, x: usize) -> usize {
+        let mut root = x as u32;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        root as usize
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` when they were
+    /// previously disjoint. Records the union for rollback.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a` or `b` is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi as u32;
+        let bumped = self.rank[hi] == self.rank[lo];
+        if bumped {
+            self.rank[hi] += 1;
+        }
+        self.sets -= 1;
+        self.ops.push((lo as u32, hi as u32, bumped));
+        true
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Marks the current state; pass the returned depth to
+    /// [`RollbackUnionFind::rollback`].
+    pub fn checkpoint(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Undoes every union recorded after `checkpoint`, restoring the
+    /// state exactly as it was at the mark.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `checkpoint` is deeper than the current op stack.
+    pub fn rollback(&mut self, checkpoint: usize) {
+        assert!(checkpoint <= self.ops.len(), "rollback past the op stack");
+        while self.ops.len() > checkpoint {
+            let (lo, hi, bumped) = self.ops.pop().expect("len checked");
+            self.parent[lo as usize] = lo;
+            if bumped {
+                self.rank[hi as usize] -= 1;
+            }
+            self.sets += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +251,85 @@ mod tests {
     fn len_and_empty() {
         assert!(UnionFind::new(0).is_empty());
         assert_eq!(UnionFind::new(3).len(), 3);
+    }
+
+    #[test]
+    fn rollback_restores_previous_state() {
+        let mut uf = RollbackUnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        let mark = uf.checkpoint();
+        uf.union(1, 2);
+        uf.union(4, 5);
+        assert_eq!(uf.num_sets(), 2);
+        assert!(uf.connected(0, 3));
+        uf.rollback(mark);
+        assert_eq!(uf.num_sets(), 4);
+        assert!(uf.connected(0, 1));
+        assert!(uf.connected(2, 3));
+        assert!(!uf.connected(0, 3));
+        assert!(!uf.connected(4, 5));
+        // The structure is reusable after a rollback.
+        uf.union(0, 5);
+        assert!(uf.connected(1, 5));
+    }
+
+    #[test]
+    fn nested_rollbacks_unwind_in_order() {
+        let mut uf = RollbackUnionFind::new(8);
+        let outer = uf.checkpoint();
+        for i in 0..4 {
+            uf.union(i, i + 1);
+        }
+        let inner = uf.checkpoint();
+        uf.union(5, 6);
+        uf.union(6, 7);
+        assert_eq!(uf.num_sets(), 2);
+        uf.rollback(inner);
+        assert_eq!(uf.num_sets(), 4);
+        assert!(uf.connected(0, 4));
+        assert!(!uf.connected(5, 6));
+        uf.rollback(outer);
+        assert_eq!(uf.num_sets(), 8);
+        assert!(!uf.connected(0, 1));
+    }
+
+    #[test]
+    fn rollback_matches_plain_union_find_on_random_ops() {
+        // Deterministic pseudo-random union sequence: after any prefix,
+        // rolling back to its checkpoint must match a plain UnionFind
+        // fed only that prefix.
+        let n = 40;
+        let mut seed = 0x9e37_79b9_u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            (seed >> 33) as usize
+        };
+        let pairs: Vec<(usize, usize)> = (0..120).map(|_| (next() % n, next() % n)).collect();
+        for split in [0, 17, 60, 120] {
+            let mut rb = RollbackUnionFind::new(n);
+            for &(a, b) in &pairs[..split] {
+                rb.union(a, b);
+            }
+            let mark = rb.checkpoint();
+            for &(a, b) in &pairs[split..] {
+                rb.union(a, b);
+            }
+            rb.rollback(mark);
+            let mut plain = UnionFind::new(n);
+            for &(a, b) in &pairs[..split] {
+                plain.union(a, b);
+            }
+            assert_eq!(rb.num_sets(), plain.num_sets(), "split {split}");
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(
+                        rb.connected(i, j),
+                        plain.connected(i, j),
+                        "split {split}: ({i}, {j})"
+                    );
+                }
+            }
+        }
     }
 }

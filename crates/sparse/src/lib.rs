@@ -351,6 +351,28 @@ pub fn pcg_jacobi2(
     y0: &[f64],
     config: &PcgConfig,
 ) -> Pcg2Outcome {
+    pcg_jacobi2_traced(a, bx, by, x0, y0, config, &anr_trace::Tracer::disabled())
+}
+
+/// [`pcg_jacobi2`] with per-iteration observability: after every CG
+/// iteration a `pcg_iter` event carrying the iteration number and the
+/// larger of the two scaled residuals is emitted on `tracer`. Tracing is
+/// observation only — the arithmetic is identical to [`pcg_jacobi2`],
+/// and a disabled tracer reduces this to the plain solver.
+///
+/// # Panics
+///
+/// Panics when any vector length differs from `a.n()`.
+#[must_use]
+pub fn pcg_jacobi2_traced(
+    a: &CsrMatrix,
+    bx: &[f64],
+    by: &[f64],
+    x0: &[f64],
+    y0: &[f64],
+    config: &PcgConfig,
+    tracer: &anr_trace::Tracer,
+) -> Pcg2Outcome {
     let n = a.n();
     assert_eq!(bx.len(), n);
     assert_eq!(by.len(), n);
@@ -456,6 +478,18 @@ pub fn pcg_jacobi2(
             }
             beta[lane] = rz_next[lane] / rz[lane];
             rz[lane] = rz_next[lane];
+        }
+        if tracer.is_enabled() {
+            tracer.event(
+                "pcg_iter",
+                &[
+                    ("iter", anr_trace::TraceValue::U64(iterations as u64)),
+                    (
+                        "residual",
+                        anr_trace::TraceValue::F64(residuals[0].max(residuals[1])),
+                    ),
+                ],
+            );
         }
         // Search-direction update. The lanes converge at nearly the
         // same iteration, so the both-active case gets one contiguous
@@ -698,6 +732,33 @@ mod tests {
         );
         assert!(!out.converged);
         assert_eq!(out.iterations, 3);
+    }
+
+    #[test]
+    fn traced_solve_is_observation_only() {
+        let n = 150;
+        let a = path_laplacian(n);
+        let b = vec![1.0; n];
+        let zero = vec![0.0; n];
+        let cfg = PcgConfig::default();
+        let plain = pcg_jacobi2(&a, &b, &b, &zero, &zero, &cfg);
+        let tracer = anr_trace::Tracer::ring(4096);
+        let traced = pcg_jacobi2_traced(&a, &b, &b, &zero, &zero, &cfg, &tracer);
+        assert_eq!(plain, traced, "tracing must not perturb the solve");
+        let events = tracer.events();
+        assert_eq!(
+            events.len(),
+            traced.iterations,
+            "one pcg_iter per iteration"
+        );
+        // The residual series is the per-iteration convergence record;
+        // its last entry is the outcome's final residual.
+        let last = events.last().unwrap();
+        assert_eq!(last.name, "pcg_iter");
+        match &last.fields[1] {
+            ("residual", anr_trace::TraceValue::F64(r)) => assert_eq!(*r, traced.residual),
+            f => panic!("unexpected field {f:?}"),
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! * [`coverage`] — centroidal-Voronoi coverage control (Lloyd)
 //! * [`march`] — the paper's pipeline, methods (a)/(b) and baselines
 //! * [`scenarios`] — the seven evaluation scenarios
+//! * [`trace`] — zero-dependency structured tracing and the audit hooks
 //! * [`viz`] — SVG rendering of deployments
 //!
 //! ## Quickstart
@@ -51,4 +52,5 @@ pub use anr_march as march;
 pub use anr_mesh as mesh;
 pub use anr_netgraph as netgraph;
 pub use anr_scenarios as scenarios;
+pub use anr_trace as trace;
 pub use anr_viz as viz;

@@ -97,3 +97,94 @@ proptest! {
         prop_assert_eq!(out.metrics.global_connectivity, 1);
     }
 }
+
+proptest! {
+    // Dense-sampling cross-checks are cheap; run more cases than the
+    // full-pipeline properties above.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The closed-form continuous-time auditor against brute force: on
+    /// random piecewise-linear timelines, everything a 10⁴-sample dense
+    /// check can see must agree with the exact (quadratic-extremum)
+    /// verdict, and the exact verdict may only be *stricter* — it
+    /// catches violations that slip between samples, never the reverse.
+    #[test]
+    fn exact_audit_agrees_with_dense_sampling(
+        coords in prop::collection::vec((-250.0..250.0f64, -250.0..250.0f64), 18),
+    ) {
+        use anr_marching::march::audit_piecewise;
+        use anr_marching::trace::Tracer;
+
+        const ROWS: usize = 3;
+        const SAMPLES: usize = 10_000;
+        let n = coords.len() / ROWS;
+        let range = 150.0;
+        let rows: Vec<Vec<Point>> = (0..ROWS)
+            .map(|k| (0..n).map(|i| {
+                let (x, y) = coords[k * n + i];
+                Point::new(x, y)
+            }).collect())
+            .collect();
+        let times = vec![0.0, 0.5, 1.0];
+        let report = audit_piecewise(&rows, &times, range, &Tracer::disabled()).unwrap();
+
+        let sample_pos = |s: f64| -> Vec<Point> {
+            let seg = if s < 0.5 { 0 } else { 1 };
+            let tau = (s - times[seg]) / (times[seg + 1] - times[seg]);
+            (0..n).map(|i| {
+                let a = rows[seg][i];
+                let b = rows[seg + 1][i];
+                Point::new(a.x + (b.x - a.x) * tau, a.y + (b.y - a.y) * tau)
+            }).collect()
+        };
+
+        let initial = UnitDiskGraph::new(&rows[0], range).links();
+        let mut sampled_stable: std::collections::HashSet<(usize, usize)> =
+            initial.iter().copied().collect();
+        let mut sampled_connected = true;
+        for k in 0..=SAMPLES {
+            let pos = sample_pos(k as f64 / SAMPLES as f64);
+            sampled_connected &= UnitDiskGraph::new(&pos, range).is_connected();
+            sampled_stable.retain(|&(i, j)| pos[i].distance(pos[j]) <= range);
+        }
+
+        let exact_violated: std::collections::HashSet<(usize, usize)> =
+            report.violations.iter().map(|v| v.link).collect();
+
+        // Exact bookkeeping is internally consistent.
+        prop_assert_eq!(report.initial_links, initial.len());
+        prop_assert_eq!(
+            report.preserved_links,
+            report.initial_links - exact_violated.len()
+        );
+
+        for &link in &initial {
+            if !exact_violated.contains(&link) {
+                // Exact says stable ⇒ no sample may see it out of range.
+                prop_assert!(
+                    sampled_stable.contains(&link),
+                    "auditor kept {:?} but a dense sample breaks it", link
+                );
+            } else if !sampled_stable.contains(&link) {
+                // Both agree it breaks — fine.
+            } else {
+                // Exact caught a violation the samples missed: it must
+                // be a genuinely narrow excursion (shorter than two
+                // sample steps), not a bookkeeping error.
+                let v = report.violations.iter().find(|v| v.link == link).unwrap();
+                prop_assert!(
+                    v.interval.1 - v.interval.0 < 2.0 / SAMPLES as f64,
+                    "wide violation {:?} of {:?} invisible to 10^4 samples",
+                    v.interval, link
+                );
+                prop_assert!(v.max_distance > range);
+            }
+        }
+
+        // Connectivity: a dense-sample disconnect must be caught
+        // exactly; the exact C may only be stricter.
+        if report.global_connectivity == 1 {
+            prop_assert!(sampled_connected);
+        }
+    }
+}
