@@ -25,6 +25,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 use anr_geom::Point;
@@ -286,7 +287,7 @@ pub fn greedy_assignment(costs: &CostMatrix) -> Assignment {
             pairs.push((costs.get(i, j), i, j));
         }
     }
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut target_of = vec![usize::MAX; n];
     let mut taken = vec![false; n];
     let mut matched = 0;

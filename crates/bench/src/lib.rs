@@ -17,6 +17,7 @@
 //! | `fault_sweep` | protocol survival under loss and churn (JSON grid) |
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod timing;

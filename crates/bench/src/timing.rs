@@ -111,7 +111,7 @@ fn median_of(mut times: Vec<f64>) -> f64 {
     if times.is_empty() {
         return 0.0;
     }
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times.sort_by(|a, b| a.total_cmp(b));
     let mid = times.len() / 2;
     if times.len() % 2 == 1 {
         times[mid]

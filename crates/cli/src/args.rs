@@ -114,6 +114,20 @@ pub enum Command {
         /// Robot count.
         robots: usize,
     },
+    /// `anr lint [--root DIR] [--baseline FILE] [--jsonl FILE] [--deny]
+    /// [--list-rules]`
+    Lint {
+        /// Workspace root to scan.
+        root: PathBuf,
+        /// Baseline file overriding `<root>/lint.allow.toml`.
+        baseline: Option<PathBuf>,
+        /// Also write the findings as JSONL here.
+        jsonl: Option<PathBuf>,
+        /// Exit non-zero on any non-baselined finding.
+        deny: bool,
+        /// Print the rule table instead of scanning.
+        list_rules: bool,
+    },
     /// `anr info` — the scenario catalog.
     Info,
     /// `anr help` / `--help`.
@@ -188,7 +202,7 @@ impl fmt::Display for ArgError {
 impl Error for ArgError {}
 
 /// The help text.
-pub const HELP: &str = "\
+pub(crate) const HELP: &str = "\
 anr — optimal marching of autonomous networked robots (ICDCS 2016)
 
 USAGE:
@@ -207,6 +221,8 @@ COMMANDS:
   anr audit    [--id <1-7>] [--method a|b] [--separation <ranges>]
                [--robots <n>]
   anr bench    [--smoke] [--repeats <n>] [--out <file.json>]
+  anr lint     [--root <dir>] [--baseline <file>] [--jsonl <file>]
+               [--deny] [--list-rules]
   anr info
   anr help
 
@@ -218,6 +234,10 @@ GLOBAL FLAGS:
 `anr audit` re-checks the continuous-time connectivity guarantee with
 the closed-form per-link extremum (no sampling) and exits non-zero if
 any audited transition ever disconnects.
+
+`anr lint` runs the workspace determinism & panic-safety analyzer
+(anr-lint) against the checked-in `lint.allow.toml` baseline; with
+`--deny` it exits non-zero on any non-baselined finding.
 ";
 
 struct Cursor {
@@ -491,6 +511,34 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
                 smoke,
                 repeats,
                 out,
+            })
+        }
+        "lint" => {
+            let mut root = PathBuf::from(".");
+            let mut baseline = None;
+            let mut jsonl = None;
+            let mut deny = false;
+            let mut list_rules = false;
+            while let Some(flag) = cur.next() {
+                match flag.as_str() {
+                    "--root" => root = PathBuf::from(cur.value_for("--root")?),
+                    "--baseline" => baseline = Some(PathBuf::from(cur.value_for("--baseline")?)),
+                    "--jsonl" => jsonl = Some(PathBuf::from(cur.value_for("--jsonl")?)),
+                    "--deny" => deny = true,
+                    "--list-rules" => list_rules = true,
+                    other => {
+                        return Err(ArgError::UnknownFlag {
+                            flag: other.to_string(),
+                        })
+                    }
+                }
+            }
+            Ok(Command::Lint {
+                root,
+                baseline,
+                jsonl,
+                deny,
+                list_rules,
             })
         }
         other => Err(ArgError::UnknownCommand {
@@ -781,6 +829,41 @@ mod tests {
             ),
             Err(ArgError::MissingValue { .. })
         ));
+    }
+
+    #[test]
+    fn lint_defaults_and_flags() {
+        assert_eq!(
+            parse(&["lint"]).unwrap(),
+            Command::Lint {
+                root: PathBuf::from("."),
+                baseline: None,
+                jsonl: None,
+                deny: false,
+                list_rules: false,
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "lint",
+                "--root",
+                "ws",
+                "--baseline",
+                "allow.toml",
+                "--jsonl",
+                "out.jsonl",
+                "--deny",
+                "--list-rules",
+            ])
+            .unwrap(),
+            Command::Lint {
+                root: PathBuf::from("ws"),
+                baseline: Some(PathBuf::from("allow.toml")),
+                jsonl: Some(PathBuf::from("out.jsonl")),
+                deny: true,
+                list_rules: true,
+            }
+        );
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub enum CliError {
         /// Scenario ids whose transition lost connectivity.
         scenarios: Vec<u8>,
     },
+    /// The lint run itself failed (I/O or a malformed baseline).
+    Lint(anr_lint::LintError),
+    /// `anr lint --deny` found non-baselined violations.
+    LintFailed {
+        /// Number of findings not covered by the baseline.
+        open: usize,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -53,6 +60,10 @@ impl fmt::Display for CliError {
                     "audit failed: network disconnects in scenario(s) {}",
                     ids.join(", ")
                 )
+            }
+            CliError::Lint(e) => write!(f, "lint: {e}"),
+            CliError::LintFailed { open } => {
+                write!(f, "lint failed: {open} non-baselined finding(s)")
             }
         }
     }
@@ -420,6 +431,42 @@ pub fn run_command_traced(command: Command, tracer: &Tracer) -> Result<(), CliEr
                 Err(CliError::AuditFailed { scenarios: failed })
             }
         }
+        Command::Lint {
+            root,
+            baseline,
+            jsonl,
+            deny,
+            list_rules,
+        } => {
+            if list_rules {
+                for rule in anr_lint::RULES {
+                    println!(
+                        "{:<3} {:<5} {}",
+                        rule.id,
+                        rule.severity.as_str(),
+                        rule.summary
+                    );
+                }
+                return Ok(());
+            }
+            let _span = tracer.span("lint");
+            let options = anr_lint::LintOptions { root, baseline };
+            let report = anr_lint::lint_workspace(&options).map_err(CliError::Lint)?;
+            tracer.counter_add("lint_files", report.files_scanned as u64);
+            tracer.counter_add("lint_findings", report.findings.len() as u64);
+            tracer.counter_add("lint_open", report.non_baselined() as u64);
+            if let Some(path) = jsonl {
+                std::fs::write(&path, report.to_jsonl())?;
+                eprintln!("findings JSONL written to {}", path.display());
+            }
+            print!("{}", report.to_human());
+            if deny && report.non_baselined() > 0 {
+                return Err(CliError::LintFailed {
+                    open: report.non_baselined(),
+                });
+            }
+            Ok(())
+        }
         Command::Mission { stops, robots } => {
             if stops < 2 {
                 return Err(CliError::BadParameter(
@@ -607,6 +654,31 @@ mod tests {
         assert!(json.contains("\"protocol\": \"flooding\""));
         assert!(json.contains("\"protocol\": \"hop_field\""));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn lint_gate_passes_on_this_workspace() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        run_command(Command::Lint {
+            root,
+            baseline: None,
+            jsonl: None,
+            deny: true,
+            list_rules: false,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn lint_list_rules_runs() {
+        run_command(Command::Lint {
+            root: std::path::PathBuf::from("."),
+            baseline: None,
+            jsonl: None,
+            deny: false,
+            list_rules: true,
+        })
+        .unwrap();
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! they are unit-testable; `src/main.rs` is a thin wrapper.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 mod args;

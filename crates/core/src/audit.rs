@@ -35,7 +35,7 @@ use crate::trajectory::TrajectorySet;
 use anr_geom::Point;
 use anr_netgraph::{RollbackUnionFind, UnitDiskGraph};
 use anr_trace::{TraceValue, Tracer};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An initial link that left communication range during the transition.
 #[derive(Debug, Clone, PartialEq)]
@@ -370,7 +370,7 @@ fn validate(rows: &[Vec<Point>], times: &[f64], range: f64) -> Result<(), Metric
 fn for_each_near_pair(points: &[Point], cutoff: f64, f: &mut impl FnMut(usize, usize)) {
     debug_assert!(cutoff > 0.0 && cutoff.is_finite());
     let inv = 1.0 / cutoff;
-    let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+    let mut cells: BTreeMap<(i64, i64), Vec<u32>> = BTreeMap::new();
     for (k, p) in points.iter().enumerate() {
         let key = ((p.x * inv).floor() as i64, (p.y * inv).floor() as i64);
         cells.entry(key).or_default().push(k as u32);

@@ -90,7 +90,7 @@ pub fn repair_connectivity(
             }
         }
         while let Some(u) = queue.pop_front() {
-            let d = hops[u].expect("queued vertices have hops");
+            let Some(d) = hops[u] else { continue };
             for &v in &preserved[u] {
                 if hops[v].is_none() {
                     hops[v] = Some(d + 1);
@@ -161,8 +161,7 @@ pub fn repair_connectivity(
                     let nb = (0..n).filter(|&x| hops[x].is_some()).min_by(|&a, &b| {
                         positions[a]
                             .distance_sq(positions[m])
-                            .partial_cmp(&positions[b].distance_sq(positions[m]))
-                            .expect("finite")
+                            .total_cmp(&positions[b].distance_sq(positions[m]))
                     });
                     match nb {
                         Some(nb) => (m, nb),
@@ -253,7 +252,7 @@ pub fn repair_connectivity_strict(
             .enumerate()
             .min_by_key(|(_, g)| g.len())
             .map(|(i, _)| i)
-            .expect("at least two components");
+            .unwrap_or(0);
         let group = &comps[smallest];
         let mut best: Option<(usize, usize, f64)> = None;
         for &m in group {
@@ -283,8 +282,7 @@ pub fn repair_connectivity_strict(
                     .min_by(|&(m1, x1), &(m2, x2)| {
                         positions[m1]
                             .distance_sq(positions[x1])
-                            .partial_cmp(&positions[m2].distance_sq(positions[x2]))
-                            .expect("finite")
+                            .total_cmp(&positions[m2].distance_sq(positions[x2]))
                     }) {
                     Some((_, x)) => x,
                     None => break,

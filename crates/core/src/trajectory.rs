@@ -53,7 +53,7 @@ impl Polyline {
     /// Total path length.
     #[inline]
     pub fn length(&self) -> f64 {
-        *self.cumulative.last().expect("non-empty")
+        self.cumulative.last().copied().unwrap_or(0.0)
     }
 
     /// Start point.
@@ -65,7 +65,7 @@ impl Polyline {
     /// End point.
     #[inline]
     pub fn end(&self) -> Point {
-        *self.waypoints.last().expect("non-empty")
+        self.waypoints.last().copied().unwrap_or(Point::ORIGIN)
     }
 
     /// Position at normalized time `s ∈ [0, 1]` (constant speed along
@@ -77,10 +77,7 @@ impl Polyline {
             return self.waypoints[0];
         }
         // Binary search the segment containing `target`.
-        let idx = match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&target).expect("finite"))
-        {
+        let idx = match self.cumulative.binary_search_by(|c| c.total_cmp(&target)) {
             Ok(i) => i,
             Err(i) => i.saturating_sub(1),
         };
@@ -326,9 +323,9 @@ fn boundary_walk(obs: &Polygon, entry: Point, exit: Point) -> Vec<Point> {
             .min_by(|&i, &j| {
                 let di = Segment::new(verts[i], verts[(i + 1) % n]).distance_to_point(p);
                 let dj = Segment::new(verts[j], verts[(j + 1) % n]).distance_to_point(p);
-                di.partial_cmp(&dj).expect("finite")
+                di.total_cmp(&dj)
             })
-            .expect("polygon has edges")
+            .unwrap_or(0)
     };
     let e_in = edge_of(entry);
     let e_out = edge_of(exit);

@@ -97,11 +97,7 @@ pub fn deploy_exactly(region: &PolygonWithHoles, n: usize) -> Option<Vec<Point>>
 
     // Trim the fringe: drop the points farthest from the centroid.
     let c = region.centroid();
-    pts.sort_by(|a, b| {
-        a.distance_sq(c)
-            .partial_cmp(&b.distance_sq(c))
-            .expect("finite")
-    });
+    pts.sort_by(|a, b| a.distance_sq(c).total_cmp(&b.distance_sq(c)));
     pts.truncate(n);
     Some(pts)
 }

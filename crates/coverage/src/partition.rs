@@ -127,19 +127,14 @@ impl GridPartition {
     /// The sample point nearest to `p` — the "nearest grid point" rule
     /// for hole-avoidance fallbacks.
     ///
-    /// # Panics
-    ///
-    /// Never (construction guarantees at least one sample).
+    /// Construction guarantees at least one sample; for an (impossible)
+    /// empty sample set the query point itself is returned.
     pub fn nearest_sample(&self, p: Point) -> Point {
-        *self
-            .samples
+        self.samples
             .iter()
-            .min_by(|a, b| {
-                a.distance_sq(p)
-                    .partial_cmp(&b.distance_sq(p))
-                    .expect("finite")
-            })
-            .expect("non-empty samples")
+            .min_by(|a, b| a.distance_sq(p).total_cmp(&b.distance_sq(p)))
+            .copied()
+            .unwrap_or(p)
     }
 }
 

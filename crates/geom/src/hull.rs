@@ -34,11 +34,7 @@ pub fn convex_hull(points: &[Point]) -> Result<Polygon, GeomError> {
     if pts.iter().any(|p| !p.is_finite()) {
         return Err(GeomError::NonFiniteCoordinate);
     }
-    pts.sort_by(|a, b| {
-        a.x.partial_cmp(&b.x)
-            .expect("finite")
-            .then(a.y.partial_cmp(&b.y).expect("finite"))
-    });
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
     pts.dedup_by(|a, b| a.distance(*b) < f64::MIN_POSITIVE);
     if pts.len() < 3 {
         return Err(GeomError::TooFewVertices { got: pts.len() });

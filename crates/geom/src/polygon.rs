@@ -173,7 +173,10 @@ impl Polygon {
 
     /// Bounding box of the vertex loop.
     pub fn bbox(&self) -> Aabb {
-        Aabb::from_points(self.vertices.iter().copied()).expect("polygon has at least 3 vertices")
+        // Construction guarantees at least three vertices; the fallback
+        // keeps this panic-free all the same.
+        Aabb::from_points(self.vertices.iter().copied())
+            .unwrap_or(Aabb::new(Point::ORIGIN, Point::ORIGIN))
     }
 
     /// Point-in-polygon test (boundary counts as inside).
@@ -348,7 +351,7 @@ impl Polygon {
         out.dedup_by(|x, y| x.distance(*y) < EPS * (1.0 + x.to_vector().norm()));
         if out.len() >= 2 {
             let first = out[0];
-            let last = *out.last().expect("non-empty");
+            let last = out[out.len() - 1];
             if first.distance(last) < EPS * (1.0 + first.to_vector().norm()) {
                 out.pop();
             }

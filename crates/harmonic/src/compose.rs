@@ -150,10 +150,9 @@ impl DiskOverlay {
                 self.disk_mesh
                     .vertex(x)
                     .distance_sq(p)
-                    .partial_cmp(&self.disk_mesh.vertex(y).distance_sq(p))
-                    .expect("finite")
+                    .total_cmp(&self.disk_mesh.vertex(y).distance_sq(p))
             })
-            .expect("mesh has real vertices")
+            .unwrap_or(0)
     }
 }
 

@@ -202,7 +202,9 @@ pub fn harmonic_map_to_disk_traced(
     if loops.len() != 1 {
         return Err(HarmonicError::NotADisk { loops: loops.len() });
     }
-    let mut boundary = loops.into_iter().next().expect("one loop");
+    let Some(mut boundary) = loops.into_iter().next() else {
+        return Err(HarmonicError::NoBoundary);
+    };
     if boundary.len() < 3 {
         return Err(HarmonicError::TooSmall);
     }
@@ -213,7 +215,7 @@ pub fn harmonic_map_to_disk_traced(
         .enumerate()
         .min_by_key(|&(_, &v)| v)
         .map(|(i, _)| i)
-        .expect("non-empty boundary");
+        .unwrap_or(0);
     boundary.rotate_left(start);
 
     let n = mesh.num_vertices();
@@ -484,13 +486,15 @@ pub fn harmonic_map_with_boundary(
     if loops.len() != 1 {
         return Err(HarmonicError::NotADisk { loops: loops.len() });
     }
-    let mut boundary = loops.into_iter().next().expect("one loop");
+    let Some(mut boundary) = loops.into_iter().next() else {
+        return Err(HarmonicError::NoBoundary);
+    };
     let start = boundary
         .iter()
         .enumerate()
         .min_by_key(|&(_, &v)| v)
         .map(|(i, _)| i)
-        .expect("non-empty boundary");
+        .unwrap_or(0);
     boundary.rotate_left(start);
     assert_eq!(
         boundary.len(),
@@ -503,8 +507,7 @@ pub fn harmonic_map_with_boundary(
     let mut pos = vec![Point::ORIGIN; n];
     // Start interior vertices at the boundary centroid so they converge
     // into the pinned shape.
-    let centroid =
-        Point::centroid_of(boundary_positions.iter().copied()).expect("non-empty boundary");
+    let centroid = Point::centroid_of(boundary_positions.iter().copied()).unwrap_or(Point::ORIGIN);
     for p in pos.iter_mut() {
         *p = centroid;
     }
@@ -559,12 +562,15 @@ fn mean_value_weights(mesh: &TriMesh, v: usize) -> Vec<f64> {
             let pu = mesh.vertex(u);
             let mut w = 0.0;
             for &t in mesh.edge_triangles(v, u) {
-                // The third vertex of triangle t.
-                let third = mesh.triangles()[t]
+                // The third vertex of triangle t; a degenerate triangle
+                // without one contributes no weight.
+                let Some(third) = mesh.triangles()[t]
                     .iter()
                     .copied()
                     .find(|&x| x != v && x != u)
-                    .expect("triangle has a third vertex");
+                else {
+                    continue;
+                };
                 let pw = mesh.vertex(third);
                 // Angle at v in triangle (v, u, w).
                 let a = (pu - pv).normalized();

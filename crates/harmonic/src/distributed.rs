@@ -127,7 +127,9 @@ pub fn distributed_harmonic_map(
     if loops.len() != 1 {
         return Err(HarmonicError::NotADisk { loops: loops.len() });
     }
-    let mut boundary = loops.into_iter().next().expect("one loop");
+    let Some(mut boundary) = loops.into_iter().next() else {
+        return Err(HarmonicError::NoBoundary);
+    };
     if boundary.len() < 3 {
         return Err(HarmonicError::TooSmall);
     }
@@ -136,7 +138,7 @@ pub fn distributed_harmonic_map(
         .enumerate()
         .min_by_key(|&(_, &v)| v)
         .map(|(i, _)| i)
-        .expect("non-empty");
+        .unwrap_or(0);
     boundary.rotate_left(start);
 
     let n = mesh.num_vertices();

@@ -1,5 +1,6 @@
 //! Error type for harmonic-map computation.
 
+use anr_mesh::MeshError;
 use std::error::Error;
 use std::fmt;
 
@@ -31,6 +32,9 @@ pub enum HarmonicError {
     /// The mesh has no interior — fewer than three boundary vertices or
     /// no triangles.
     TooSmall,
+    /// Rebuilding the mesh with hole-filling fans produced an invalid
+    /// triangle list (e.g. a hole loop referenced a missing vertex).
+    InvalidFill(MeshError),
 }
 
 impl fmt::Display for HarmonicError {
@@ -51,6 +55,7 @@ impl fmt::Display for HarmonicError {
                 "harmonic iteration did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
             HarmonicError::TooSmall => write!(f, "mesh too small for a harmonic map"),
+            HarmonicError::InvalidFill(e) => write!(f, "hole filling built an invalid mesh: {e}"),
         }
     }
 }

@@ -113,8 +113,9 @@ pub fn fill_holes(mesh: &TriMesh) -> Result<FilledMesh, HarmonicError> {
         // Virtual vertex at the average of the hole's boundary vertices
         // (paper: "computed as average of the positions of boundary
         // vertices along the hole").
-        let center = Point::centroid_of(hole.iter().map(|&v| mesh.vertex(v)))
-            .expect("hole loop is non-empty");
+        let Some(center) = Point::centroid_of(hole.iter().map(|&v| mesh.vertex(v))) else {
+            continue; // an empty loop has nothing to fill
+        };
         let vc = verts.len();
         verts.push(center);
         virtual_vertices.push(vc);
@@ -126,7 +127,7 @@ pub fn fill_holes(mesh: &TriMesh) -> Result<FilledMesh, HarmonicError> {
         }
     }
 
-    let mesh = TriMesh::new(verts, tris).expect("hole filling preserves validity");
+    let mesh = TriMesh::new(verts, tris).map_err(HarmonicError::InvalidFill)?;
     let virtual_triangles: Vec<bool> = (0..mesh.num_triangles())
         .map(|t| t >= real_triangles)
         .collect();

@@ -1,0 +1,288 @@
+//! The `lint.allow.toml` baseline: a checked-in, justification-carrying
+//! ledger of accepted findings, matched by `(rule, file)` with a
+//! maximum count so entries survive line churn but ratchet down as
+//! violations are fixed.
+//!
+//! Only the tiny TOML subset the baseline needs is parsed: `[[allow]]`
+//! array-of-tables with string and integer values, `#` comments.
+
+use crate::rules::{rule_info, Finding};
+
+/// One baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the entry covers.
+    pub rule: String,
+    /// Workspace-relative file the entry covers.
+    pub file: String,
+    /// Maximum findings of `rule` in `file` this entry absorbs.
+    pub count: usize,
+    /// One-line justification (required).
+    pub reason: String,
+    /// Findings actually absorbed (filled by [`apply_baseline`]).
+    pub used: usize,
+}
+
+/// Baseline file problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// 1-based line of the problem (0 = whole file).
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "lint.allow.toml:{}: {}", self.line, self.message)
+        } else {
+            write!(f, "lint.allow.toml: {}", self.message)
+        }
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> BaselineError {
+    BaselineError {
+        line,
+        message: message.into(),
+    }
+}
+
+#[derive(Default)]
+struct Partial {
+    rule: Option<String>,
+    file: Option<String>,
+    count: Option<usize>,
+    reason: Option<String>,
+    start_line: usize,
+}
+
+fn finish(p: Partial) -> Result<AllowEntry, BaselineError> {
+    let line = p.start_line;
+    let rule = p.rule.ok_or_else(|| err(line, "entry missing `rule`"))?;
+    let file = p.file.ok_or_else(|| err(line, "entry missing `file`"))?;
+    let count = p.count.ok_or_else(|| err(line, "entry missing `count`"))?;
+    let reason = p
+        .reason
+        .ok_or_else(|| err(line, "entry missing `reason`"))?;
+    if rule_info(&rule).is_none() {
+        return Err(err(line, format!("unknown rule id `{rule}`")));
+    }
+    if count == 0 {
+        return Err(err(line, "count must be ≥ 1 (delete the entry instead)"));
+    }
+    if reason.trim().is_empty() {
+        return Err(err(line, "reason must be a non-empty justification"));
+    }
+    Ok(AllowEntry {
+        rule,
+        file,
+        count,
+        reason,
+        used: 0,
+    })
+}
+
+/// Parses the baseline text.
+///
+/// # Errors
+///
+/// [`BaselineError`] on malformed syntax, unknown keys or rules,
+/// missing justifications, or zero counts.
+pub fn parse_baseline(text: &str) -> Result<Vec<AllowEntry>, BaselineError> {
+    let mut entries = Vec::new();
+    let mut current: Option<Partial> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(p) = current.take() {
+                entries.push(finish(p)?);
+            }
+            current = Some(Partial {
+                start_line: lineno,
+                ..Partial::default()
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(lineno, format!("expected `key = value`, got `{line}`")));
+        };
+        let Some(p) = current.as_mut() else {
+            return Err(err(lineno, "key outside any [[allow]] entry"));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "rule" => {
+                p.rule = Some(
+                    parse_string(value)
+                        .ok_or_else(|| err(lineno, "rule must be a quoted string"))?,
+                )
+            }
+            "file" => {
+                p.file = Some(
+                    parse_string(value)
+                        .ok_or_else(|| err(lineno, "file must be a quoted string"))?,
+                )
+            }
+            "reason" => {
+                p.reason = Some(
+                    parse_string(value)
+                        .ok_or_else(|| err(lineno, "reason must be a quoted string"))?,
+                )
+            }
+            "count" => {
+                p.count = Some(
+                    value
+                        .parse()
+                        .map_err(|_| err(lineno, "count must be an integer"))?,
+                )
+            }
+            other => return Err(err(lineno, format!("unknown key `{other}`"))),
+        }
+    }
+    if let Some(p) = current.take() {
+        entries.push(finish(p)?);
+    }
+    Ok(entries)
+}
+
+/// Strips a `#` comment that is outside any quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn parse_string(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut escaped = false;
+    for c in inner.chars() {
+        if escaped {
+            out.push(match c {
+                'n' => '\n',
+                't' => '\t',
+                other => other,
+            });
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return None; // unescaped quote mid-string
+        } else {
+            out.push(c);
+        }
+    }
+    if escaped {
+        return None;
+    }
+    Some(out)
+}
+
+/// Marks findings covered by the baseline (`finding.baselined`) and
+/// records usage on each entry. Findings must be pre-sorted so the
+/// assignment is deterministic.
+pub fn apply_baseline(findings: &mut [Finding], entries: &mut [AllowEntry]) {
+    for f in findings.iter_mut() {
+        let slot = entries
+            .iter_mut()
+            .find(|e| e.rule == f.rule && e.file == f.file && e.used < e.count);
+        if let Some(e) = slot {
+            e.used += 1;
+            f.baselined = true;
+        }
+    }
+}
+
+/// Entries whose `count` exceeds the findings they absorbed — the
+/// ratchet can be tightened (or the entry deleted).
+#[must_use]
+pub fn stale_entries(entries: &[AllowEntry]) -> Vec<AllowEntry> {
+    entries
+        .iter()
+        .filter(|e| e.used < e.count)
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileCtx;
+    use crate::rules::scan_file;
+
+    const GOOD: &str = r#"
+# keep sorted
+[[allow]]
+rule = "P1"  # panic family
+file = "crates/mesh/src/foi.rs"
+count = 2
+reason = "geometric invariant: centroid of a non-degenerate polygon exists"
+"#;
+
+    #[test]
+    fn parses_entries() {
+        let entries = parse_baseline(GOOD).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "P1");
+        assert_eq!(entries[0].count, 2);
+    }
+
+    #[test]
+    fn rejects_missing_reason_unknown_rule_zero_count() {
+        let no_reason = "[[allow]]\nrule = \"P1\"\nfile = \"a.rs\"\ncount = 1\n";
+        assert!(parse_baseline(no_reason).is_err());
+        let bad_rule = "[[allow]]\nrule = \"Z9\"\nfile = \"a.rs\"\ncount = 1\nreason = \"x\"\n";
+        assert!(parse_baseline(bad_rule).is_err());
+        let zero = "[[allow]]\nrule = \"P1\"\nfile = \"a.rs\"\ncount = 0\nreason = \"x\"\n";
+        assert!(parse_baseline(zero).is_err());
+        let stray = "rule = \"P1\"\n";
+        assert!(parse_baseline(stray).is_err());
+    }
+
+    #[test]
+    fn baseline_absorbs_up_to_count() {
+        let src = "fn f(a: Option<u32>, b: Option<u32>, c: Option<u32>) -> u32 {\n\
+                   a.unwrap() + b.unwrap() + c.unwrap() }";
+        let mut findings = scan_file(&FileCtx::new("crates/mesh/src/x.rs", src));
+        assert_eq!(findings.len(), 3);
+        let mut entries = parse_baseline(
+            "[[allow]]\nrule = \"P1\"\nfile = \"crates/mesh/src/x.rs\"\ncount = 2\nreason = \"two are invariant-guarded\"\n",
+        )
+        .unwrap();
+        apply_baseline(&mut findings, &mut entries);
+        assert_eq!(findings.iter().filter(|f| f.baselined).count(), 2);
+        assert_eq!(findings.iter().filter(|f| !f.baselined).count(), 1);
+        assert!(stale_entries(&entries).is_empty());
+    }
+
+    #[test]
+    fn stale_entries_reported() {
+        let mut entries = parse_baseline(
+            "[[allow]]\nrule = \"D1\"\nfile = \"crates/x/src/y.rs\"\ncount = 5\nreason = \"gone\"\n",
+        )
+        .unwrap();
+        apply_baseline(&mut [], &mut entries);
+        let stale = stale_entries(&entries);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].used, 0);
+    }
+}

@@ -1,0 +1,440 @@
+//! A minimal Rust lexer: just enough structure for pattern rules.
+//!
+//! Comments and whitespace are skipped (so doc examples never trip a
+//! rule), strings/chars/numbers collapse to [`TokKind::Literal`], and
+//! everything else is an identifier, a lifetime, or a one-character
+//! punctuation token. Line/column positions are 1-based.
+
+/// Token class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `_`).
+    Ident,
+    /// One punctuation character (`::` is two tokens).
+    Punct,
+    /// String, byte-string, char, or numeric literal.
+    Literal,
+    /// A lifetime such as `'a` (quote included in the text).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (literals keep their full text).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in chars).
+    pub col: u32,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    #[must_use]
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with exactly this text?
+    #[must_use]
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        // Entered after consuming `/*`; block comments nest in Rust.
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes a `"…"` body (opening quote already consumed),
+    /// honouring backslash escapes.
+    fn finish_quoted(&mut self, out: &mut String) {
+        while let Some(c) = self.bump() {
+            out.push(c);
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        out.push(e);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string `r##"…"##` starting at the first `#`/`"`.
+    fn finish_raw(&mut self, out: &mut String) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            out.push('#');
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek(0) != Some('"') {
+            return; // `r#ident` raw identifier, not a string
+        }
+        out.push('"');
+        self.bump();
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    out.push('"');
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        out.push('#');
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(c) => out.push(c),
+                None => break,
+            }
+        }
+    }
+
+    fn lex_number(&mut self, first: char) -> String {
+        let mut out = String::new();
+        out.push(first);
+        loop {
+            match self.peek(0) {
+                Some(c) if is_ident_continue(c) => {
+                    out.push(c);
+                    self.bump();
+                }
+                Some('.') if self.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
+                    out.push('.');
+                    self.bump();
+                }
+                Some(c @ ('+' | '-'))
+                    if out.ends_with(['e', 'E'])
+                        && self.peek(1).is_some_and(|c| c.is_ascii_digit()) =>
+                {
+                    out.push(c);
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+}
+
+/// Lexes `src` into tokens, skipping whitespace and comments.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    loop {
+        let (line, col) = (lx.line, lx.col);
+        let Some(c) = lx.peek(0) else { break };
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        if c == '/' && lx.peek(1) == Some('/') {
+            lx.skip_line_comment();
+            continue;
+        }
+        if c == '/' && lx.peek(1) == Some('*') {
+            lx.bump();
+            lx.bump();
+            lx.skip_block_comment();
+            continue;
+        }
+        // String-literal prefixes: r" r# b" b' br" br# rb (non-standard
+        // orders fall through to plain identifiers harmlessly).
+        if c == 'r' && matches!(lx.peek(1), Some('"' | '#')) {
+            let mut text = String::from("r");
+            lx.bump();
+            lx.finish_raw(&mut text);
+            if text.len() > 1 {
+                toks.push(Token {
+                    kind: TokKind::Literal,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            // `r#ident` raw identifier: fall through, lexing the ident.
+        }
+        if c == 'b' && lx.peek(1) == Some('"') {
+            let mut text = String::from("b\"");
+            lx.bump();
+            lx.bump();
+            lx.finish_quoted(&mut text);
+            toks.push(Token {
+                kind: TokKind::Literal,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == 'b' && lx.peek(1) == Some('\'') {
+            let mut text = String::from("b'");
+            lx.bump();
+            lx.bump();
+            while let Some(c) = lx.bump() {
+                text.push(c);
+                match c {
+                    '\\' => {
+                        if let Some(e) = lx.bump() {
+                            text.push(e);
+                        }
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            toks.push(Token {
+                kind: TokKind::Literal,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == 'b' && lx.peek(1) == Some('r') && matches!(lx.peek(2), Some('"' | '#')) {
+            let mut text = String::from("br");
+            lx.bump();
+            lx.bump();
+            lx.finish_raw(&mut text);
+            toks.push(Token {
+                kind: TokKind::Literal,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(c) = lx.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    lx.bump();
+                } else {
+                    break;
+                }
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            lx.bump();
+            let text = lx.lex_number(c);
+            toks.push(Token {
+                kind: TokKind::Literal,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '"' {
+            let mut text = String::from("\"");
+            lx.bump();
+            lx.finish_quoted(&mut text);
+            toks.push(Token {
+                kind: TokKind::Literal,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime (`'a` not closed by a quote) vs char literal.
+            let is_lifetime = lx.peek(1).is_some_and(is_ident_start) && lx.peek(2) != Some('\'');
+            if is_lifetime {
+                let mut text = String::from("'");
+                lx.bump();
+                while let Some(c) = lx.peek(0) {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Token {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            } else {
+                let mut text = String::from("'");
+                lx.bump();
+                while let Some(c) = lx.bump() {
+                    text.push(c);
+                    match c {
+                        '\\' => {
+                            if let Some(e) = lx.bump() {
+                                text.push(e);
+                            }
+                        }
+                        '\'' => break,
+                        _ => {}
+                    }
+                }
+                toks.push(Token {
+                    kind: TokKind::Literal,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+        lx.bump();
+        toks.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = lex("let x = a.unwrap();\nfoo()");
+        assert!(toks[0].is_ident("let"));
+        assert!(toks[5].is_ident("unwrap"));
+        assert_eq!(toks[5].line, 1);
+        let foo = toks.iter().find(|t| t.is_ident("foo")).unwrap();
+        assert_eq!(foo.line, 2);
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let ts = texts("// unwrap()\n/* panic!() /* nested */ */ \"unwrap()\" x");
+        assert_eq!(ts, vec!["\"unwrap()\"", "x"]);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let ts = texts("r#\"has \"quotes\" inside\"# after");
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[1], "after");
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("fn f<'a>(c: char) { let x = 'x'; let y = '\\n'; }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "'x'"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "'\\n'"));
+    }
+
+    #[test]
+    fn numbers_lex_as_literals() {
+        let toks = lex("1.5e-3 + 0x1f + 12usize");
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, vec!["1.5e-3", "0x1f", "12usize"]);
+    }
+
+    #[test]
+    fn byte_strings() {
+        let ts = texts("b\"bytes\" br#\"raw\"# b'x'");
+        assert_eq!(ts, vec!["b\"bytes\"", "br#\"raw\"#", "b'x'"]);
+    }
+}

@@ -1,0 +1,153 @@
+//! # anr-lint — determinism & panic-safety static analysis
+//!
+//! The repo's headline guarantees — byte-identical traces across runs,
+//! machines, and worker counts; worker-count-independent fault-sweep
+//! JSON; typed errors instead of panics in library crates — are
+//! invariants *by construction* only while every crate keeps to a
+//! narrow idiom. This crate checks that idiom mechanically on every
+//! change: a small Rust lexer plus a rule engine walk every workspace
+//! crate (excluding `vendor/` and `target/`) and report findings with
+//! `file:line`, rule id, severity, and a fix hint, in both human and
+//! JSONL form.
+//!
+//! ## Rules
+//!
+//! | id | checks |
+//! |----|--------|
+//! | D1 | `HashMap`/`HashSet` in shipping code (nondeterministic iteration) |
+//! | D2 | wall-clock reads outside `anr-trace`'s wall module |
+//! | D3 | raw `std::thread` use outside `anr-par` |
+//! | D4 | unseeded RNG construction (`from_entropy`, `thread_rng`, `rand::random`) |
+//! | P1 | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` in library code |
+//! | F1 | `partial_cmp(..).unwrap()` float comparisons (NaN panics) |
+//! | T1 | trace hygiene: dropped span guards; `_traced` twins that mutate |
+//! | H1 | crate roots missing `#![forbid(unsafe_code)]` / `#![deny(unreachable_pub)]` |
+//!
+//! Findings are suppressible only via the checked-in `lint.allow.toml`
+//! baseline, where every entry carries a one-line justification and a
+//! maximum count — so the gate lands green today and ratchets down
+//! over time. `--deny` exits non-zero on any non-baselined finding.
+//!
+//! ```no_run
+//! use anr_lint::{lint_workspace, LintOptions};
+//!
+//! let report = lint_workspace(&LintOptions::at(".")).unwrap();
+//! assert_eq!(report.non_baselined(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod context;
+mod lexer;
+mod report;
+mod rules;
+mod walk;
+
+pub use baseline::{apply_baseline, parse_baseline, stale_entries, AllowEntry, BaselineError};
+pub use context::{FileCtx, FileKind};
+pub use lexer::{lex, TokKind, Token};
+pub use report::LintReport;
+pub use rules::{rule_info, scan_file, Finding, RuleInfo, Severity, RULES};
+pub use walk::workspace_files;
+
+use std::path::{Path, PathBuf};
+
+/// Options for a workspace lint run.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Workspace root (the directory holding `Cargo.toml` and `crates/`).
+    pub root: PathBuf,
+    /// Baseline file; defaults to `<root>/lint.allow.toml`. A missing
+    /// baseline file means an empty baseline, not an error.
+    pub baseline: Option<PathBuf>,
+}
+
+impl LintOptions {
+    /// Options rooted at `root` with the default baseline location.
+    pub fn at<P: AsRef<Path>>(root: P) -> LintOptions {
+        LintOptions {
+            root: root.as_ref().to_path_buf(),
+            baseline: None,
+        }
+    }
+}
+
+/// A lint run failure (I/O or a malformed baseline) — distinct from
+/// findings, which are data, not errors.
+#[derive(Debug)]
+pub enum LintError {
+    /// Reading a source file or directory failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// `lint.allow.toml` is malformed.
+    Baseline(BaselineError),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            LintError::Baseline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Scans one source string as `rel_path` — the per-file entry point the
+/// fixture tests use.
+#[must_use]
+pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    scan_file(&FileCtx::new(rel_path, src))
+}
+
+/// Lints the whole workspace under `options.root` against its baseline.
+///
+/// # Errors
+///
+/// [`LintError`] on unreadable files or a malformed baseline file.
+/// Findings — baselined or not — are part of the report, never an error.
+pub fn lint_workspace(options: &LintOptions) -> Result<LintReport, LintError> {
+    let files = workspace_files(&options.root).map_err(|source| LintError::Io {
+        path: options.root.clone(),
+        source,
+    })?;
+    let mut findings = Vec::new();
+    for (rel, path) in &files {
+        let src = std::fs::read_to_string(path).map_err(|source| LintError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        findings.extend(scan_source(rel, &src));
+    }
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+
+    let baseline_path = options
+        .baseline
+        .clone()
+        .unwrap_or_else(|| options.root.join("lint.allow.toml"));
+    let mut entries = if baseline_path.is_file() {
+        let text = std::fs::read_to_string(&baseline_path).map_err(|source| LintError::Io {
+            path: baseline_path.clone(),
+            source,
+        })?;
+        parse_baseline(&text).map_err(LintError::Baseline)?
+    } else {
+        Vec::new()
+    };
+    apply_baseline(&mut findings, &mut entries);
+
+    Ok(LintReport {
+        findings,
+        files_scanned: files.len(),
+        stale: stale_entries(&entries),
+    })
+}

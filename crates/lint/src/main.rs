@@ -1,0 +1,100 @@
+//! `anr-lint` — the standalone analyzer binary CI runs:
+//! `cargo run --release -p anr-lint -- --deny --jsonl findings.jsonl`.
+
+use anr_lint::{lint_workspace, LintOptions, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+anr-lint — workspace determinism & panic-safety analyzer
+
+USAGE:
+  anr-lint [--root <dir>] [--baseline <file>] [--jsonl <file>]
+           [--deny] [--list-rules]
+
+FLAGS:
+  --root <dir>       workspace root to scan (default: .)
+  --baseline <file>  allow file (default: <root>/lint.allow.toml)
+  --jsonl <file>     also write the findings as JSON Lines
+  --deny             exit non-zero on any non-baselined finding
+  --list-rules       print the rule table and exit
+";
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    jsonl: Option<PathBuf>,
+    deny: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        jsonl: None,
+        deny: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => args.deny = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => args.root = PathBuf::from(it.next().ok_or("--root needs a value")?),
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?))
+            }
+            "--jsonl" => {
+                args.jsonl = Some(PathBuf::from(it.next().ok_or("--jsonl needs a value")?))
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("anr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for r in RULES {
+            println!("{:<4} {:<6} {}", r.id, r.severity.as_str(), r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let report = match lint_workspace(&LintOptions {
+        root: args.root,
+        baseline: args.baseline,
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("anr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &args.jsonl {
+        if let Err(e) = std::fs::write(path, report.to_jsonl()) {
+            eprintln!("anr-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    print!("{}", report.to_human());
+    if args.deny && report.non_baselined() > 0 {
+        eprintln!(
+            "anr-lint: --deny: {} non-baselined finding(s)",
+            report.non_baselined()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,171 @@
+//! Report rendering: human-readable text and the machine-readable
+//! JSONL stream (`schema: anr-lint/1`).
+//!
+//! JSONL schema — one object per line:
+//!
+//! * finding lines: `{"schema":"anr-lint/1","kind":"finding","rule":R,`
+//!   `"severity":"error"|"warn","file":F,"line":N,"col":N,"message":M,`
+//!   `"hint":H,"baselined":bool}`
+//! * one trailing summary line: `{"schema":"anr-lint/1","kind":"summary",`
+//!   `"files":N,"findings":N,"baselined":N,"non_baselined":N,`
+//!   `"stale_allows":N}`
+
+use crate::baseline::AllowEntry;
+use crate::rules::Finding;
+use std::fmt::Write as _;
+
+/// A complete lint run over the workspace.
+#[derive(Debug)]
+pub struct LintReport {
+    /// All findings, sorted by (file, line, col, rule), with
+    /// `baselined` already resolved against the allow file.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Baseline entries that absorbed fewer findings than they allow.
+    pub stale: Vec<AllowEntry>,
+}
+
+impl LintReport {
+    /// Findings not covered by the baseline.
+    #[must_use]
+    pub fn non_baselined(&self) -> usize {
+        self.findings.iter().filter(|f| !f.baselined).count()
+    }
+
+    /// Findings absorbed by the baseline.
+    #[must_use]
+    pub fn baselined(&self) -> usize {
+        self.findings.len() - self.non_baselined()
+    }
+
+    /// Renders the JSONL stream (finding lines + summary line).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = write!(
+                out,
+                "{{\"schema\":\"anr-lint/1\",\"kind\":\"finding\",\"rule\":\"{}\",\"severity\":\"{}\",\"file\":",
+                f.rule,
+                f.severity.as_str(),
+            );
+            json_str(&mut out, &f.file);
+            let _ = write!(out, ",\"line\":{},\"col\":{},\"message\":", f.line, f.col);
+            json_str(&mut out, &f.message);
+            out.push_str(",\"hint\":");
+            json_str(&mut out, f.hint);
+            let _ = writeln!(out, ",\"baselined\":{}}}", f.baselined);
+        }
+        let _ = writeln!(
+            out,
+            "{{\"schema\":\"anr-lint/1\",\"kind\":\"summary\",\"files\":{},\"findings\":{},\"baselined\":{},\"non_baselined\":{},\"stale_allows\":{}}}",
+            self.files_scanned,
+            self.findings.len(),
+            self.baselined(),
+            self.non_baselined(),
+            self.stale.len(),
+        );
+        out
+    }
+
+    /// Renders the human report. Baselined findings are summarized;
+    /// non-baselined findings are listed one per line.
+    #[must_use]
+    pub fn to_human(&self) -> String {
+        let mut out = String::new();
+        for f in self.findings.iter().filter(|f| !f.baselined) {
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: {} [{}] {}\n    hint: {}",
+                f.file,
+                f.line,
+                f.col,
+                f.severity.as_str(),
+                f.rule,
+                f.message,
+                f.hint,
+            );
+        }
+        for e in &self.stale {
+            let _ = writeln!(
+                out,
+                "note: stale allow: {} in {} permits {} but only {} found — ratchet down",
+                e.rule, e.file, e.count, e.used,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "anr-lint: {} files, {} findings ({} baselined, {} open)",
+            self.files_scanned,
+            self.findings.len(),
+            self.baselined(),
+            self.non_baselined(),
+        );
+        out
+    }
+}
+
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn sample() -> LintReport {
+        LintReport {
+            findings: vec![Finding {
+                rule: "P1",
+                severity: Severity::Error,
+                file: "crates/mesh/src/foi.rs".to_string(),
+                line: 10,
+                col: 7,
+                message: "`.unwrap()` in library code".to_string(),
+                hint: "return a typed error",
+                baselined: false,
+            }],
+            files_scanned: 3,
+            stale: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn jsonl_has_findings_and_summary() {
+        let report = sample();
+        let jsonl = report.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"schema\":\"anr-lint/1\""));
+        assert!(lines[0].contains("\"kind\":\"finding\""));
+        assert!(lines[0].contains("\"rule\":\"P1\""));
+        assert!(lines[0].contains("\"baselined\":false"));
+        assert!(lines[1].contains("\"kind\":\"summary\""));
+        assert!(lines[1].contains("\"non_baselined\":1"));
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn human_report_lists_open_findings() {
+        let text = sample().to_human();
+        assert!(text.contains("crates/mesh/src/foi.rs:10:7"));
+        assert!(text.contains("[P1]"));
+        assert!(text.contains("1 open"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Deterministic workspace traversal: every `.rs` file of every
+//! workspace target, excluding `vendor/`, `target/`, and the lint
+//! crate's intentionally-bad `fixtures/`.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories that are never scanned, wherever they appear.
+const SKIP_DIRS: &[&str] = &["vendor", "target", "fixtures", ".git", ".github"];
+
+/// Collects every workspace `.rs` file as `(relative_path, absolute_path)`,
+/// sorted by relative path so reports are byte-stable.
+///
+/// # Errors
+///
+/// Propagates directory-read failures (a missing optional directory,
+/// e.g. a crate without `tests/`, is not an error).
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    for top in ["src", "tests", "examples", "benches"] {
+        collect(root, &root.join(top), &mut out)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            for sub in ["src", "tests", "examples", "benches"] {
+                collect(root, &member.join(sub), &mut out)?;
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scans_this_workspace() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = workspace_files(&root).unwrap();
+        assert!(files
+            .iter()
+            .any(|(rel, _)| rel == "crates/lint/src/walk.rs"));
+        assert!(files.iter().any(|(rel, _)| rel == "src/lib.rs"));
+        // vendor/, target/, and fixture files never appear.
+        assert!(files
+            .iter()
+            .all(|(rel, _)| !rel.contains("vendor/") && !rel.contains("target/")));
+        assert!(files.iter().all(|(rel, _)| !rel.contains("fixtures/")));
+        // Deterministic order.
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

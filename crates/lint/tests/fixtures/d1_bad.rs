@@ -1,0 +1,6 @@
+//! D1 fixture: a hash map in a shipping output path.
+use std::collections::HashMap;
+
+pub fn degree_sum(adj: &HashMap<u32, Vec<u32>>) -> usize {
+    adj.values().map(Vec::len).sum()
+}

@@ -1,0 +1,17 @@
+//! D1 fixture: ordered collections ship; hash maps stay in tests.
+use std::collections::BTreeMap;
+
+pub fn degree_sum(adj: &BTreeMap<u32, Vec<u32>>) -> usize {
+    adj.values().map(Vec::len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch_maps_are_fine_here() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

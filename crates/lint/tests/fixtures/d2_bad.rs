@@ -1,0 +1,10 @@
+//! D2 fixture: wall-clock reads outside the trace wall module.
+use std::time::Instant;
+
+pub fn stage_ms() -> u128 {
+    let t0 = Instant::now();
+    run_stage();
+    t0.elapsed().as_millis()
+}
+
+fn run_stage() {}

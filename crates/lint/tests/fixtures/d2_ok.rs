@@ -1,0 +1,5 @@
+//! D2 fixture: logical time only — no clock reads at all.
+pub fn stage_ticks(clock: &mut u64) -> u64 {
+    *clock += 1;
+    *clock
+}

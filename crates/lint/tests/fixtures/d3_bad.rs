@@ -1,0 +1,5 @@
+//! D3 fixture: raw thread spawning outside anr-par.
+pub fn run_pair() {
+    let h = std::thread::spawn(|| 1 + 1);
+    drop(h);
+}

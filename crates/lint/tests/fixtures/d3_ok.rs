@@ -1,0 +1,4 @@
+//! D3 fixture: no raw threads; anr-par owns parallelism.
+pub fn run_pair(xs: &[u32]) -> Vec<u32> {
+    xs.iter().map(|x| x + 1).collect()
+}

@@ -1,0 +1,7 @@
+//! D4 fixture: an RNG seeded from the environment.
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub fn scramble() -> SmallRng {
+    SmallRng::from_entropy()
+}

@@ -1,0 +1,7 @@
+//! D4 fixture: every RNG comes from an explicit seed.
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub fn scramble(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

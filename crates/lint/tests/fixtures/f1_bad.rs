@@ -1,0 +1,4 @@
+//! F1 fixture: a NaN-panicking float sort.
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

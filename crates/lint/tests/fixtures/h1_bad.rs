@@ -1,0 +1,3 @@
+//! H1 fixture: a crate root with no hygiene headers.
+
+pub fn noop() {}

@@ -1,0 +1,5 @@
+//! H1 fixture: both crate-level hygiene attributes present.
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
+pub fn noop() {}

@@ -1,0 +1,12 @@
+//! P1 fixture: a panic path in library code.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn pick(flag: bool) -> u32 {
+    if flag {
+        1
+    } else {
+        unreachable!("caller promises flag")
+    }
+}

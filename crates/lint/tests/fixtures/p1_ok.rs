@@ -1,0 +1,8 @@
+//! P1 fixture: the same logic with panic-free signatures.
+pub fn head(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn pick(flag: bool) -> Option<u32> {
+    flag.then_some(1)
+}

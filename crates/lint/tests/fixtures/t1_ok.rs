@@ -1,0 +1,13 @@
+//! T1 fixture: bound guards and a delegating plain twin.
+pub fn settle(xs: &mut [u32]) {
+    settle_traced(xs, &Tracer::disabled());
+}
+
+pub fn settle_traced(xs: &mut [u32], tracer: &Tracer) {
+    let _span = tracer.span("settle");
+    relax(xs);
+    renormalize(xs);
+}
+
+fn relax(_xs: &mut [u32]) {}
+fn renormalize(_xs: &mut [u32]) {}

@@ -1,0 +1,8 @@
+//! T1 fixture: span guards dropped on the spot.
+pub fn step(tracer: &Tracer) {
+    tracer.span("step");
+    let _ = tracer.span("also-zero-width");
+    work();
+}
+
+fn work() {}

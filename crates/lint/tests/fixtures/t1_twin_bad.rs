@@ -1,0 +1,13 @@
+//! T1 fixture: a `_traced` twin that does extra work.
+pub fn settle(xs: &mut [u32]) {
+    relax(xs);
+}
+
+pub fn settle_traced(xs: &mut [u32], tracer: &Tracer) {
+    let _span = tracer.span("settle");
+    relax(xs);
+    renormalize(xs);
+}
+
+fn relax(_xs: &mut [u32]) {}
+fn renormalize(_xs: &mut [u32]) {}

@@ -1,0 +1,127 @@
+//! The analyzer gates this very repository: the workspace must pass
+//! `--deny` against the checked-in baseline, an injected violation must
+//! fail it, and the JSONL output must follow the documented schema.
+
+use anr_lint::{lint_workspace, LintOptions, LintReport};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root exists")
+}
+
+fn lint_repo() -> LintReport {
+    lint_workspace(&LintOptions::at(repo_root())).expect("lint run succeeds")
+}
+
+/// The gate the CI job enforces: zero non-baselined findings and no
+/// stale baseline entries.
+#[test]
+fn workspace_is_clean_under_deny() {
+    let report = lint_repo();
+    let open: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| !f.baselined)
+        .map(|f| format!("{}:{} [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        open.is_empty(),
+        "non-baselined lint findings:\n{}",
+        open.join("\n")
+    );
+    assert!(
+        report.stale.is_empty(),
+        "stale lint.allow.toml entries: {:?}",
+        report.stale
+    );
+    assert!(
+        report.files_scanned > 100,
+        "walker should see the whole workspace"
+    );
+}
+
+/// Injecting a violation into a scratch workspace turns the gate red;
+/// baselining it with a justification turns it green again.
+#[test]
+fn injected_violation_fails_the_gate() {
+    let scratch = std::env::temp_dir().join(format!("anr-lint-inject-{}", std::process::id()));
+    let src_dir = scratch.join("crates/demo/src");
+    fs::create_dir_all(&src_dir).expect("scratch dirs");
+    fs::write(
+        src_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n#![deny(unreachable_pub)]\n\
+         pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .expect("scratch lib.rs");
+
+    let report = lint_workspace(&LintOptions::at(&scratch)).expect("scratch lint");
+    assert_eq!(
+        report.non_baselined(),
+        1,
+        "the injected unwrap must be caught"
+    );
+    assert_eq!(report.findings[0].rule, "P1");
+
+    // A justified baseline entry absorbs it.
+    fs::write(
+        scratch.join("lint.allow.toml"),
+        "[[allow]]\nrule = \"P1\"\nfile = \"crates/demo/src/lib.rs\"\ncount = 1\n\
+         reason = \"demo of the ratchet workflow\"\n",
+    )
+    .expect("scratch baseline");
+    let report = lint_workspace(&LintOptions::at(&scratch)).expect("scratch lint");
+    assert_eq!(report.non_baselined(), 0);
+    assert_eq!(report.baselined(), 1);
+
+    fs::remove_dir_all(&scratch).expect("scratch cleanup");
+}
+
+/// Every JSONL line follows the documented `anr-lint/1` schema: finding
+/// records plus one trailing summary record.
+#[test]
+fn jsonl_output_matches_schema() {
+    let report = lint_repo();
+    let jsonl = report.to_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), report.findings.len() + 1);
+
+    for line in &lines[..lines.len() - 1] {
+        assert!(line.starts_with("{\"schema\":\"anr-lint/1\",\"kind\":\"finding\""));
+        for key in [
+            "\"rule\":",
+            "\"severity\":",
+            "\"file\":",
+            "\"line\":",
+            "\"col\":",
+            "\"message\":",
+            "\"hint\":",
+            "\"baselined\":",
+        ] {
+            assert!(line.contains(key), "finding line missing {key}: {line}");
+        }
+        assert!(line.ends_with('}'));
+    }
+
+    let summary = lines.last().expect("summary line");
+    assert!(summary.starts_with("{\"schema\":\"anr-lint/1\",\"kind\":\"summary\""));
+    for key in [
+        "\"files\":",
+        "\"findings\":",
+        "\"baselined\":",
+        "\"non_baselined\":",
+        "\"stale_allows\":",
+    ] {
+        assert!(summary.contains(key), "summary missing {key}");
+    }
+}
+
+/// The report is byte-identical across two runs on the same tree — the
+/// analyzer obeys the determinism bar it enforces.
+#[test]
+fn lint_output_is_deterministic() {
+    assert_eq!(lint_repo().to_jsonl(), lint_repo().to_jsonl());
+}

@@ -40,7 +40,9 @@ pub fn delaunay(points: &[Point]) -> Result<TriMesh, MeshError> {
         return Err(MeshError::TooFewPoints { got: points.len() });
     }
 
-    let bb = Aabb::from_points(points.iter().copied()).expect("non-empty");
+    let Some(bb) = Aabb::from_points(points.iter().copied()) else {
+        return Err(MeshError::TooFewPoints { got: 0 });
+    };
     let span = bb.diagonal().max(1.0);
     let center = bb.center();
 
@@ -85,8 +87,8 @@ pub fn delaunay(points: &[Point]) -> Result<TriMesh, MeshError> {
 
         // Boundary of the cavity: edges of bad triangles not shared by
         // two bad triangles.
-        let mut edge_count: std::collections::HashMap<(usize, usize), (usize, usize, i32)> =
-            std::collections::HashMap::new();
+        let mut edge_count: std::collections::BTreeMap<(usize, usize), (usize, usize, i32)> =
+            std::collections::BTreeMap::new();
         for &ti in &bad {
             let t = tris[ti];
             for k in 0..3 {

@@ -57,7 +57,10 @@ impl<'m> PointLocator<'m> {
     /// Panics for a mesh with zero triangles.
     pub fn new(mesh: &'m TriMesh) -> Self {
         assert!(mesh.num_triangles() > 0, "cannot locate in an empty mesh");
-        let bbox = Aabb::from_points(mesh.vertices().iter().copied()).expect("non-empty");
+        // The assert above guarantees vertices exist; the degenerate
+        // fallback keeps this panic-free all the same.
+        let bbox = Aabb::from_points(mesh.vertices().iter().copied())
+            .unwrap_or(Aabb::new(Point::ORIGIN, Point::ORIGIN));
         // Aim for ~2 triangles per cell.
         let target_cells = (mesh.num_triangles() / 2).max(1);
         let aspect = (bbox.width() / bbox.height().max(1e-12)).max(1e-6);
@@ -70,7 +73,8 @@ impl<'m> PointLocator<'m> {
         let mut buckets = vec![Vec::new(); nx * ny];
         for t in 0..mesh.num_triangles() {
             let tri = mesh.triangle(t);
-            let tb = Aabb::from_points([tri.a, tri.b, tri.c]).expect("triangle");
+            let mut tb = Aabb::new(tri.a, tri.b);
+            tb.expand(tri.c);
             let (i0, j0) = Self::cell_of(&bbox, cell, nx, ny, tb.min);
             let (i1, j1) = Self::cell_of(&bbox, cell, nx, ny, tb.max);
             for j in j0..=j1 {
@@ -147,9 +151,9 @@ impl<'m> PointLocator<'m> {
             .min_by(|&a, &b| {
                 let da = self.mesh.triangle(a).centroid().distance_sq(p);
                 let db = self.mesh.triangle(b).centroid().distance_sq(p);
-                da.partial_cmp(&db).expect("finite")
+                da.total_cmp(&db)
             })
-            .expect("non-empty mesh");
+            .unwrap_or(0);
         (t, false)
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::MeshError;
 use anr_geom::{Point, Triangle};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An indexed triangle mesh embedded in the plane.
 ///
@@ -38,7 +38,7 @@ pub struct TriMesh {
     vertices: Vec<Point>,
     triangles: Vec<[usize; 3]>,
     /// Undirected edge (min, max) → incident triangle indices (1 or 2).
-    edge_tris: HashMap<(usize, usize), Vec<usize>>,
+    edge_tris: BTreeMap<(usize, usize), Vec<usize>>,
     /// Vertex → incident triangle indices.
     vertex_tris: Vec<Vec<usize>>,
     /// Vertex → neighboring vertex indices (sorted).
@@ -80,7 +80,7 @@ impl TriMesh {
             }
         }
 
-        let mut edge_tris: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        let mut edge_tris: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
         let mut vertex_tris: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (ti, t) in tris.iter().enumerate() {
             for k in 0..3 {
@@ -226,7 +226,7 @@ impl TriMesh {
         // opposite (b, a) is missing. A vertex may have several outgoing
         // boundary half-edges (pinch vertices), so traversal marks
         // *edges* visited, not vertices.
-        let mut outgoing: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut outgoing: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for t in &self.triangles {
             for k in 0..3 {
                 let a = t[k];
@@ -240,8 +240,8 @@ impl TriMesh {
             v.sort_unstable();
         }
 
-        let mut visited: std::collections::HashSet<(usize, usize)> =
-            std::collections::HashSet::new();
+        let mut visited: std::collections::BTreeSet<(usize, usize)> =
+            std::collections::BTreeSet::new();
         let mut loops: Vec<Vec<usize>> = Vec::new();
         let mut starts: Vec<usize> = outgoing.keys().copied().collect();
         starts.sort_unstable();
@@ -286,7 +286,7 @@ impl TriMesh {
                 }
                 (0.5 * s).abs()
             };
-            area(b).partial_cmp(&area(a)).expect("finite areas")
+            area(b).total_cmp(&area(a))
         });
         loops
     }
@@ -335,8 +335,7 @@ impl TriMesh {
         (0..self.num_vertices()).min_by(|&a, &b| {
             self.vertices[a]
                 .distance_sq(p)
-                .partial_cmp(&self.vertices[b].distance_sq(p))
-                .expect("finite distances")
+                .total_cmp(&self.vertices[b].distance_sq(p))
         })
     }
 }

@@ -52,8 +52,8 @@ impl UnitDiskGraph {
         let cell = range;
         let key =
             |p: Point| -> (i64, i64) { ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64) };
-        let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
-            std::collections::HashMap::new();
+        let mut buckets: std::collections::BTreeMap<(i64, i64), Vec<usize>> =
+            std::collections::BTreeMap::new();
         for (i, &p) in positions.iter().enumerate() {
             buckets.entry(key(p)).or_default().push(i);
         }
@@ -198,7 +198,7 @@ impl UnitDiskGraph {
             }
         }
         while let Some(u) = queue.pop_front() {
-            let d = dist[u].expect("queued nodes have distances");
+            let Some(d) = dist[u] else { continue };
             for &v in &self.adjacency[u] {
                 if dist[v].is_none() {
                     dist[v] = Some(d + 1);
@@ -225,8 +225,8 @@ impl UnitDiskGraph {
         for (i, j) in self.links() {
             uf.union(i, j);
         }
-        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
-            std::collections::HashMap::new();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
         for v in 0..self.len() {
             by_root.entry(uf.find(v)).or_default().push(v);
         }

@@ -135,7 +135,7 @@ pub fn run_boundary_loop(ids: &[usize]) -> Result<Vec<(usize, usize)>, SimError>
         .enumerate()
         .min_by_key(|&(_, &id)| id)
         .map(|(i, _)| i)
-        .expect("non-empty");
+        .unwrap_or(0);
 
     let nodes: Vec<BoundaryLoopNode> = (0..n)
         .map(|i| BoundaryLoopNode::new(i, i == initiator_pos, (i + 1) % n))

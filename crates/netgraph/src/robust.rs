@@ -670,7 +670,7 @@ pub fn run_robust_boundary_loop(
         .enumerate()
         .min_by_key(|&(_, &id)| id)
         .map(|(i, _)| i)
-        .expect("non-empty");
+        .unwrap_or(0);
     let restart_after = (n + 2) * (cfg.interval + 1);
     let nodes: Vec<RobustBoundaryLoopNode> = (0..n)
         .map(|i| {

@@ -65,7 +65,7 @@ pub fn extract_triangulation(positions: &[Point], range: f64) -> Result<TriMesh,
 
     // Largest edge-connected component of the kept triangles.
     let mut uf = crate::UnionFind::new(dt.num_triangles());
-    let kept_set: std::collections::HashSet<usize> = kept.iter().copied().collect();
+    let kept_set: std::collections::BTreeSet<usize> = kept.iter().copied().collect();
     for &t in &kept {
         let [a, b, c] = dt.triangles()[t];
         for (u, v) in [(a, b), (b, c), (c, a)] {
@@ -78,7 +78,7 @@ pub fn extract_triangulation(positions: &[Point], range: f64) -> Result<TriMesh,
     }
     let mut best_root = uf.find(kept[0]);
     let mut best_count = 0usize;
-    let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
     for &t in &kept {
         let r = uf.find(t);
         let c = counts.entry(r).or_insert(0);
@@ -169,7 +169,7 @@ fn remove_pinches(num_vertices: usize, mut tris: Vec<[usize; 3]>) -> Vec<[usize;
                 .enumerate()
                 .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
                 .map(|(c, _)| c)
-                .expect("at least two clusters");
+                .unwrap_or(0);
             for (i, &c) in cluster.iter().enumerate() {
                 if c != keep && !drop[inc[i]] {
                     drop[inc[i]] = true;
@@ -190,8 +190,8 @@ fn remove_pinches(num_vertices: usize, mut tris: Vec<[usize; 3]>) -> Vec<[usize;
         // Largest edge-connected component of what remains.
         if !tris.is_empty() {
             let mut uf = crate::UnionFind::new(tris.len());
-            let mut by_edge: std::collections::HashMap<(usize, usize), usize> =
-                std::collections::HashMap::new();
+            let mut by_edge: std::collections::BTreeMap<(usize, usize), usize> =
+                std::collections::BTreeMap::new();
             for (ti, t) in tris.iter().enumerate() {
                 for k in 0..3 {
                     let a = t[k];
@@ -205,8 +205,8 @@ fn remove_pinches(num_vertices: usize, mut tris: Vec<[usize; 3]>) -> Vec<[usize;
                 }
             }
             if uf.num_sets() > 1 {
-                let mut counts: std::collections::HashMap<usize, usize> =
-                    std::collections::HashMap::new();
+                let mut counts: std::collections::BTreeMap<usize, usize> =
+                    std::collections::BTreeMap::new();
                 #[allow(clippy::needless_range_loop)] // union-find needs the index
                 for ti in 0..tris.len() {
                     *counts.entry(uf.find(ti)).or_insert(0) += 1;
@@ -215,7 +215,7 @@ fn remove_pinches(num_vertices: usize, mut tris: Vec<[usize; 3]>) -> Vec<[usize;
                     .iter()
                     .max_by_key(|&(_, &c)| c)
                     .map(|(&r, _)| r)
-                    .expect("non-empty");
+                    .unwrap_or(0);
                 let before = tris.len();
                 let mut filtered = Vec::with_capacity(before);
                 #[allow(clippy::needless_range_loop)] // union-find needs the index

@@ -203,7 +203,9 @@ impl RollbackUnionFind {
     pub fn rollback(&mut self, checkpoint: usize) {
         assert!(checkpoint <= self.ops.len(), "rollback past the op stack");
         while self.ops.len() > checkpoint {
-            let (lo, hi, bumped) = self.ops.pop().expect("len checked");
+            let Some((lo, hi, bumped)) = self.ops.pop() else {
+                break;
+            };
             self.parent[lo as usize] = lo;
             if bumped {
                 self.rank[hi as usize] -= 1;

@@ -29,6 +29,7 @@
 //! entry point so configs can store "auto" without an `Option`.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -27,6 +27,7 @@
 //! solver checks before assembling the system.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 /// A square sparse matrix in compressed sparse row form.

@@ -42,13 +42,16 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::io::{self, Write};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
+
+mod wall;
+use wall::WallStamp;
 
 /// A field value attached to a trace record.
 #[derive(Debug, Clone, PartialEq)]
@@ -165,7 +168,7 @@ struct State {
 }
 
 struct Inner {
-    wall: Option<Instant>,
+    wall: Option<WallStamp>,
     state: Mutex<State>,
 }
 
@@ -258,7 +261,7 @@ impl Tracer {
         }
         Tracer {
             inner: Some(Arc::new(Inner {
-                wall: config.wall_clock.then(Instant::now),
+                wall: config.wall_clock.then(wall::stamp),
                 state: Mutex::new(State {
                     seq: 0,
                     next_span: 0,
@@ -307,7 +310,7 @@ impl Tracer {
                 started: None,
             };
         };
-        let started = inner.wall.map(|_| Instant::now());
+        let started = inner.wall.map(|_| wall::stamp());
         let mut st = lock(&inner.state);
         st.next_span += 1;
         let id = st.next_span;
@@ -483,10 +486,7 @@ impl Tracer {
         }
         let mut fields = Vec::new();
         if let Some(started) = guard.started {
-            fields.push((
-                "dur_ns",
-                TraceValue::U64(started.elapsed().as_nanos() as u64),
-            ));
+            fields.push(("dur_ns", TraceValue::U64(started.elapsed_ns())));
         }
         emit(
             &mut st,
@@ -506,7 +506,7 @@ pub struct SpanGuard {
     id: u64,
     parent: u64,
     name: &'static str,
-    started: Option<Instant>,
+    started: Option<WallStamp>,
 }
 
 impl SpanGuard {

@@ -1,0 +1,25 @@
+//! The only module in the workspace allowed to read the wall clock
+//! (lint rule D2 exempts exactly this file).
+//!
+//! Everything nondeterministic about time is funnelled through
+//! [`WallStamp`]: the tracer's logical clock never touches it, and the
+//! opt-in `dur_ns` span field (benchmark harness only) is the sole
+//! consumer.
+
+use std::time::Instant;
+
+/// An opaque wall-clock reading.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WallStamp(Instant);
+
+/// Reads the wall clock now.
+pub(crate) fn stamp() -> WallStamp {
+    WallStamp(Instant::now())
+}
+
+impl WallStamp {
+    /// Nanoseconds elapsed since this stamp was taken (saturating).
+    pub(crate) fn elapsed_ns(self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
