@@ -42,6 +42,8 @@ pub enum BenchError {
     March(MarchError),
     /// A fault-sweep simulation failed.
     Sim(anr_distsim::SimError),
+    /// The benchmark was asked for zero timed repetitions.
+    ZeroRepeats,
 }
 
 impl fmt::Display for BenchError {
@@ -50,6 +52,7 @@ impl fmt::Display for BenchError {
             BenchError::Scenario(e) => write!(f, "scenario: {e}"),
             BenchError::March(e) => write!(f, "march: {e}"),
             BenchError::Sim(e) => write!(f, "simulation: {e}"),
+            BenchError::ZeroRepeats => write!(f, "repeats must be at least 1"),
         }
     }
 }
@@ -120,21 +123,21 @@ pub fn print_sweep_header() {
 
 /// One measured point of a separation sweep.
 #[derive(Debug, Clone, PartialEq)]
-pub struct SweepRow {
+pub(crate) struct SweepRow {
     /// Scenario id (1–7).
-    pub scenario: u8,
+    pub(crate) scenario: u8,
     /// FoI separation in communication ranges.
-    pub separation: f64,
+    pub(crate) separation: f64,
     /// Method name (see [`METHOD_NAMES`]).
-    pub method: &'static str,
+    pub(crate) method: &'static str,
     /// Total moving distance `D` in metres.
-    pub distance: f64,
+    pub(crate) distance: f64,
     /// `D` relative to the Hungarian optimum at the same separation.
-    pub ratio: f64,
+    pub(crate) ratio: f64,
     /// Total stable link ratio `L`.
-    pub link_ratio: f64,
+    pub(crate) link_ratio: f64,
     /// Global connectivity `C`.
-    pub connected: u8,
+    pub(crate) connected: u8,
 }
 
 /// Runs the full four-method comparison over a separation sweep,
@@ -143,7 +146,7 @@ pub struct SweepRow {
 /// # Errors
 ///
 /// Propagates scenario/method failures.
-pub fn sweep_scenario_rows(
+pub(crate) fn sweep_scenario_rows(
     id: u8,
     separations: &[f64],
     config: &MarchConfig,
@@ -173,7 +176,7 @@ pub fn sweep_scenario_rows(
 }
 
 /// Prints sweep rows as CSV (header via [`print_sweep_header`]).
-pub fn print_rows(rows: &[SweepRow]) {
+pub(crate) fn print_rows(rows: &[SweepRow]) {
     for r in rows {
         println!(
             "{},{},{},{:.1},{:.4},{:.4},{}",
@@ -188,7 +191,11 @@ pub fn print_rows(rows: &[SweepRow]) {
 /// # Errors
 ///
 /// Propagates I/O errors.
-pub fn write_sweep_charts(id: u8, rows: &[SweepRow], dir: &std::path::Path) -> std::io::Result<()> {
+pub(crate) fn write_sweep_charts(
+    id: u8,
+    rows: &[SweepRow],
+    dir: &std::path::Path,
+) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let series = |metric: fn(&SweepRow) -> f64, method: &str| -> Vec<(f64, f64)> {
         rows.iter()

@@ -125,19 +125,21 @@ fn median_of(mut times: Vec<f64>) -> f64 {
 /// the pipeline's own stage spans use — rather than an ad-hoc timer.
 /// The closure's result is returned (from the last run) so the timed
 /// work cannot be optimized away.
-fn median_ms<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
-    assert!(repeats >= 1);
+fn median_ms<T>(repeats: usize, mut f: impl FnMut() -> T) -> Result<(f64, T), BenchError> {
     let tracer = Tracer::wall(2 * repeats);
     let mut last = None;
     for _ in 0..repeats {
         let _rep = tracer.span("bench_rep");
         last = Some(f());
     }
+    let Some(last) = last else {
+        return Err(BenchError::ZeroRepeats);
+    };
     let times = tracer.span_durations_ms("bench_rep");
     // With anr-trace's `off` feature the spans vanish and the medians
     // degrade to 0.0; with tracing on, every repeat leaves one span.
     assert!(!tracer.is_enabled() || times.len() == repeats);
-    (median_of(times), last.expect("repeats >= 1"))
+    Ok((median_of(times), last))
 }
 
 fn bench_scenario(
@@ -163,7 +165,7 @@ fn bench_scenario(
     let (mesh_ms, filled2) = median_ms(repeats, || {
         let foi2 = FoiMesher::new(spacing).mesh(&problem.m2)?;
         fill_holes(foi2.mesh()).map_err(anr_march::MarchError::from)
-    });
+    })?;
     let filled2 = filled2?;
 
     // Stage 2: the harmonic duel on that mesh — same system, two
@@ -176,8 +178,8 @@ fn bench_scenario(
         solver: Solver::GaussSeidel,
         ..HarmonicConfig::default()
     };
-    let (pcg_ms, pcg_map) = median_ms(repeats, || harmonic_map_to_disk(filled2.mesh(), &pcg_cfg));
-    let (gs_ms, gs_map) = median_ms(repeats, || harmonic_map_to_disk(filled2.mesh(), &gs_cfg));
+    let (pcg_ms, pcg_map) = median_ms(repeats, || harmonic_map_to_disk(filled2.mesh(), &pcg_cfg))?;
+    let (gs_ms, gs_map) = median_ms(repeats, || harmonic_map_to_disk(filled2.mesh(), &gs_cfg))?;
     let pcg_map = pcg_map.map_err(anr_march::MarchError::from)?;
     let gs_map = gs_map.map_err(anr_march::MarchError::from)?;
     let max_position_diff = pcg_map
@@ -213,7 +215,7 @@ fn bench_scenario(
                 .count() as f64
                 / links.len() as f64
         })
-    });
+    })?;
 
     // Stage 4: the full pipeline, end to end. The same runs feed the
     // per-stage view: march emits a wall-clocked span for every
@@ -221,7 +223,7 @@ fn bench_scenario(
     let stage_tracer = Tracer::wall(1 << 17);
     let (march_ms, outcome) = median_ms(repeats, || {
         march_traced(&problem, Method::MaxStableLinks, &config, &stage_tracer)
-    });
+    })?;
     let outcome = outcome?;
     let march_stages: Vec<StageTiming> = [
         "triangulate",
@@ -254,7 +256,7 @@ fn bench_scenario(
             &lloyd_cfg,
             problem.range,
         )
-    });
+    })?;
 
     Ok(ScenarioTimings {
         id,
@@ -331,10 +333,10 @@ fn bench_fault_sweep(
     let parallel_cfg = SweepConfig { workers, ..base };
     let (serial_ms, serial) = median_ms(repeats, || {
         run_fault_sweep(&problem.positions, problem.range, &serial_cfg)
-    });
+    })?;
     let (parallel_ms, parallel) = median_ms(repeats, || {
         run_fault_sweep(&problem.positions, problem.range, &parallel_cfg)
-    });
+    })?;
     let byte_identical = serial?.to_json() == parallel?.to_json();
     Ok(FaultSweepTiming {
         robots: problem.num_robots(),
@@ -471,7 +473,8 @@ mod tests {
         let (m, last) = median_ms(3, || {
             k += 1;
             k
-        });
+        })
+        .unwrap();
         assert!(m >= 0.0);
         assert_eq!(last, 3);
     }

@@ -114,8 +114,9 @@ pub enum Command {
         /// Robot count.
         robots: usize,
     },
-    /// `anr lint [--root DIR] [--baseline FILE] [--jsonl FILE] [--deny]
-    /// [--list-rules]`
+    /// `anr lint [--root DIR] [--baseline FILE] [--jsonl FILE]
+    /// [--graph FILE] [--panics FILE] [--report panics] [--workers N]
+    /// [--deny] [--write-baseline] [--list-rules]`
     Lint {
         /// Workspace root to scan.
         root: PathBuf,
@@ -123,8 +124,19 @@ pub enum Command {
         baseline: Option<PathBuf>,
         /// Also write the findings as JSONL here.
         jsonl: Option<PathBuf>,
+        /// Write the cross-crate call graph (`anr-lint-graph/1`) here.
+        graph: Option<PathBuf>,
+        /// Write the panic-reachability report (`anr-lint-panics/1`) here.
+        panics: Option<PathBuf>,
+        /// Print the panic-reachability report instead of the findings.
+        report_panics: bool,
+        /// Scan worker threads (0 = auto); output is worker-count
+        /// independent.
+        workers: usize,
         /// Exit non-zero on any non-baselined finding.
         deny: bool,
+        /// Regenerate the baseline file instead of reporting.
+        write_baseline: bool,
         /// Print the rule table instead of scanning.
         list_rules: bool,
     },
@@ -222,7 +234,9 @@ COMMANDS:
                [--robots <n>]
   anr bench    [--smoke] [--repeats <n>] [--out <file.json>]
   anr lint     [--root <dir>] [--baseline <file>] [--jsonl <file>]
-               [--deny] [--list-rules]
+               [--graph <file>] [--panics <file>] [--report panics]
+               [--workers <n>] [--deny] [--write-baseline]
+               [--list-rules]
   anr info
   anr help
 
@@ -237,7 +251,10 @@ any audited transition ever disconnects.
 
 `anr lint` runs the workspace determinism & panic-safety analyzer
 (anr-lint) against the checked-in `lint.allow.toml` baseline; with
-`--deny` it exits non-zero on any non-baselined finding.
+`--deny` it exits non-zero on any non-baselined finding. `--graph` and
+`--panics` write the cross-crate call graph and pub-surface panic
+reachability as JSONL; `--report panics` prints the latter instead of
+the findings; `--write-baseline` regenerates the baseline in place.
 ";
 
 struct Cursor {
@@ -517,14 +534,41 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
             let mut root = PathBuf::from(".");
             let mut baseline = None;
             let mut jsonl = None;
+            let mut graph = None;
+            let mut panics = None;
+            let mut report_panics = false;
+            let mut workers = 1;
             let mut deny = false;
+            let mut write_baseline = false;
             let mut list_rules = false;
             while let Some(flag) = cur.next() {
                 match flag.as_str() {
                     "--root" => root = PathBuf::from(cur.value_for("--root")?),
                     "--baseline" => baseline = Some(PathBuf::from(cur.value_for("--baseline")?)),
                     "--jsonl" => jsonl = Some(PathBuf::from(cur.value_for("--jsonl")?)),
+                    "--graph" => graph = Some(PathBuf::from(cur.value_for("--graph")?)),
+                    "--panics" => panics = Some(PathBuf::from(cur.value_for("--panics")?)),
+                    "--report" => {
+                        let value = cur.value_for("--report")?;
+                        if value != "panics" {
+                            return Err(ArgError::BadValue {
+                                flag: "--report",
+                                value,
+                                expected: "`panics`",
+                            });
+                        }
+                        report_panics = true;
+                    }
+                    "--workers" => {
+                        let value = cur.value_for("--workers")?;
+                        workers = value.parse().map_err(|_| ArgError::BadValue {
+                            flag: "--workers",
+                            value,
+                            expected: "an integer ≥ 0",
+                        })?;
+                    }
                     "--deny" => deny = true,
+                    "--write-baseline" => write_baseline = true,
                     "--list-rules" => list_rules = true,
                     other => {
                         return Err(ArgError::UnknownFlag {
@@ -537,7 +581,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
                 root,
                 baseline,
                 jsonl,
+                graph,
+                panics,
+                report_panics,
+                workers,
                 deny,
+                write_baseline,
                 list_rules,
             })
         }
@@ -839,7 +888,12 @@ mod tests {
                 root: PathBuf::from("."),
                 baseline: None,
                 jsonl: None,
+                graph: None,
+                panics: None,
+                report_panics: false,
+                workers: 1,
                 deny: false,
+                write_baseline: false,
                 list_rules: false,
             }
         );
@@ -852,7 +906,16 @@ mod tests {
                 "allow.toml",
                 "--jsonl",
                 "out.jsonl",
+                "--graph",
+                "graph.jsonl",
+                "--panics",
+                "panics.jsonl",
+                "--report",
+                "panics",
+                "--workers",
+                "4",
                 "--deny",
+                "--write-baseline",
                 "--list-rules",
             ])
             .unwrap(),
@@ -860,10 +923,22 @@ mod tests {
                 root: PathBuf::from("ws"),
                 baseline: Some(PathBuf::from("allow.toml")),
                 jsonl: Some(PathBuf::from("out.jsonl")),
+                graph: Some(PathBuf::from("graph.jsonl")),
+                panics: Some(PathBuf::from("panics.jsonl")),
+                report_panics: true,
+                workers: 4,
                 deny: true,
+                write_baseline: true,
                 list_rules: true,
             }
         );
+        assert!(matches!(
+            parse(&["lint", "--report", "calls"]),
+            Err(ArgError::BadValue {
+                flag: "--report",
+                ..
+            })
+        ));
     }
 
     #[test]

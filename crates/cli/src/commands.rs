@@ -435,7 +435,12 @@ pub fn run_command_traced(command: Command, tracer: &Tracer) -> Result<(), CliEr
             root,
             baseline,
             jsonl,
+            graph,
+            panics,
+            report_panics,
+            workers,
             deny,
+            write_baseline,
             list_rules,
         } => {
             if list_rules {
@@ -450,16 +455,39 @@ pub fn run_command_traced(command: Command, tracer: &Tracer) -> Result<(), CliEr
                 return Ok(());
             }
             let _span = tracer.span("lint");
-            let options = anr_lint::LintOptions { root, baseline };
+            let options = anr_lint::LintOptions {
+                root: root.clone(),
+                baseline: baseline.clone(),
+                workers,
+            };
+            if write_baseline {
+                let baseline_path = baseline.unwrap_or_else(|| root.join("lint.allow.toml"));
+                let existing = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+                let rendered =
+                    anr_lint::write_baseline(&options, &existing).map_err(CliError::Lint)?;
+                std::fs::write(&baseline_path, rendered)?;
+                println!("baseline written to {}", baseline_path.display());
+                return Ok(());
+            }
             let report = anr_lint::lint_workspace(&options).map_err(CliError::Lint)?;
             tracer.counter_add("lint_files", report.files_scanned as u64);
             tracer.counter_add("lint_findings", report.findings.len() as u64);
             tracer.counter_add("lint_open", report.non_baselined() as u64);
-            if let Some(path) = jsonl {
-                std::fs::write(&path, report.to_jsonl())?;
-                eprintln!("findings JSONL written to {}", path.display());
+            for (path, contents, what) in [
+                (&jsonl, report.to_jsonl(), "findings JSONL"),
+                (&graph, report.graph.to_jsonl(), "call graph"),
+                (&panics, report.panics.to_jsonl(), "panic reachability"),
+            ] {
+                if let Some(path) = path {
+                    std::fs::write(path, contents)?;
+                    eprintln!("{what} written to {}", path.display());
+                }
             }
-            print!("{}", report.to_human());
+            if report_panics {
+                print!("{}", report.panics.to_human());
+            } else {
+                print!("{}", report.to_human());
+            }
             if deny && report.non_baselined() > 0 {
                 return Err(CliError::LintFailed {
                     open: report.non_baselined(),
@@ -663,7 +691,12 @@ mod tests {
             root,
             baseline: None,
             jsonl: None,
+            graph: None,
+            panics: None,
+            report_panics: false,
+            workers: 1,
             deny: true,
+            write_baseline: false,
             list_rules: false,
         })
         .unwrap();
@@ -675,7 +708,12 @@ mod tests {
             root: std::path::PathBuf::from("."),
             baseline: None,
             jsonl: None,
+            graph: None,
+            panics: None,
+            report_panics: false,
+            workers: 1,
             deny: false,
+            write_baseline: false,
             list_rules: true,
         })
         .unwrap();

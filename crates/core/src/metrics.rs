@@ -249,7 +249,7 @@ pub fn evaluate_timeline(
 
     // New links: present in the final graph but not initially.
     let initial = UnitDiskGraph::new(&timeline[0], range);
-    let last = timeline.last().expect("validated non-empty");
+    let last = timeline.last().ok_or(MetricsError::EmptyTimeline)?;
     let final_graph = UnitDiskGraph::new(last, range);
     let new_links = final_graph
         .links()

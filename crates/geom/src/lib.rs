@@ -56,4 +56,4 @@ pub use segment::Segment;
 ///
 /// Chosen so that fields spanning ~1000 m with robots tens of metres apart
 /// are handled robustly while still flagging genuinely degenerate input.
-pub const EPS: f64 = 1e-9;
+pub(crate) const EPS: f64 = 1e-9;

@@ -110,7 +110,7 @@ impl Point {
 
 impl Vector {
     /// The zero vector.
-    pub const ZERO: Vector = Vector { x: 0.0, y: 0.0 };
+    pub(crate) const ZERO: Vector = Vector { x: 0.0, y: 0.0 };
 
     /// Creates a vector from its components.
     #[inline]

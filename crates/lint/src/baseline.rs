@@ -5,8 +5,14 @@
 //!
 //! Only the tiny TOML subset the baseline needs is parsed: `[[allow]]`
 //! array-of-tables with string and integer values, `#` comments.
+//!
+//! Interprocedural findings (S1/S2) carry a call chain; their entries
+//! may pin a `path` — a substring the finding's chain must contain —
+//! so a justification stays attached to *that* panic path and stops
+//! matching if the chain is rerouted.
 
 use crate::rules::{rule_info, Finding};
+use std::fmt::Write as _;
 
 /// One baseline entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +27,9 @@ pub struct AllowEntry {
     pub reason: String,
     /// Findings actually absorbed (filled by [`apply_baseline`]).
     pub used: usize,
+    /// Call-chain substring this entry is pinned to (S-rules); an entry
+    /// with a path only absorbs findings whose chain contains it.
+    pub path: Option<String>,
 }
 
 /// Baseline file problems.
@@ -55,6 +64,7 @@ struct Partial {
     file: Option<String>,
     count: Option<usize>,
     reason: Option<String>,
+    path: Option<String>,
     start_line: usize,
 }
 
@@ -81,6 +91,7 @@ fn finish(p: Partial) -> Result<AllowEntry, BaselineError> {
         count,
         reason,
         used: 0,
+        path: p.path,
     })
 }
 
@@ -143,6 +154,12 @@ pub fn parse_baseline(text: &str) -> Result<Vec<AllowEntry>, BaselineError> {
                         .map_err(|_| err(lineno, "count must be an integer"))?,
                 )
             }
+            "path" => {
+                p.path = Some(
+                    parse_string(value)
+                        .ok_or_else(|| err(lineno, "path must be a quoted string"))?,
+                )
+            }
             other => return Err(err(lineno, format!("unknown key `{other}`"))),
         }
     }
@@ -202,14 +219,66 @@ fn parse_string(value: &str) -> Option<String> {
 /// assignment is deterministic.
 pub fn apply_baseline(findings: &mut [Finding], entries: &mut [AllowEntry]) {
     for f in findings.iter_mut() {
+        // Path-pinned entries are preferred so a broad (pathless) entry
+        // is not consumed by a finding a specific entry justifies.
         let slot = entries
             .iter_mut()
-            .find(|e| e.rule == f.rule && e.file == f.file && e.used < e.count);
+            .filter(|e| e.rule == f.rule && e.file == f.file && e.used < e.count)
+            .filter(|e| match &e.path {
+                None => true,
+                Some(p) => f
+                    .path
+                    .as_deref()
+                    .is_some_and(|chain| chain.contains(p.as_str())),
+            })
+            .max_by_key(|e| e.path.is_some());
         if let Some(e) = slot {
             e.used += 1;
             f.baselined = true;
         }
     }
+}
+
+/// Renders a baseline deterministically: entries sorted by
+/// `(rule, file, path)`, one `[[allow]]` table each, stable key order.
+/// [`crate::write_baseline`] uses this to regenerate `lint.allow.toml`.
+#[must_use]
+pub fn render_baseline(entries: &[AllowEntry]) -> String {
+    let mut sorted: Vec<&AllowEntry> = entries.iter().collect();
+    sorted.sort_by(|a, b| (&a.rule, &a.file, &a.path).cmp(&(&b.rule, &b.file, &b.path)));
+    let mut out = String::from(
+        "# anr-lint baseline — every entry needs a one-line justification.\n\
+         # Regenerate with `anr-lint --write-baseline`; counts only ratchet down.\n",
+    );
+    for e in sorted {
+        out.push_str("\n[[allow]]\n");
+        let _ = write!(out, "rule = ");
+        toml_str(&mut out, &e.rule);
+        let _ = write!(out, "\nfile = ");
+        toml_str(&mut out, &e.file);
+        if let Some(p) = &e.path {
+            let _ = write!(out, "\npath = ");
+            toml_str(&mut out, p);
+        }
+        let _ = write!(out, "\ncount = {}\nreason = ", e.count);
+        toml_str(&mut out, &e.reason);
+        out.push('\n');
+    }
+    out
+}
+
+fn toml_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Entries whose `count` exceeds the findings they absorbed — the

@@ -1,0 +1,656 @@
+//! The cross-crate call graph: nodes are every function the item
+//! parser found; edges link call sites to the workspace functions they
+//! can resolve to. Resolution is name-based but *dependency-aware*: a
+//! call in crate X may only resolve into crates X actually depends on
+//! (transitively, per the workspace `Cargo.toml`s), which keeps the
+//! conservative method-name matching from inventing impossible edges.
+//!
+//! Everything is BTree-ordered, so the graph — and the
+//! `anr-lint-graph/1` JSONL artifact serialized from it — is
+//! byte-identical across runs and worker counts.
+
+use crate::context::{FileCtx, FileKind};
+use crate::lexer::TokKind;
+use crate::parser::{ParsedFile, Visibility};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One function node in the call graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Human-readable name: `crate::[Type::]name`.
+    pub display: String,
+    /// Owning crate directory name (`core`, `par`, … or `anr-marching`).
+    pub crate_name: String,
+    /// Bare function name.
+    pub name: String,
+    /// Impl self type / trait name, when this is a method.
+    pub self_ty: Option<String>,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Visibility.
+    pub vis: Visibility,
+    /// Target kind of the owning file.
+    pub kind: FileKind,
+    /// Defined in test-only code (or a test/bench/example file)?
+    pub in_test: bool,
+    /// Index of the owning file in the builder's input slice.
+    pub file_idx: usize,
+    /// Body token range in the owning file (exclusive); `None` for
+    /// bodyless trait method declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// The assembled workspace call graph.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Nodes, ordered by (file, source order) — deterministic.
+    pub nodes: Vec<FnNode>,
+    /// `(caller, callee)` node-index pairs, sorted and deduplicated.
+    pub edges: Vec<(usize, usize)>,
+    /// Transitive dependency closure per crate (including itself).
+    pub crate_deps: BTreeMap<String, BTreeSet<String>>,
+    /// Number of source files the graph was built from.
+    pub files: usize,
+}
+
+impl CallGraph {
+    /// Outgoing callee indices of `node`, in sorted order.
+    #[must_use]
+    pub fn callees(&self, node: usize) -> Vec<usize> {
+        let start = self.edges.partition_point(|&(c, _)| c < node);
+        self.edges[start..]
+            .iter()
+            .take_while(|&&(c, _)| c == node)
+            .map(|&(_, v)| v)
+            .collect()
+    }
+
+    /// Serializes the graph as `anr-lint-graph/1` JSON Lines: one
+    /// `node` record per function (with its sorted callee ids) plus a
+    /// trailing `summary` record. Byte-identical across runs.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{{\"schema\":\"anr-lint-graph/1\",\"kind\":\"node\",\"id\":{i},\"fn\":"
+            );
+            crate::report::json_str(&mut out, &n.display);
+            out.push_str(",\"file\":");
+            crate::report::json_str(&mut out, &n.file);
+            let _ = write!(out, ",\"line\":{},\"crate\":", n.line);
+            crate::report::json_str(&mut out, &n.crate_name);
+            let _ = write!(
+                out,
+                ",\"vis\":\"{}\",\"target\":\"{}\",\"test\":{},\"calls\":[",
+                n.vis.as_str(),
+                kind_str(n.kind),
+                n.in_test,
+            );
+            for (k, c) in self.callees(i).iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            out.push_str("]}\n");
+        }
+        let _ = writeln!(
+            out,
+            "{{\"schema\":\"anr-lint-graph/1\",\"kind\":\"summary\",\"nodes\":{},\"edges\":{},\"files\":{},\"crates\":{}}}",
+            self.nodes.len(),
+            self.edges.len(),
+            self.files,
+            self.crate_deps.len(),
+        );
+        out
+    }
+}
+
+fn kind_str(kind: FileKind) -> &'static str {
+    match kind {
+        FileKind::Lib => "lib",
+        FileKind::Bin => "bin",
+        FileKind::Test => "test",
+        FileKind::Bench => "bench",
+        FileKind::Example => "example",
+    }
+}
+
+/// Workspace crate metadata: package-name ↔ crate-dir mapping and the
+/// declared dependency edges, read from the `Cargo.toml`s under `root`.
+#[derive(Debug, Default)]
+struct CrateMeta {
+    /// Normalized package name (`anr_march`) → crate dir (`core`).
+    pkg_to_dir: BTreeMap<String, String>,
+    /// Crate dir → directly declared workspace deps (crate dirs).
+    deps: BTreeMap<String, BTreeSet<String>>,
+    /// Crate dirs found without a readable `Cargo.toml` (fixture
+    /// workspaces) — these may reach every crate.
+    unmapped: BTreeSet<String>,
+}
+
+fn normalize(pkg: &str) -> String {
+    pkg.replace('-', "_")
+}
+
+/// Minimal `Cargo.toml` scan: the `[package] name` plus every key under
+/// a `[dependencies]`-family section. Deliberately not a TOML parser —
+/// the workspace manifests are plain enough.
+fn scan_cargo_toml(text: &str) -> (Option<String>, Vec<String>) {
+    let mut name = None;
+    let mut deps = Vec::new();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = line.to_string();
+            continue;
+        }
+        if section == "[package]" {
+            if let Some(rest) = line.strip_prefix("name") {
+                if let Some(v) = rest.trim_start().strip_prefix('=') {
+                    name = Some(v.trim().trim_matches('"').to_string());
+                }
+            }
+        } else if matches!(
+            section.as_str(),
+            "[dependencies]" | "[dev-dependencies]" | "[build-dependencies]"
+        ) {
+            if let Some(eq) = line.find('=') {
+                let key = line[..eq].trim();
+                let key = key.split('.').next().unwrap_or(key).trim();
+                if !key.is_empty() {
+                    deps.push(key.to_string());
+                }
+            }
+        }
+    }
+    (name, deps)
+}
+
+fn load_crate_meta(root: &Path, crate_names: &BTreeSet<String>) -> CrateMeta {
+    let mut meta = CrateMeta::default();
+    let mut raw_deps: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for dir in crate_names {
+        let manifest = if dir == "anr-marching" {
+            root.join("Cargo.toml")
+        } else {
+            root.join("crates").join(dir).join("Cargo.toml")
+        };
+        match std::fs::read_to_string(&manifest) {
+            Ok(text) => {
+                let (pkg, deps) = scan_cargo_toml(&text);
+                let pkg = pkg.unwrap_or_else(|| dir.clone());
+                meta.pkg_to_dir.insert(normalize(&pkg), dir.clone());
+                meta.pkg_to_dir.insert(normalize(dir), dir.clone());
+                raw_deps.insert(dir.clone(), deps);
+            }
+            Err(_) => {
+                meta.pkg_to_dir.insert(normalize(dir), dir.clone());
+                meta.unmapped.insert(dir.clone());
+            }
+        }
+    }
+    // Dep package names → crate dirs; packages outside the workspace
+    // (vendored stand-ins, std shims) simply drop out.
+    for (dir, deps) in raw_deps {
+        let set: BTreeSet<String> = deps
+            .iter()
+            .filter_map(|d| meta.pkg_to_dir.get(&normalize(d)).cloned())
+            .collect();
+        meta.deps.insert(dir, set);
+    }
+    meta
+}
+
+/// Transitive closure of the declared deps. A crate without a manifest
+/// may reach every crate — fixture workspaces stay fully linkable.
+fn dep_closure(
+    meta: &CrateMeta,
+    crate_names: &BTreeSet<String>,
+) -> BTreeMap<String, BTreeSet<String>> {
+    let mut closure = BTreeMap::new();
+    for name in crate_names {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        if meta.unmapped.contains(name) {
+            seen.extend(crate_names.iter().cloned());
+        } else {
+            let mut stack = vec![name.clone()];
+            while let Some(c) = stack.pop() {
+                if !seen.insert(c.clone()) {
+                    continue;
+                }
+                if let Some(direct) = meta.deps.get(&c) {
+                    stack.extend(direct.iter().cloned());
+                }
+            }
+        }
+        seen.insert(name.clone());
+        closure.insert(name.clone(), seen);
+    }
+    closure
+}
+
+/// A call site extracted from a function body.
+enum CallSite {
+    /// `name(…)` with no path qualifier.
+    Unqualified(String),
+    /// `a::b::name(…)`, or a mentioned path `a::b::name` used as a
+    /// value (`map(Self::f)` passes the function itself).
+    Qualified(Vec<String>),
+    /// `.name(…)` method call.
+    Method(String),
+}
+
+/// Extracts the call sites of one body token range.
+fn call_sites(ctx: &FileCtx, body: (usize, usize)) -> Vec<CallSite> {
+    let toks = &ctx.tokens;
+    let mut sites = Vec::new();
+    let mut i = body.0;
+    let end = body.1.min(toks.len());
+    while i < end {
+        if toks[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        // `::` lexes as two `:` puncts; a segment preceded by one was
+        // already swallowed when the path head was seen.
+        if i >= 2 && toks[i - 1].is_punct(":") && toks[i - 2].is_punct(":") {
+            i += 1;
+            continue;
+        }
+        let mut segments = vec![toks[i].text.clone()];
+        let mut j = i;
+        while j + 3 < end
+            && toks[j + 1].is_punct(":")
+            && toks[j + 2].is_punct(":")
+            && toks[j + 3].kind == TokKind::Ident
+        {
+            segments.push(toks[j + 3].text.clone());
+            j += 3;
+        }
+        let is_call = toks.get(j + 1).is_some_and(|t| t.is_punct("("));
+        let prev_dot = i > body.0 && toks[i - 1].is_punct(".");
+        let prev_fn = i > body.0 && toks[i - 1].is_ident("fn");
+        if segments.len() == 1 {
+            if is_call && !prev_fn {
+                let name = segments.remove(0);
+                if prev_dot {
+                    sites.push(CallSite::Method(name));
+                } else {
+                    sites.push(CallSite::Unqualified(name));
+                }
+            }
+        } else if !prev_fn {
+            sites.push(CallSite::Qualified(segments));
+        }
+        i = j + 1;
+    }
+    sites
+}
+
+/// Name-resolution indexes over the graph nodes. Test-only functions
+/// never appear: a shipping call site cannot land in `#[cfg(test)]`.
+struct Indexes {
+    /// (crate dir, name) → free fns.
+    free: BTreeMap<(String, String), Vec<usize>>,
+    /// name → free fns anywhere (re-export fallback, closure-filtered).
+    free_any: BTreeMap<String, Vec<usize>>,
+    /// method name → impl/trait fns (conservative dynamic dispatch).
+    methods: BTreeMap<String, Vec<usize>>,
+    /// (self type or trait, name) → fns.
+    typed: BTreeMap<(String, String), Vec<usize>>,
+}
+
+fn build_indexes(nodes: &[FnNode]) -> Indexes {
+    let mut ix = Indexes {
+        free: BTreeMap::new(),
+        free_any: BTreeMap::new(),
+        methods: BTreeMap::new(),
+        typed: BTreeMap::new(),
+    };
+    for (i, n) in nodes.iter().enumerate() {
+        if n.in_test || !matches!(n.kind, FileKind::Lib | FileKind::Bin) {
+            continue;
+        }
+        match &n.self_ty {
+            None => {
+                ix.free
+                    .entry((n.crate_name.clone(), n.name.clone()))
+                    .or_default()
+                    .push(i);
+                ix.free_any.entry(n.name.clone()).or_default().push(i);
+            }
+            Some(ty) => {
+                ix.methods.entry(n.name.clone()).or_default().push(i);
+                ix.typed
+                    .entry((ty.clone(), n.name.clone()))
+                    .or_default()
+                    .push(i);
+            }
+        }
+    }
+    ix
+}
+
+fn is_type_like(segment: &str) -> bool {
+    segment
+        .trim_start_matches("r#")
+        .chars()
+        .next()
+        .is_some_and(char::is_uppercase)
+}
+
+/// Maps a path head segment to a crate dir: `crate`/`self`/`super`
+/// stay in the caller's crate; otherwise the package map, then the
+/// file's imports (`use anr_trace::wall;` makes `wall::…` trace's).
+fn head_crate(
+    head: &str,
+    caller_crate: &str,
+    meta: &CrateMeta,
+    imports: &BTreeMap<String, Vec<String>>,
+) -> Option<String> {
+    if matches!(head, "crate" | "self" | "super") {
+        return Some(caller_crate.to_string());
+    }
+    if let Some(dir) = meta.pkg_to_dir.get(&normalize(head)) {
+        return Some(dir.clone());
+    }
+    if let Some(path) = imports.get(head) {
+        if let Some(first) = path.first() {
+            if first != head {
+                return head_crate(first, caller_crate, meta, imports);
+            }
+        }
+    }
+    None
+}
+
+/// Resolves one call site to candidate callee nodes. Candidates are
+/// always filtered to the caller's dependency closure.
+fn resolve_site(
+    site: &CallSite,
+    caller: &FnNode,
+    ix: &Indexes,
+    meta: &CrateMeta,
+    imports: &BTreeMap<String, Vec<String>>,
+    globs: &[String],
+) -> Vec<usize> {
+    let pick = |cands: Option<&Vec<usize>>| cands.cloned().unwrap_or_default();
+    match site {
+        CallSite::Method(name) => pick(ix.methods.get(name)),
+        CallSite::Unqualified(name) => {
+            let local = pick(ix.free.get(&(caller.crate_name.clone(), name.clone())));
+            if !local.is_empty() {
+                return local;
+            }
+            if let Some(path) = imports.get(name) {
+                let real = path.last().cloned().unwrap_or_else(|| name.clone());
+                if let Some(head) = path.first() {
+                    if let Some(dir) = head_crate(head, &caller.crate_name, meta, imports) {
+                        let hit = pick(ix.free.get(&(dir, real.clone())));
+                        if !hit.is_empty() {
+                            return hit;
+                        }
+                    }
+                }
+                // Re-exported through an intermediate crate: any free fn
+                // of that name (the closure filter prunes the rest).
+                return pick(ix.free_any.get(&real));
+            }
+            let mut out = Vec::new();
+            for head in globs {
+                if let Some(dir) = head_crate(head, &caller.crate_name, meta, imports) {
+                    out.extend(pick(ix.free.get(&(dir, name.clone()))));
+                }
+            }
+            out
+        }
+        CallSite::Qualified(segments) => {
+            let name = segments.last().cloned().unwrap_or_default();
+            let head = segments.first().cloned().unwrap_or_default();
+            let qual = segments[segments.len() - 2].clone();
+            if is_type_like(&head) {
+                let ty = if head == "Self" {
+                    caller.self_ty.clone().unwrap_or(head)
+                } else {
+                    head
+                };
+                return pick(ix.typed.get(&(ty, name)));
+            }
+            if let Some(dir) = head_crate(&head, &caller.crate_name, meta, imports) {
+                let hit = pick(ix.free.get(&(dir, name.clone())));
+                if !hit.is_empty() {
+                    return hit;
+                }
+                if is_type_like(&qual) {
+                    // `anr_mesh::TriMesh::new` — typed tail.
+                    return pick(ix.typed.get(&(qual, name)));
+                }
+                // `anr_march::par_map` may really be par's (re-export).
+                return pick(ix.free_any.get(&name));
+            }
+            if is_type_like(&qual) {
+                return pick(ix.typed.get(&(qual, name)));
+            }
+            // Unknown module path: same-crate module call.
+            pick(ix.free.get(&(caller.crate_name.clone(), name)))
+        }
+    }
+}
+
+/// Builds the workspace call graph from lexed + parsed files.
+///
+/// `files` pairs each file's analysis context with its parsed items;
+/// `root` is read for `Cargo.toml` dependency metadata.
+#[must_use]
+pub fn build_graph(root: &Path, files: &[(FileCtx, ParsedFile)]) -> CallGraph {
+    let mut nodes = Vec::new();
+    for (file_idx, (ctx, parsed)) in files.iter().enumerate() {
+        for f in &parsed.fns {
+            let display = match &f.self_ty {
+                Some(ty) => format!("{}::{}::{}", ctx.crate_name, ty, f.name),
+                None => format!("{}::{}", ctx.crate_name, f.name),
+            };
+            nodes.push(FnNode {
+                display,
+                crate_name: ctx.crate_name.clone(),
+                name: f.name.clone(),
+                self_ty: f.self_ty.clone(),
+                file: ctx.rel_path.clone(),
+                line: f.line,
+                vis: f.vis,
+                kind: ctx.kind,
+                in_test: f.in_test
+                    || matches!(
+                        ctx.kind,
+                        FileKind::Test | FileKind::Bench | FileKind::Example
+                    ),
+                file_idx,
+                body: f.body,
+            });
+        }
+    }
+
+    let crate_names: BTreeSet<String> = files.iter().map(|(c, _)| c.crate_name.clone()).collect();
+    let meta = load_crate_meta(root, &crate_names);
+    let crate_deps = dep_closure(&meta, &crate_names);
+    let ix = build_indexes(&nodes);
+
+    // Per-file import tables: local name → path segments, plus the
+    // heads of glob imports.
+    let mut imports: Vec<BTreeMap<String, Vec<String>>> = Vec::with_capacity(files.len());
+    let mut globs: Vec<Vec<String>> = Vec::with_capacity(files.len());
+    for (_, parsed) in files {
+        let mut table = BTreeMap::new();
+        let mut g = Vec::new();
+        for u in &parsed.uses {
+            match u.local_name() {
+                Some(name) => {
+                    table.insert(name.to_string(), u.segments.clone());
+                }
+                None => {
+                    if let Some(first) = u.segments.first() {
+                        g.push(first.clone());
+                    }
+                }
+            }
+        }
+        imports.push(table);
+        globs.push(g);
+    }
+
+    let empty = BTreeSet::new();
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for caller in 0..nodes.len() {
+        let Some(body) = nodes[caller].body else {
+            continue;
+        };
+        let file_idx = nodes[caller].file_idx;
+        let ctx = &files[file_idx].0;
+        let allowed = crate_deps.get(&nodes[caller].crate_name).unwrap_or(&empty);
+        for site in call_sites(ctx, body) {
+            for callee in resolve_site(
+                &site,
+                &nodes[caller],
+                &ix,
+                &meta,
+                &imports[file_idx],
+                &globs[file_idx],
+            ) {
+                if callee != caller && allowed.contains(&nodes[callee].crate_name) {
+                    edges.insert((caller, callee));
+                }
+            }
+        }
+    }
+
+    CallGraph {
+        nodes,
+        edges: edges.into_iter().collect(),
+        crate_deps,
+        files: files.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn graph_of(files: &[(&str, &str)]) -> CallGraph {
+        let built: Vec<(FileCtx, ParsedFile)> = files
+            .iter()
+            .map(|(path, src)| {
+                let ctx = FileCtx::new(path, src);
+                let parsed = parse_file(&ctx);
+                (ctx, parsed)
+            })
+            .collect();
+        build_graph(Path::new("/nonexistent-root"), &built)
+    }
+
+    fn edge(g: &CallGraph, from: &str, to: &str) -> bool {
+        g.edges
+            .iter()
+            .any(|&(a, b)| g.nodes[a].display == from && g.nodes[b].display == to)
+    }
+
+    #[test]
+    fn direct_and_cross_crate_calls_link() {
+        let g = graph_of(&[
+            (
+                "crates/alpha/src/lib.rs",
+                "use beta::helper;\npub fn entry() { helper(); local(); }\nfn local() {}",
+            ),
+            ("crates/beta/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        assert!(edge(&g, "alpha::entry", "alpha::local"));
+        assert!(edge(&g, "alpha::entry", "beta::helper"));
+    }
+
+    #[test]
+    fn method_calls_dispatch_conservatively() {
+        let g = graph_of(&[
+            (
+                "crates/alpha/src/lib.rs",
+                "pub fn entry(m: &Mesh) { m.area(); }",
+            ),
+            (
+                "crates/beta/src/lib.rs",
+                "pub struct Mesh;\nimpl Mesh { pub fn area(&self) -> f64 { 0.0 } }",
+            ),
+        ]);
+        assert!(edge(&g, "alpha::entry", "beta::Mesh::area"));
+    }
+
+    #[test]
+    fn typed_paths_and_fn_references() {
+        let g = graph_of(&[
+            (
+                "crates/alpha/src/lib.rs",
+                "pub fn entry() { Mesh::build(); steal(helper); crate::helper(); }\n\
+                 fn steal(_f: fn()) {}\npub fn helper() {}",
+            ),
+            (
+                "crates/beta/src/lib.rs",
+                "pub struct Mesh;\nimpl Mesh { pub fn build() {} }",
+            ),
+        ]);
+        assert!(edge(&g, "alpha::entry", "beta::Mesh::build"));
+        assert!(edge(&g, "alpha::entry", "alpha::steal"));
+        assert!(edge(&g, "alpha::entry", "alpha::helper"));
+    }
+
+    #[test]
+    fn qualified_mentions_without_parens_count() {
+        let g = graph_of(&[(
+            "crates/alpha/src/lib.rs",
+            "pub struct K;\nimpl K { pub fn cmp(a: f64) -> f64 { a } }\n\
+             pub fn entry(v: &mut Vec<f64>) { v.sort_by_key(K::cmp); }",
+        )]);
+        assert!(edge(&g, "alpha::entry", "alpha::K::cmp"));
+    }
+
+    #[test]
+    fn test_fns_never_resolve_as_callees() {
+        let g = graph_of(&[(
+            "crates/alpha/src/lib.rs",
+            "pub fn entry() { helper(); }\n#[cfg(test)]\nmod tests { fn helper() {} }",
+        )]);
+        assert!(!g
+            .edges
+            .iter()
+            .any(|&(a, _)| g.nodes[a].display == "alpha::entry"));
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_schema_tagged() {
+        let files: &[(&str, &str)] = &[(
+            "crates/alpha/src/lib.rs",
+            "pub fn entry() { helper(); }\npub fn helper() {}",
+        )];
+        let a = graph_of(files).to_jsonl();
+        let b = graph_of(files).to_jsonl();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"schema\":\"anr-lint-graph/1\",\"kind\":\"node\""));
+        assert!(a.lines().last().unwrap().contains("\"kind\":\"summary\""));
+    }
+
+    #[test]
+    fn cargo_toml_scan_reads_names_and_deps() {
+        let (name, deps) = scan_cargo_toml(
+            "[package]\nname = \"anr-mesh\"\n\n[dependencies]\n\
+             anr-geom.workspace = true\nrand = { path = \"x\" }\n\n\
+             [dev-dependencies]\nproptest.workspace = true\n",
+        );
+        assert_eq!(name.as_deref(), Some("anr-mesh"));
+        assert_eq!(deps, vec!["anr-geom", "rand", "proptest"]);
+    }
+}

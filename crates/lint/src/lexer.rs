@@ -127,7 +127,9 @@ impl Lexer {
     }
 
     /// Consumes a raw string `r##"…"##` starting at the first `#`/`"`.
-    fn finish_raw(&mut self, out: &mut String) {
+    /// Returns `false` (leaving the consumed hashes in `out`) when no
+    /// string follows — a raw identifier such as `r#type`.
+    fn finish_raw(&mut self, out: &mut String) -> bool {
         let mut hashes = 0usize;
         while self.peek(0) == Some('#') {
             out.push('#');
@@ -135,7 +137,7 @@ impl Lexer {
             hashes += 1;
         }
         if self.peek(0) != Some('"') {
-            return; // `r#ident` raw identifier, not a string
+            return false; // `r#ident` raw identifier, not a string
         }
         out.push('"');
         self.bump();
@@ -157,6 +159,7 @@ impl Lexer {
                 None => break,
             }
         }
+        true
     }
 
     fn lex_number(&mut self, first: char) -> String {
@@ -218,17 +221,32 @@ pub fn lex(src: &str) -> Vec<Token> {
         if c == 'r' && matches!(lx.peek(1), Some('"' | '#')) {
             let mut text = String::from("r");
             lx.bump();
-            lx.finish_raw(&mut text);
-            if text.len() > 1 {
+            if lx.finish_raw(&mut text) {
                 toks.push(Token {
                     kind: TokKind::Literal,
                     text,
                     line,
                     col,
                 });
-                continue;
+            } else {
+                // `r#ident` raw identifier: one Ident token whose text
+                // keeps the `r#` prefix so it never matches a keyword.
+                while let Some(c) = lx.peek(0) {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
             }
-            // `r#ident` raw identifier: fall through, lexing the ident.
+            continue;
         }
         if c == 'b' && lx.peek(1) == Some('"') {
             let mut text = String::from("b\"");
@@ -271,9 +289,13 @@ pub fn lex(src: &str) -> Vec<Token> {
             let mut text = String::from("br");
             lx.bump();
             lx.bump();
-            lx.finish_raw(&mut text);
+            let kind = if lx.finish_raw(&mut text) {
+                TokKind::Literal
+            } else {
+                TokKind::Ident // not valid Rust, but never a phantom literal
+            };
             toks.push(Token {
-                kind: TokKind::Literal,
+                kind,
                 text,
                 line,
                 col,

@@ -22,6 +22,15 @@
 //! | F1 | `partial_cmp(..).unwrap()` float comparisons (NaN panics) |
 //! | T1 | trace hygiene: dropped span guards; `_traced` twins that mutate |
 //! | H1 | crate roots missing `#![forbid(unsafe_code)]` / `#![deny(unreachable_pub)]` |
+//! | S1 | pipeline entry points that can reach a panic site (interprocedural) |
+//! | S2 | pipeline entry points that reach a nondeterminism sink (interprocedural) |
+//! | S3 | `pub` exports no other workspace crate or test references |
+//!
+//! The S-rules run over a cross-crate call graph built from an
+//! item-level parse of every file (see [`build_graph`] and [`analyze`]);
+//! the graph serializes as the `anr-lint-graph/1` JSONL artifact and
+//! panic reachability for the whole `pub` surface as
+//! `anr-lint-panics/1`.
 //!
 //! Findings are suppressible only via the checked-in `lint.allow.toml`
 //! baseline, where every entry carries a one-line justification and a
@@ -41,16 +50,24 @@
 
 mod baseline;
 mod context;
+mod graph;
 mod lexer;
+mod parser;
 mod report;
 mod rules;
+mod semantic;
 mod walk;
 
-pub use baseline::{apply_baseline, parse_baseline, stale_entries, AllowEntry, BaselineError};
+pub use baseline::{
+    apply_baseline, parse_baseline, render_baseline, stale_entries, AllowEntry, BaselineError,
+};
 pub use context::{FileCtx, FileKind};
+pub use graph::{build_graph, CallGraph, FnNode};
 pub use lexer::{lex, TokKind, Token};
+pub use parser::{parse_file, FnDef, ItemDef, ParsedFile, UseDef, Visibility};
 pub use report::LintReport;
-pub use rules::{rule_info, scan_file, Finding, RuleInfo, Severity, RULES};
+pub use rules::{scan_file, Finding, RuleInfo, Severity, RULES};
+pub use semantic::{analyze, PanicEntry, PanicsReport, SemanticOutput, ENTRY_POINTS};
 pub use walk::workspace_files;
 
 use std::path::{Path, PathBuf};
@@ -63,6 +80,10 @@ pub struct LintOptions {
     /// Baseline file; defaults to `<root>/lint.allow.toml`. A missing
     /// baseline file means an empty baseline, not an error.
     pub baseline: Option<PathBuf>,
+    /// Worker threads for per-file scanning (0 = auto, 1 = serial).
+    /// Findings, the call graph, and every artifact are identical for
+    /// any worker count.
+    pub workers: usize,
 }
 
 impl LintOptions {
@@ -71,6 +92,7 @@ impl LintOptions {
         LintOptions {
             root: root.as_ref().to_path_buf(),
             baseline: None,
+            workers: 1,
         }
     }
 }
@@ -108,25 +130,23 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
     scan_file(&FileCtx::new(rel_path, src))
 }
 
-/// Lints the whole workspace under `options.root` against its baseline.
+/// Lints the whole workspace under `options.root` against its baseline:
+/// the per-file token rules (D/P/F/T/H families) plus the
+/// interprocedural S-rules over the cross-crate call graph.
+///
+/// Per-file work fans out over `options.workers` threads via
+/// [`anr_par::par_map`]; results are input-ordered, so the report is
+/// identical for any worker count.
 ///
 /// # Errors
 ///
 /// [`LintError`] on unreadable files or a malformed baseline file.
 /// Findings — baselined or not — are part of the report, never an error.
 pub fn lint_workspace(options: &LintOptions) -> Result<LintReport, LintError> {
-    let files = workspace_files(&options.root).map_err(|source| LintError::Io {
-        path: options.root.clone(),
-        source,
-    })?;
-    let mut findings = Vec::new();
-    for (rel, path) in &files {
-        let src = std::fs::read_to_string(path).map_err(|source| LintError::Io {
-            path: path.clone(),
-            source,
-        })?;
-        findings.extend(scan_source(rel, &src));
-    }
+    let (mut findings, built, files_scanned) = scan_and_parse(options)?;
+    let graph = build_graph(&options.root, &built);
+    let sem = analyze(&graph, &built);
+    findings.extend(sem.findings);
     findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
 
@@ -147,7 +167,105 @@ pub fn lint_workspace(options: &LintOptions) -> Result<LintReport, LintError> {
 
     Ok(LintReport {
         findings,
-        files_scanned: files.len(),
+        files_scanned,
         stale: stale_entries(&entries),
+        graph,
+        panics: sem.panics,
     })
+}
+
+/// Reads, lexes, parses, and token-scans every workspace file,
+/// fanning out over `options.workers` threads.
+#[allow(clippy::type_complexity)]
+fn scan_and_parse(
+    options: &LintOptions,
+) -> Result<(Vec<Finding>, Vec<(FileCtx, ParsedFile)>, usize), LintError> {
+    let files = workspace_files(&options.root).map_err(|source| LintError::Io {
+        path: options.root.clone(),
+        source,
+    })?;
+    let mut sources = Vec::with_capacity(files.len());
+    for (rel, path) in &files {
+        let src = std::fs::read_to_string(path).map_err(|source| LintError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        sources.push((rel.clone(), src));
+    }
+    let per_file = anr_par::par_map(&sources, options.workers, |(rel, src)| {
+        let ctx = FileCtx::new(rel, src);
+        let parsed = parse_file(&ctx);
+        let findings = scan_file(&ctx);
+        (ctx, parsed, findings)
+    });
+    let mut findings = Vec::new();
+    let mut built = Vec::with_capacity(per_file.len());
+    for (ctx, parsed, file_findings) in per_file {
+        findings.extend(file_findings);
+        built.push((ctx, parsed));
+    }
+    Ok((findings, built, files.len()))
+}
+
+/// Regenerates the baseline from the workspace's *current* findings:
+/// one entry per `(rule, file)` (plus the call chain as `path` for
+/// S1/S2), counts set to what is actually present, reasons carried
+/// over from `existing` where an old entry still matches, and
+/// `UNJUSTIFIED` placeholders on genuinely new entries. Output is
+/// deterministic — byte-identical across runs and worker counts.
+///
+/// # Errors
+///
+/// [`LintError`] on unreadable files (the existing baseline is taken
+/// as text, not read here).
+pub fn write_baseline(options: &LintOptions, existing: &str) -> Result<String, LintError> {
+    let old = parse_baseline(existing).unwrap_or_default();
+    // Lint against an empty baseline so every finding is open.
+    let mut opts = options.clone();
+    opts.baseline = Some(PathBuf::from("/nonexistent/lint.allow.toml"));
+    let report = lint_workspace(&opts)?;
+
+    // Group: S1/S2 findings keep their chain as the pinned path; all
+    // other rules aggregate per (rule, file).
+    let mut grouped: std::collections::BTreeMap<(String, String, Option<String>), usize> =
+        std::collections::BTreeMap::new();
+    for f in &report.findings {
+        let path = if matches!(f.rule, "S1" | "S2") {
+            f.path.clone()
+        } else {
+            None
+        };
+        *grouped
+            .entry((f.rule.to_string(), f.file.clone(), path))
+            .or_insert(0) += 1;
+    }
+    let entries: Vec<AllowEntry> = grouped
+        .into_iter()
+        .map(|((rule, file, path), count)| {
+            let reason = old
+                .iter()
+                .find(|e| {
+                    e.rule == rule
+                        && e.file == file
+                        && match (&e.path, &path) {
+                            (None, _) => true,
+                            (Some(op), Some(np)) => np.contains(op.as_str()),
+                            (Some(_), None) => false,
+                        }
+                })
+                .map_or_else(
+                    || "UNJUSTIFIED: write a one-line justification".to_string(),
+                    |e| e.reason.clone(),
+                );
+            AllowEntry {
+                rule,
+                file,
+                count,
+                reason,
+                used: 0,
+                path,
+            }
+        })
+        .collect();
+    Ok(render_baseline(&entries))
 }

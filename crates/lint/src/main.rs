@@ -1,7 +1,7 @@
 //! `anr-lint` — the standalone analyzer binary CI runs:
 //! `cargo run --release -p anr-lint -- --deny --jsonl findings.jsonl`.
 
-use anr_lint::{lint_workspace, LintOptions, RULES};
+use anr_lint::{lint_workspace, write_baseline, LintOptions, RULES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -10,13 +10,23 @@ anr-lint — workspace determinism & panic-safety analyzer
 
 USAGE:
   anr-lint [--root <dir>] [--baseline <file>] [--jsonl <file>]
-           [--deny] [--list-rules]
+           [--graph <file>] [--panics <file>] [--report panics]
+           [--workers <n>] [--deny] [--write-baseline] [--list-rules]
 
 FLAGS:
   --root <dir>       workspace root to scan (default: .)
   --baseline <file>  allow file (default: <root>/lint.allow.toml)
-  --jsonl <file>     also write the findings as JSON Lines
+  --jsonl <file>     also write the findings as JSON Lines (anr-lint/2)
+  --graph <file>     write the cross-crate call graph (anr-lint-graph/1)
+  --panics <file>    write panic reachability for every pub library fn
+                     (anr-lint-panics/1)
+  --report panics    print the panic-reachability report instead of
+                     the findings report
+  --workers <n>      scan files on n threads (0 = auto; output is
+                     identical for any worker count)
   --deny             exit non-zero on any non-baselined finding
+  --write-baseline   regenerate the baseline file from current findings
+                     (deterministic; keeps existing justifications)
   --list-rules       print the rule table and exit
 ";
 
@@ -24,7 +34,12 @@ struct Args {
     root: PathBuf,
     baseline: Option<PathBuf>,
     jsonl: Option<PathBuf>,
+    graph: Option<PathBuf>,
+    panics: Option<PathBuf>,
+    report: Option<String>,
+    workers: usize,
     deny: bool,
+    write_baseline: bool,
     list_rules: bool,
 }
 
@@ -33,13 +48,19 @@ fn parse_args() -> Result<Args, String> {
         root: PathBuf::from("."),
         baseline: None,
         jsonl: None,
+        graph: None,
+        panics: None,
+        report: None,
+        workers: 1,
         deny: false,
+        write_baseline: false,
         list_rules: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--deny" => args.deny = true,
+            "--write-baseline" => args.write_baseline = true,
             "--list-rules" => args.list_rules = true,
             "--root" => args.root = PathBuf::from(it.next().ok_or("--root needs a value")?),
             "--baseline" => {
@@ -48,11 +69,30 @@ fn parse_args() -> Result<Args, String> {
             "--jsonl" => {
                 args.jsonl = Some(PathBuf::from(it.next().ok_or("--jsonl needs a value")?))
             }
+            "--graph" => {
+                args.graph = Some(PathBuf::from(it.next().ok_or("--graph needs a value")?))
+            }
+            "--panics" => {
+                args.panics = Some(PathBuf::from(it.next().ok_or("--panics needs a value")?))
+            }
+            "--report" => args.report = Some(it.next().ok_or("--report needs a value")?),
+            "--workers" => {
+                args.workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|_| "--workers must be an integer".to_string())?
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if let Some(r) = &args.report {
+        if r != "panics" {
+            return Err(format!("unknown report `{r}` (only `panics`)"));
         }
     }
     Ok(args)
@@ -72,23 +112,55 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let report = match lint_workspace(&LintOptions {
-        root: args.root,
-        baseline: args.baseline,
-    }) {
+    let options = LintOptions {
+        root: args.root.clone(),
+        baseline: args.baseline.clone(),
+        workers: args.workers,
+    };
+    if args.write_baseline {
+        let baseline_path = args
+            .baseline
+            .clone()
+            .unwrap_or_else(|| args.root.join("lint.allow.toml"));
+        let existing = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+        let rendered = match write_baseline(&options, &existing) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("anr-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&baseline_path, &rendered) {
+            eprintln!("anr-lint: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!("anr-lint: wrote {}", baseline_path.display());
+        return ExitCode::SUCCESS;
+    }
+    let report = match lint_workspace(&options) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("anr-lint: {e}");
             return ExitCode::from(2);
         }
     };
-    if let Some(path) = &args.jsonl {
-        if let Err(e) = std::fs::write(path, report.to_jsonl()) {
-            eprintln!("anr-lint: writing {}: {e}", path.display());
-            return ExitCode::from(2);
+    for (path, contents) in [
+        (&args.jsonl, report.to_jsonl()),
+        (&args.graph, report.graph.to_jsonl()),
+        (&args.panics, report.panics.to_jsonl()),
+    ] {
+        if let Some(path) = path {
+            if let Err(e) = std::fs::write(path, contents) {
+                eprintln!("anr-lint: writing {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
         }
     }
-    print!("{}", report.to_human());
+    if args.report.as_deref() == Some("panics") {
+        print!("{}", report.panics.to_human());
+    } else {
+        print!("{}", report.to_human());
+    }
     if args.deny && report.non_baselined() > 0 {
         eprintln!(
             "anr-lint: --deny: {} non-baselined finding(s)",

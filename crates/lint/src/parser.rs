@@ -1,0 +1,661 @@
+//! Item-level parsing on top of the lexer: `fn` / `impl` / `trait` /
+//! `mod` / `use` items with visibility, module path, and body token
+//! ranges. This is what turns the token stream into the units the
+//! cross-crate call graph links.
+//!
+//! The parser is deliberately shallow: it walks item structure only and
+//! never descends into function bodies (a `fn` nested inside a body is
+//! attributed to its parent — sound for reachability, since only the
+//! parent can call it). All positions are token indices into the
+//! owning [`FileCtx`].
+
+use crate::context::{matching, FileCtx};
+use crate::lexer::{TokKind, Token};
+
+/// Item visibility, as far as cross-crate analysis cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Visibility {
+    /// `pub` — exported from the crate.
+    Pub,
+    /// `pub(crate)` / `pub(super)` / `pub(in …)` — crate-internal.
+    Scoped,
+    /// No visibility keyword.
+    Private,
+}
+
+impl Visibility {
+    /// Lower-case label used in reports and the graph artifact.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Visibility::Pub => "pub",
+            Visibility::Scoped => "pub(crate)",
+            Visibility::Private => "private",
+        }
+    }
+}
+
+/// A function definition (free, impl method, or trait default method).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Self type for impl methods / trait name for default methods.
+    pub self_ty: Option<String>,
+    /// Trait being implemented, for `impl Trait for Type` methods.
+    pub trait_name: Option<String>,
+    /// In-file module path (`mod a { mod b { … } }` → `["a", "b"]`).
+    pub module: Vec<String>,
+    /// Visibility.
+    pub vis: Visibility,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the body (inside the braces, exclusive); `None`
+    /// for bodyless trait method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Token range of the signature: from the `fn` keyword up to (not
+    /// including) the body's open brace, or past the trailing `;` for
+    /// bodyless declarations.
+    pub sig: (usize, usize),
+    /// Defined inside `#[cfg(test)]` / `#[test]` code?
+    pub in_test: bool,
+}
+
+/// A `use` declaration, expanded: one record per imported name.
+#[derive(Debug, Clone)]
+pub struct UseDef {
+    /// Full path segments (`use a::b::c` → `["a", "b", "c"]`; globs end
+    /// in `"*"`).
+    pub segments: Vec<String>,
+    /// `use … as alias` rename.
+    pub alias: Option<String>,
+    /// Visibility (`pub use` is a re-export).
+    pub vis: Visibility,
+    /// 1-based line of the `use` keyword.
+    pub line: u32,
+}
+
+impl UseDef {
+    /// The name this import binds locally: the alias, or the last
+    /// non-glob segment.
+    #[must_use]
+    pub fn local_name(&self) -> Option<&str> {
+        if let Some(a) = &self.alias {
+            return Some(a);
+        }
+        match self.segments.last().map(String::as_str) {
+            Some("*") | None => None,
+            Some(s) => Some(s),
+        }
+    }
+}
+
+/// A non-function item (the S3 dead-`pub` surface).
+#[derive(Debug, Clone)]
+pub struct ItemDef {
+    /// Item keyword (`struct`, `enum`, `trait`, `const`, `static`,
+    /// `type`, `macro`).
+    pub kind: &'static str,
+    /// Item name.
+    pub name: String,
+    /// Visibility.
+    pub vis: Visibility,
+    /// 1-based line of the item keyword.
+    pub line: u32,
+    /// Token range of the whole item, from its keyword to where the
+    /// next item starts (exclusive).
+    pub span: (usize, usize),
+    /// Defined inside test-only code?
+    pub in_test: bool,
+}
+
+/// Everything the item parser extracts from one file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Function definitions, in source order.
+    pub fns: Vec<FnDef>,
+    /// Expanded `use` declarations.
+    pub uses: Vec<UseDef>,
+    /// Non-function items.
+    pub items: Vec<ItemDef>,
+}
+
+/// Parses the item structure of one file.
+#[must_use]
+pub fn parse_file(ctx: &FileCtx) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let mut module = Vec::new();
+    parse_items(
+        ctx,
+        (0, ctx.tokens.len()),
+        &mut module,
+        None,
+        None,
+        &mut out,
+    );
+    out
+}
+
+/// Is `>` at `j` the tail of `->`? (Lexed as two one-char puncts.)
+fn is_arrow_tail(toks: &[Token], j: usize) -> bool {
+    j > 0 && toks[j - 1].is_punct("-")
+}
+
+fn parse_items(
+    ctx: &FileCtx,
+    range: (usize, usize),
+    module: &mut Vec<String>,
+    self_ty: Option<&str>,
+    trait_name: Option<&str>,
+    out: &mut ParsedFile,
+) {
+    let toks = &ctx.tokens;
+    let mut i = range.0;
+    while i < range.1 {
+        // Skip attributes (`#[…]`, `#![…]`).
+        if toks[i].is_punct("#") {
+            let open = if toks.get(i + 1).is_some_and(|t| t.is_punct("!")) {
+                i + 2
+            } else {
+                i + 1
+            };
+            if toks.get(open).is_some_and(|t| t.is_punct("[")) {
+                match matching(toks, open, "[", "]") {
+                    Some(close) => {
+                        i = close + 1;
+                        continue;
+                    }
+                    None => return,
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Visibility prefix.
+        let mut vis = Visibility::Private;
+        if toks[i].is_ident("pub") {
+            if toks.get(i + 1).is_some_and(|t| t.is_punct("(")) {
+                vis = Visibility::Scoped;
+                match matching(toks, i + 1, "(", ")") {
+                    Some(close) => i = close + 1,
+                    None => return,
+                }
+            } else {
+                vis = Visibility::Pub;
+                i += 1;
+            }
+            if i >= range.1 {
+                return;
+            }
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "use" => i = parse_use(ctx, i, range.1, vis, out),
+            "mod" => {
+                let Some(name) = ident_at(toks, i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                if toks.get(i + 2).is_some_and(|t| t.is_punct("{")) {
+                    let Some(close) = matching(toks, i + 2, "{", "}") else {
+                        return;
+                    };
+                    module.push(name);
+                    parse_items(ctx, (i + 3, close), module, None, None, out);
+                    module.pop();
+                    i = close + 1;
+                } else {
+                    i += 2; // `mod name;` — a file module, parsed on its own
+                }
+            }
+            "fn" => {
+                let Some(name) = ident_at(toks, i + 1) else {
+                    i += 1; // `fn(…)` pointer type or malformed
+                    continue;
+                };
+                let (body, next) = fn_body(toks, i + 2, range.1);
+                out.fns.push(FnDef {
+                    name,
+                    self_ty: self_ty.map(str::to_string),
+                    trait_name: trait_name.map(str::to_string),
+                    module: module.clone(),
+                    vis,
+                    line: t.line,
+                    body,
+                    sig: (i, body.map_or(next, |b| b.0.saturating_sub(1))),
+                    in_test: ctx.in_test[i],
+                });
+                i = next;
+            }
+            "impl" => {
+                let Some((ty, tr, open)) = impl_header(toks, i + 1, range.1) else {
+                    i += 1;
+                    continue;
+                };
+                let Some(close) = matching(toks, open, "{", "}") else {
+                    return;
+                };
+                parse_items(
+                    ctx,
+                    (open + 1, close),
+                    module,
+                    ty.as_deref(),
+                    tr.as_deref(),
+                    out,
+                );
+                i = close + 1;
+            }
+            "trait" => {
+                let Some(name) = ident_at(toks, i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                let (body, next) = fn_body(toks, i + 2, range.1);
+                out.items.push(ItemDef {
+                    kind: "trait",
+                    name: name.clone(),
+                    vis,
+                    line: t.line,
+                    span: (i, next),
+                    in_test: ctx.in_test[i],
+                });
+                if let Some((start, end)) = body {
+                    parse_items(ctx, (start, end), module, Some(&name), None, out);
+                }
+                i = next;
+            }
+            kw @ ("struct" | "enum" | "union") => {
+                let Some(name) = ident_at(toks, i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                let (_, next) = fn_body(toks, i + 2, range.1);
+                out.items.push(ItemDef {
+                    kind: if kw == "struct" { "struct" } else { "enum" },
+                    name,
+                    vis,
+                    line: t.line,
+                    span: (i, next),
+                    in_test: ctx.in_test[i],
+                });
+                i = next;
+            }
+            kw @ ("const" | "static") => {
+                // `const fn` is a function; plain const/static ends at
+                // the first `;` outside braces.
+                if toks.get(i + 1).is_some_and(|t| {
+                    t.is_ident("fn") || t.is_ident("unsafe") || t.is_ident("extern")
+                }) {
+                    i += 1;
+                    continue;
+                }
+                let next = skip_to_semi(toks, i + 1, range.1);
+                if let Some(name) = ident_at(toks, i + 1) {
+                    if name != "_" {
+                        out.items.push(ItemDef {
+                            kind: if kw == "const" { "const" } else { "static" },
+                            name,
+                            vis,
+                            line: t.line,
+                            span: (i, next),
+                            in_test: ctx.in_test[i],
+                        });
+                    }
+                }
+                i = next;
+            }
+            "type" => {
+                let next = skip_to_semi(toks, i + 1, range.1);
+                if let Some(name) = ident_at(toks, i + 1) {
+                    out.items.push(ItemDef {
+                        kind: "type",
+                        name,
+                        vis,
+                        line: t.line,
+                        span: (i, next),
+                        in_test: ctx.in_test[i],
+                    });
+                }
+                i = next;
+            }
+            "macro_rules" => {
+                let (_, next) = fn_body(toks, i + 2, range.1);
+                if let Some(name) = ident_at(toks, i + 2) {
+                    out.items.push(ItemDef {
+                        kind: "macro",
+                        name,
+                        vis: Visibility::Pub, // #[macro_export] decides; treat as pub
+                        line: t.line,
+                        span: (i, next),
+                        in_test: ctx.in_test[i],
+                    });
+                }
+                i = next;
+            }
+            "extern" => {
+                // `extern crate x;` or `extern "C" { … }`.
+                let (_, next) = fn_body(toks, i + 1, range.1);
+                i = next;
+            }
+            _ => i += 1, // `unsafe`, `async`, `default`, stray tokens
+        }
+    }
+}
+
+fn ident_at(toks: &[Token], i: usize) -> Option<String> {
+    toks.get(i)
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+}
+
+/// Scans a signature for its body: returns the body's interior token
+/// range (or `None` when the item ends at `;`) and the index to resume
+/// item parsing at.
+fn fn_body(toks: &[Token], start: usize, limit: usize) -> (Option<(usize, usize)>, usize) {
+    let mut j = start;
+    while j < limit {
+        if toks[j].is_punct(";") {
+            return (None, j + 1);
+        }
+        if toks[j].is_punct("{") {
+            return match matching(toks, j, "{", "}") {
+                Some(end) => (Some((j + 1, end)), end + 1),
+                None => (None, limit),
+            };
+        }
+        j += 1;
+    }
+    (None, limit)
+}
+
+fn skip_to_semi(toks: &[Token], start: usize, limit: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < limit {
+        if toks[j].is_punct("{") {
+            depth += 1;
+        } else if toks[j].is_punct("}") {
+            depth = depth.saturating_sub(1);
+        } else if toks[j].is_punct(";") && depth == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    limit
+}
+
+/// Parses an `impl` header starting right after the `impl` keyword:
+/// returns `(self_type, trait_name, index_of_body_open_brace)`.
+///
+/// The self type is the last angle-depth-0 identifier of the type path
+/// (after `for` when present), stopping at `where` — so
+/// `impl<T: Fn() -> R> Display for mesh::TriMesh<T> where …` yields
+/// `(Some("TriMesh"), Some("Display"), _)`.
+fn impl_header(
+    toks: &[Token],
+    start: usize,
+    limit: usize,
+) -> Option<(Option<String>, Option<String>, usize)> {
+    let mut depth = 0i32;
+    let mut last: Option<String> = None;
+    let mut before_for: Option<String> = None;
+    let mut saw_for = false;
+    let mut j = start;
+    while j < limit {
+        let t = &toks[j];
+        if t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(">") && !is_arrow_tail(toks, j) {
+            depth -= 1;
+        } else if depth == 0 {
+            if t.is_punct("{") {
+                let trait_name = if saw_for { before_for } else { None };
+                return Some((last, trait_name, j));
+            }
+            if t.is_ident("where") {
+                // The self type is settled; find the body brace.
+                let trait_name = if saw_for { before_for } else { None };
+                let mut k = j;
+                let mut d = 0i32;
+                while k < limit {
+                    if toks[k].is_punct("<") {
+                        d += 1;
+                    } else if toks[k].is_punct(">") && !is_arrow_tail(toks, k) {
+                        d -= 1;
+                    } else if toks[k].is_punct("{") && d <= 0 {
+                        return Some((last, trait_name, k));
+                    }
+                    k += 1;
+                }
+                return None;
+            }
+            if t.is_ident("for") {
+                saw_for = true;
+                before_for = last.take();
+            } else if t.kind == TokKind::Ident
+                && !matches!(t.text.as_str(), "dyn" | "mut" | "const" | "unsafe" | "as")
+            {
+                last = Some(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+fn parse_use(
+    ctx: &FileCtx,
+    use_kw: usize,
+    limit: usize,
+    vis: Visibility,
+    out: &mut ParsedFile,
+) -> usize {
+    let toks = &ctx.tokens;
+    let line = toks[use_kw].line;
+    let end = skip_to_semi(toks, use_kw + 1, limit);
+    // Tokens of the use tree, excluding the trailing `;`.
+    let tree_end = if end > use_kw + 1 && toks.get(end - 1).is_some_and(|t| t.is_punct(";")) {
+        end - 1
+    } else {
+        end
+    };
+    expand_use_tree(toks, use_kw + 1, tree_end, &mut Vec::new(), vis, line, out);
+    end
+}
+
+/// Expands one use-tree token range (`a::b::{c, d as e}`) into flat
+/// [`UseDef`] records under `prefix`.
+fn expand_use_tree(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    prefix: &mut Vec<String>,
+    vis: Visibility,
+    line: u32,
+    out: &mut ParsedFile,
+) {
+    let mut segments = prefix.clone();
+    let mut alias = None;
+    let mut j = start;
+    while j < end {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident && t.text == "as" {
+            if let Some(a) = ident_at(toks, j + 1) {
+                alias = Some(a);
+            }
+            j += 2;
+        } else if t.kind == TokKind::Ident {
+            segments.push(t.text.clone());
+            j += 1;
+        } else if t.is_punct("*") {
+            segments.push("*".to_string());
+            j += 1;
+        } else if t.is_punct("{") {
+            let close = match matching(&toks[..end], j, "{", "}") {
+                Some(c) => c,
+                None => end,
+            };
+            // Split the group body on depth-0 commas.
+            let mut item_start = j + 1;
+            let mut depth = 0usize;
+            for k in j + 1..close {
+                if toks[k].is_punct("{") {
+                    depth += 1;
+                } else if toks[k].is_punct("}") {
+                    depth = depth.saturating_sub(1);
+                } else if toks[k].is_punct(",") && depth == 0 {
+                    expand_use_tree(toks, item_start, k, &mut segments, vis, line, out);
+                    item_start = k + 1;
+                }
+            }
+            if item_start < close {
+                expand_use_tree(toks, item_start, close, &mut segments, vis, line, out);
+            }
+            return; // a group ends the tree at this level
+        } else {
+            j += 1; // `::` separators
+        }
+    }
+    if !segments.is_empty() && segments != *prefix {
+        out.uses.push(UseDef {
+            segments,
+            alias,
+            vis,
+            line,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&FileCtx::new("crates/core/src/x.rs", src))
+    }
+
+    #[test]
+    fn finds_free_fns_with_visibility() {
+        let p = parse("pub fn a() {}\npub(crate) fn b() {}\nfn c() {}");
+        let names: Vec<_> = p.fns.iter().map(|f| (f.name.as_str(), f.vis)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("a", Visibility::Pub),
+                ("b", Visibility::Scoped),
+                ("c", Visibility::Private)
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_methods_get_self_type() {
+        let p = parse(
+            "struct Foo;\nimpl Foo { pub fn new() -> Foo { Foo } }\n\
+             impl std::fmt::Display for Foo { fn fmt(&self) {} }",
+        );
+        let new = p.fns.iter().find(|f| f.name == "new").unwrap();
+        assert_eq!(new.self_ty.as_deref(), Some("Foo"));
+        assert_eq!(new.trait_name, None);
+        let fmt = p.fns.iter().find(|f| f.name == "fmt").unwrap();
+        assert_eq!(fmt.self_ty.as_deref(), Some("Foo"));
+        assert_eq!(fmt.trait_name.as_deref(), Some("Display"));
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve() {
+        let p = parse(
+            "impl<T: Fn() -> R, R> Wrapper<T> where T: Clone { fn call(&self) {} }\n\
+             impl<'a> Iterator for Iter<'a> { fn next(&mut self) {} }",
+        );
+        assert_eq!(p.fns[0].self_ty.as_deref(), Some("Wrapper"));
+        assert_eq!(p.fns[1].self_ty.as_deref(), Some("Iter"));
+        assert_eq!(p.fns[1].trait_name.as_deref(), Some("Iterator"));
+    }
+
+    #[test]
+    fn trait_default_methods_and_module_paths() {
+        let p = parse(
+            "pub trait Audit { fn go(&self) { self.step(); } fn step(&self); }\n\
+             mod inner { pub fn helper() {} mod deep { fn bottom() {} } }",
+        );
+        let go = p.fns.iter().find(|f| f.name == "go").unwrap();
+        assert_eq!(go.self_ty.as_deref(), Some("Audit"));
+        assert!(go.body.is_some());
+        let step = p.fns.iter().find(|f| f.name == "step").unwrap();
+        assert!(step.body.is_none());
+        let helper = p.fns.iter().find(|f| f.name == "helper").unwrap();
+        assert_eq!(helper.module, vec!["inner"]);
+        let bottom = p.fns.iter().find(|f| f.name == "bottom").unwrap();
+        assert_eq!(bottom.module, vec!["inner", "deep"]);
+        assert!(p
+            .items
+            .iter()
+            .any(|i| i.kind == "trait" && i.name == "Audit"));
+    }
+
+    #[test]
+    fn use_trees_expand() {
+        let p = parse(
+            "use anr_geom::Point;\npub use anr_mesh::{TriMesh, foi::Region as Reg};\n\
+             use anr_par::*;\n",
+        );
+        let paths: Vec<(String, Option<String>)> = p
+            .uses
+            .iter()
+            .map(|u| (u.segments.join("::"), u.alias.clone()))
+            .collect();
+        assert_eq!(
+            paths,
+            vec![
+                ("anr_geom::Point".into(), None),
+                ("anr_mesh::TriMesh".into(), None),
+                ("anr_mesh::foi::Region".into(), Some("Reg".into())),
+                ("anr_par::*".into(), None),
+            ]
+        );
+        assert_eq!(p.uses[1].vis, Visibility::Pub);
+        assert_eq!(p.uses[1].local_name(), Some("TriMesh"));
+        assert_eq!(p.uses[2].local_name(), Some("Reg"));
+        assert_eq!(p.uses[3].local_name(), None);
+    }
+
+    #[test]
+    fn items_for_dead_pub_analysis() {
+        let p = parse(
+            "pub struct S { pub x: u32 }\npub enum E { A }\npub const C: u32 = 1;\n\
+             pub static ST: u32 = 2;\npub type Alias = u32;\nconst fn cf() -> u32 { 3 }",
+        );
+        let kinds: Vec<_> = p.items.iter().map(|i| (i.kind, i.name.as_str())).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("struct", "S"),
+                ("enum", "E"),
+                ("const", "C"),
+                ("static", "ST"),
+                ("type", "Alias"),
+            ]
+        );
+        // `const fn` lands in fns, not items.
+        assert!(p.fns.iter().any(|f| f.name == "cf"));
+    }
+
+    #[test]
+    fn bodies_are_not_descended() {
+        let p = parse("fn outer() { let f = |x: u32| x; inner_call(); }\nfn after() {}");
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[1].name, "after");
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let p = parse("#[cfg(test)]\nmod tests { fn helper() {} }\nfn live() {}");
+        assert!(p.fns.iter().find(|f| f.name == "helper").unwrap().in_test);
+        assert!(!p.fns.iter().find(|f| f.name == "live").unwrap().in_test);
+    }
+}

@@ -1,17 +1,21 @@
 //! Report rendering: human-readable text and the machine-readable
-//! JSONL stream (`schema: anr-lint/1`).
+//! JSONL stream (`schema: anr-lint/2`).
 //!
 //! JSONL schema — one object per line:
 //!
-//! * finding lines: `{"schema":"anr-lint/1","kind":"finding","rule":R,`
+//! * finding lines: `{"schema":"anr-lint/2","kind":"finding","rule":R,`
 //!   `"severity":"error"|"warn","file":F,"line":N,"col":N,"message":M,`
-//!   `"hint":H,"baselined":bool}`
-//! * one trailing summary line: `{"schema":"anr-lint/1","kind":"summary",`
+//!   `"hint":H,"baselined":bool[,"path":CHAIN]}` — `path` appears on
+//!   interprocedural (S-rule) findings only and holds the call chain
+//!   as ` -> `-joined function displays
+//! * one trailing summary line: `{"schema":"anr-lint/2","kind":"summary",`
 //!   `"files":N,"findings":N,"baselined":N,"non_baselined":N,`
 //!   `"stale_allows":N}`
 
 use crate::baseline::AllowEntry;
+use crate::graph::CallGraph;
 use crate::rules::Finding;
+use crate::semantic::PanicsReport;
 use std::fmt::Write as _;
 
 /// A complete lint run over the workspace.
@@ -24,6 +28,11 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// Baseline entries that absorbed fewer findings than they allow.
     pub stale: Vec<AllowEntry>,
+    /// The cross-crate call graph the S-rules ran over; serialize with
+    /// [`CallGraph::to_jsonl`] for the `anr-lint-graph/1` artifact.
+    pub graph: CallGraph,
+    /// Panic reachability for the whole `pub` library surface.
+    pub panics: PanicsReport,
 }
 
 impl LintReport {
@@ -46,7 +55,7 @@ impl LintReport {
         for f in &self.findings {
             let _ = write!(
                 out,
-                "{{\"schema\":\"anr-lint/1\",\"kind\":\"finding\",\"rule\":\"{}\",\"severity\":\"{}\",\"file\":",
+                "{{\"schema\":\"anr-lint/2\",\"kind\":\"finding\",\"rule\":\"{}\",\"severity\":\"{}\",\"file\":",
                 f.rule,
                 f.severity.as_str(),
             );
@@ -55,11 +64,16 @@ impl LintReport {
             json_str(&mut out, &f.message);
             out.push_str(",\"hint\":");
             json_str(&mut out, f.hint);
-            let _ = writeln!(out, ",\"baselined\":{}}}", f.baselined);
+            let _ = write!(out, ",\"baselined\":{}", f.baselined);
+            if let Some(path) = &f.path {
+                out.push_str(",\"path\":");
+                json_str(&mut out, path);
+            }
+            out.push_str("}\n");
         }
         let _ = writeln!(
             out,
-            "{{\"schema\":\"anr-lint/1\",\"kind\":\"summary\",\"files\":{},\"findings\":{},\"baselined\":{},\"non_baselined\":{},\"stale_allows\":{}}}",
+            "{{\"schema\":\"anr-lint/2\",\"kind\":\"summary\",\"files\":{},\"findings\":{},\"baselined\":{},\"non_baselined\":{},\"stale_allows\":{}}}",
             self.files_scanned,
             self.findings.len(),
             self.baselined(),
@@ -86,6 +100,9 @@ impl LintReport {
                 f.message,
                 f.hint,
             );
+            if let Some(path) = &f.path {
+                let _ = writeln!(out, "    path: {path}");
+            }
         }
         for e in &self.stale {
             let _ = writeln!(
@@ -106,7 +123,7 @@ impl LintReport {
     }
 }
 
-fn json_str(out: &mut String, s: &str) {
+pub(crate) fn json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -140,9 +157,17 @@ mod tests {
                 message: "`.unwrap()` in library code".to_string(),
                 hint: "return a typed error",
                 baselined: false,
+                path: None,
             }],
             files_scanned: 3,
             stale: Vec::new(),
+            graph: CallGraph {
+                nodes: Vec::new(),
+                edges: Vec::new(),
+                crate_deps: std::collections::BTreeMap::new(),
+                files: 0,
+            },
+            panics: PanicsReport::default(),
         }
     }
 
@@ -152,7 +177,7 @@ mod tests {
         let jsonl = report.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert!(lines[0].contains("\"schema\":\"anr-lint/1\""));
+        assert!(lines[0].contains("\"schema\":\"anr-lint/2\""));
         assert!(lines[0].contains("\"kind\":\"finding\""));
         assert!(lines[0].contains("\"rule\":\"P1\""));
         assert!(lines[0].contains("\"baselined\":false"));

@@ -44,6 +44,9 @@ pub struct Finding {
     pub hint: &'static str,
     /// Covered by a `lint.allow.toml` entry?
     pub baselined: bool,
+    /// Interprocedural call chain (S-rules): function displays joined
+    /// with ` -> `. Baseline entries may pin a substring of this.
+    pub path: Option<String>,
 }
 
 /// Static description of one rule.
@@ -109,11 +112,29 @@ pub const RULES: &[RuleInfo] = &[
         summary: "crate root missing #![forbid(unsafe_code)] or #![deny(unreachable_pub)]",
         hint: "add the missing crate-level attribute at the top of lib.rs",
     },
+    RuleInfo {
+        id: "S1",
+        severity: Severity::Error,
+        summary: "pipeline entry point can reach a panic site through the call graph",
+        hint: "convert the panicking step to a typed error, or path-justify in lint.allow.toml",
+    },
+    RuleInfo {
+        id: "S2",
+        severity: Severity::Error,
+        summary: "pipeline entry point transitively reaches a nondeterminism sink",
+        hint: "thread explicit seeds / logical clocks through the chain instead",
+    },
+    RuleInfo {
+        id: "S3",
+        severity: Severity::Warn,
+        summary: "pub item is exported but referenced by no other workspace crate or test",
+        hint: "demote to pub(crate) or delete the export",
+    },
 ];
 
 /// Looks up a rule by id.
 #[must_use]
-pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+pub(crate) fn rule_info(id: &str) -> Option<&'static RuleInfo> {
     RULES.iter().find(|r| r.id == id)
 }
 
@@ -129,6 +150,7 @@ fn finding(ctx: &FileCtx, rule: &'static str, i: usize, message: String) -> Find
         message,
         hint: info.hint,
         baselined: false,
+        path: None,
     }
 }
 

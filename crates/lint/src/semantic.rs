@@ -1,0 +1,683 @@
+//! Interprocedural rules over the cross-crate call graph.
+//!
+//! A reverse breadth-first fixed point from sink functions computes,
+//! for every node, the minimum number of call edges to a sink; paths
+//! are then reconstructed deterministically (smallest distance first,
+//! node index as tie-break), so the reported chain for a given
+//! workspace is byte-identical across runs and worker counts.
+//!
+//! * **S1 — panic reachability.** Sinks are library functions whose
+//!   bodies contain a panic pattern (`.unwrap()` / `.expect()` /
+//!   `panic!` / `unreachable!` / `todo!` / `unimplemented!`). Every
+//!   pipeline entry point that can reach one is reported with its
+//!   shortest chain; the chain doubles as the `path` a baseline entry
+//!   must pin to justify it.
+//! * **S2 — determinism taint.** Sinks are functions touching
+//!   wall-clock, unseeded RNG, or std hash collections (the D1/D2/D4
+//!   patterns), excluding the sanctioned `anr-trace` wall module.
+//! * **S3 — cross-crate dead `pub`.** A `pub` item in library code
+//!   that no *other* workspace crate, no bin target, no test, and no
+//!   exported API surface (`pub fn` signature / `pub` item definition)
+//!   references. Bin targets count because they link against the
+//!   library like an external consumer; the API surface counts because
+//!   result types flow to consumers through type inference without
+//!   ever being named by them.
+
+use crate::context::{FileCtx, FileKind};
+use crate::graph::CallGraph;
+use crate::lexer::TokKind;
+use crate::parser::{ParsedFile, Visibility};
+use crate::rules::{rule_info, Finding};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// The six pipeline entry points S1/S2 guard. Matched by function name
+/// on non-test library code, so fixture workspaces can exercise the
+/// rules with a same-named function.
+pub const ENTRY_POINTS: &[&str] = &[
+    "march",
+    "audit_piecewise",
+    "run_lloyd_guarded",
+    "run_fault_sweep",
+    "run_pipeline_bench",
+    "lint_workspace",
+];
+
+/// One row of the panic-reachability report: a `pub` library function
+/// and its shortest path to a panic site, if any.
+#[derive(Debug, Clone)]
+pub struct PanicEntry {
+    /// Function display name (`crate::[Type::]name`).
+    pub display: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Call edges to the nearest panic sink; 0 = panics locally;
+    /// `None` = no panic site reachable.
+    pub dist: Option<u32>,
+    /// The shortest chain, ` -> `-joined, ending at the sink.
+    pub path: Option<String>,
+    /// The sink pattern and its location (`` `.unwrap()` at file:line ``).
+    pub sink: Option<String>,
+}
+
+/// The full panic-reachability surface: every `pub` library function,
+/// sorted by (file, line). Serialized as `anr-lint-panics/1` JSONL.
+#[derive(Debug, Clone, Default)]
+pub struct PanicsReport {
+    /// One entry per `pub` library function.
+    pub entries: Vec<PanicEntry>,
+}
+
+impl PanicsReport {
+    /// `pub` functions with any reachable panic site.
+    #[must_use]
+    pub fn reachable(&self) -> usize {
+        self.entries.iter().filter(|e| e.dist.is_some()).count()
+    }
+
+    /// Serializes the report as `anr-lint-panics/1` JSON Lines — one
+    /// record per `pub` function plus a trailing summary.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str("{\"schema\":\"anr-lint-panics/1\",\"kind\":\"fn\",\"fn\":");
+            crate::report::json_str(&mut out, &e.display);
+            out.push_str(",\"file\":");
+            crate::report::json_str(&mut out, &e.file);
+            let _ = write!(out, ",\"line\":{},\"panic_dist\":", e.line);
+            match e.dist {
+                Some(d) => {
+                    let _ = write!(out, "{d}");
+                }
+                None => out.push_str("null"),
+            }
+            if let Some(path) = &e.path {
+                out.push_str(",\"path\":");
+                crate::report::json_str(&mut out, path);
+            }
+            if let Some(sink) = &e.sink {
+                out.push_str(",\"sink\":");
+                crate::report::json_str(&mut out, sink);
+            }
+            out.push_str("}\n");
+        }
+        let _ = writeln!(
+            out,
+            "{{\"schema\":\"anr-lint-panics/1\",\"kind\":\"summary\",\"fns\":{},\"reachable\":{}}}",
+            self.entries.len(),
+            self.reachable(),
+        );
+        out
+    }
+
+    /// Human-readable report: reachable functions first (with chains),
+    /// then a summary line.
+    #[must_use]
+    pub fn to_human(&self) -> String {
+        let mut out = String::new();
+        for e in self.entries.iter().filter(|e| e.dist.is_some()) {
+            let _ = writeln!(
+                out,
+                "{}:{}: `{}` can panic (distance {})",
+                e.file,
+                e.line,
+                e.display,
+                e.dist.unwrap_or(0),
+            );
+            if let Some(path) = &e.path {
+                let _ = writeln!(out, "    path: {path}");
+            }
+            if let Some(sink) = &e.sink {
+                let _ = writeln!(out, "    sink: {sink}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "anr-lint panics: {} pub fns, {} can reach a panic site",
+            self.entries.len(),
+            self.reachable(),
+        );
+        out
+    }
+}
+
+/// Everything the interprocedural pass produces.
+#[derive(Debug, Default)]
+pub struct SemanticOutput {
+    /// S1/S2/S3 findings, unsorted (the caller merges and sorts).
+    pub findings: Vec<Finding>,
+    /// Panic reachability for the whole `pub` library surface.
+    pub panics: PanicsReport,
+}
+
+/// A sink function: which pattern fires inside it, and where.
+struct Sink {
+    /// Pattern label (`` `.unwrap()` ``, `` `thread_rng` ``, …).
+    label: String,
+    /// 1-based line of the first occurrence.
+    line: u32,
+}
+
+/// Scans one body token range for the first panic pattern.
+fn panic_sink(ctx: &FileCtx, body: (usize, usize)) -> Option<Sink> {
+    let toks = &ctx.tokens;
+    for i in body.0..body.1.min(toks.len()) {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        let next_open = toks.get(i + 1).is_some_and(|t| t.is_punct("("));
+        let prev_dot = i > 0 && toks[i - 1].is_punct(".");
+        if matches!(name, "unwrap" | "expect") && prev_dot && next_open {
+            return Some(Sink {
+                label: format!("`.{name}()`"),
+                line: toks[i].line,
+            });
+        }
+        if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+        {
+            return Some(Sink {
+                label: format!("`{name}!`"),
+                line: toks[i].line,
+            });
+        }
+    }
+    None
+}
+
+/// Scans one body token range for the first determinism sink: the
+/// D1/D2/D4 patterns (hash collections, wall clock, unseeded RNG).
+fn determinism_sink(ctx: &FileCtx, body: (usize, usize)) -> Option<Sink> {
+    if ctx.rel_path == "crates/trace/src/wall.rs" {
+        return None; // the one sanctioned wall-clock module
+    }
+    let toks = &ctx.tokens;
+    for i in body.0..body.1.min(toks.len()) {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        let path_tail = |head: &str| {
+            i >= 3
+                && toks[i - 1].is_punct(":")
+                && toks[i - 2].is_punct(":")
+                && toks[i - 3].is_ident(head)
+        };
+        let label = match name {
+            "HashMap" | "HashSet" => Some(format!("`{name}` iteration order")),
+            "SystemTime" => Some("`SystemTime` wall-clock".to_string()),
+            "from_entropy" | "thread_rng" => Some(format!("`{name}` unseeded RNG")),
+            "now" if path_tail("Instant") => Some("`Instant::now()` wall-clock".to_string()),
+            "elapsed"
+                if i > 0
+                    && toks[i - 1].is_punct(".")
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct("(")) =>
+            {
+                Some("`.elapsed()` wall-clock".to_string())
+            }
+            "random" if path_tail("rand") => Some("`rand::random` thread RNG".to_string()),
+            _ => None,
+        };
+        if let Some(label) = label {
+            return Some(Sink {
+                label,
+                line: toks[i].line,
+            });
+        }
+    }
+    None
+}
+
+/// Reverse BFS from the sink set: `dist[n]` = minimum call edges from
+/// `n` to any sink (sinks are 0). `usize::MAX` = unreachable.
+fn distances(graph: &CallGraph, sinks: &BTreeMap<usize, Sink>) -> Vec<usize> {
+    let n = graph.nodes.len();
+    // Reverse adjacency: callee → callers.
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(caller, callee) in &graph.edges {
+        rev[callee].push(caller);
+    }
+    let mut dist = vec![usize::MAX; n];
+    let mut frontier: Vec<usize> = sinks.keys().copied().collect();
+    for &s in &frontier {
+        dist[s] = 0;
+    }
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &node in &frontier {
+            let d = dist[node] + 1;
+            for &caller in &rev[node] {
+                if dist[caller] > d {
+                    dist[caller] = d;
+                    next.push(caller);
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        frontier = next;
+    }
+    dist
+}
+
+/// Reconstructs the shortest chain from `start` to a sink: at each hop
+/// pick the callee with the smallest distance, node index as tie-break.
+/// Returns the chain string and the sink node reached.
+fn chain(graph: &CallGraph, dist: &[usize], start: usize) -> (String, usize) {
+    let mut cur = start;
+    let mut parts = vec![graph.nodes[cur].display.clone()];
+    while dist[cur] > 0 {
+        let next = graph
+            .callees(cur)
+            .into_iter()
+            .filter(|&c| dist[c] < dist[cur])
+            .min_by_key(|&c| (dist[c], c));
+        match next {
+            Some(c) => {
+                parts.push(graph.nodes[c].display.clone());
+                cur = c;
+            }
+            None => break, // cannot happen on a consistent BFS result
+        }
+    }
+    (parts.join(" -> "), cur)
+}
+
+fn mk_finding(
+    rule: &'static str,
+    file: &str,
+    line: u32,
+    message: String,
+    path: Option<String>,
+) -> Finding {
+    let info = rule_info(rule).unwrap_or(&crate::rules::RULES[0]);
+    Finding {
+        rule,
+        severity: info.severity,
+        file: file.to_string(),
+        line,
+        col: 1,
+        message,
+        hint: info.hint,
+        baselined: false,
+        path,
+    }
+}
+
+/// Is node `i` shipping library code (the S-rule surface)?
+fn is_lib_node(graph: &CallGraph, i: usize) -> bool {
+    let n = &graph.nodes[i];
+    n.kind == FileKind::Lib && !n.in_test
+}
+
+/// Runs the interprocedural S-rules over the call graph.
+#[must_use]
+pub fn analyze(graph: &CallGraph, files: &[(FileCtx, ParsedFile)]) -> SemanticOutput {
+    let mut out = SemanticOutput::default();
+
+    // Sink sets. Panic sinks are library-only (binaries may panic);
+    // determinism sinks count everywhere but the wall module.
+    let mut panic_sinks: BTreeMap<usize, Sink> = BTreeMap::new();
+    let mut det_sinks: BTreeMap<usize, Sink> = BTreeMap::new();
+    for (i, n) in graph.nodes.iter().enumerate() {
+        let Some(body) = n.body else { continue };
+        if n.in_test {
+            continue;
+        }
+        let ctx = &files[n.file_idx].0;
+        if n.kind == FileKind::Lib {
+            if let Some(s) = panic_sink(ctx, body) {
+                panic_sinks.insert(i, s);
+            }
+        }
+        if matches!(n.kind, FileKind::Lib | FileKind::Bin) {
+            if let Some(s) = determinism_sink(ctx, body) {
+                det_sinks.insert(i, s);
+            }
+        }
+    }
+
+    let panic_dist = distances(graph, &panic_sinks);
+    let det_dist = distances(graph, &det_sinks);
+
+    let sink_note = |sinks: &BTreeMap<usize, Sink>, node: usize| -> String {
+        sinks.get(&node).map_or_else(
+            || "?".to_string(),
+            |s| format!("{} at {}:{}", s.label, graph.nodes[node].file, s.line),
+        )
+    };
+
+    // S1 + S2: the pipeline entry points.
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if !is_lib_node(graph, i) || n.self_ty.is_some() || !ENTRY_POINTS.contains(&n.name.as_str())
+        {
+            continue;
+        }
+        if panic_dist[i] != usize::MAX {
+            let (path, sink) = chain(graph, &panic_dist, i);
+            out.findings.push(mk_finding(
+                "S1",
+                &n.file,
+                n.line,
+                format!(
+                    "entry point `{}` can reach a panic: {}",
+                    n.display,
+                    sink_note(&panic_sinks, sink),
+                ),
+                Some(path),
+            ));
+        }
+        if det_dist[i] != usize::MAX {
+            let (path, sink) = chain(graph, &det_dist, i);
+            out.findings.push(mk_finding(
+                "S2",
+                &n.file,
+                n.line,
+                format!(
+                    "entry point `{}` reaches a nondeterminism sink: {}",
+                    n.display,
+                    sink_note(&det_sinks, sink),
+                ),
+                Some(path),
+            ));
+        }
+    }
+
+    // Panic-reachability report: the whole pub library surface.
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if !is_lib_node(graph, i) || n.vis != Visibility::Pub {
+            continue;
+        }
+        let (dist, path, sink) = if panic_dist[i] == usize::MAX {
+            (None, None, None)
+        } else {
+            let (path, sink) = chain(graph, &panic_dist, i);
+            (
+                Some(u32::try_from(panic_dist[i]).unwrap_or(u32::MAX)),
+                Some(path),
+                Some(sink_note(&panic_sinks, sink)),
+            )
+        };
+        out.panics.entries.push(PanicEntry {
+            display: n.display.clone(),
+            file: n.file.clone(),
+            line: n.line,
+            dist,
+            path,
+            sink,
+        });
+    }
+    out.panics
+        .entries
+        .sort_by(|a, b| (&a.file, a.line, &a.display).cmp(&(&b.file, b.line, &b.display)));
+
+    // S3 — cross-crate dead pub. Liveness is name-based: an export
+    // stays alive if its identifier occurs in (a) another crate's
+    // library code, (b) any bin target — bins are separate link
+    // targets that import through the package path, even from their
+    // own crate, (c) any test (test file / bench / example /
+    // #[cfg(test)] region), or (d) the exported API surface itself —
+    // `pub fn` signatures and `pub` item definitions, which reach
+    // consumers through type inference without being named by them.
+    let mut shipping_refs: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut target_refs: BTreeSet<&str> = BTreeSet::new();
+    for (ctx, _) in files {
+        let testish_file = matches!(
+            ctx.kind,
+            FileKind::Test | FileKind::Bench | FileKind::Example
+        );
+        for (i, t) in ctx.tokens.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if testish_file || ctx.kind == FileKind::Bin || ctx.in_test[i] {
+                target_refs.insert(t.text.as_str());
+            } else {
+                shipping_refs
+                    .entry(t.text.as_str())
+                    .or_default()
+                    .insert(ctx.crate_name.as_str());
+            }
+        }
+    }
+    let mut surface_refs: BTreeSet<&str> = BTreeSet::new();
+    for (ctx, parsed) in files {
+        if ctx.kind != FileKind::Lib {
+            continue;
+        }
+        let spans = parsed
+            .fns
+            .iter()
+            .filter(|f| f.vis == Visibility::Pub && !f.in_test)
+            .map(|f| f.sig)
+            .chain(
+                parsed
+                    .items
+                    .iter()
+                    .filter(|it| it.vis == Visibility::Pub && !it.in_test)
+                    .map(|it| it.span),
+            );
+        for (start, end) in spans {
+            // Skip the leading keyword and the item's own name so a
+            // definition never keeps itself alive.
+            let from = (start + 2).min(ctx.tokens.len());
+            let to = end.min(ctx.tokens.len());
+            for t in &ctx.tokens[from..to] {
+                if t.kind == TokKind::Ident {
+                    surface_refs.insert(t.text.as_str());
+                }
+            }
+        }
+    }
+    let dead = |crate_name: &str, name: &str| -> bool {
+        if target_refs.contains(name) || surface_refs.contains(name) {
+            return false;
+        }
+        shipping_refs
+            .get(name)
+            .is_none_or(|crates| crates.iter().all(|c| *c == crate_name))
+    };
+    for (ctx, parsed) in files {
+        if ctx.kind != FileKind::Lib {
+            continue;
+        }
+        for item in &parsed.items {
+            if item.vis != Visibility::Pub || item.in_test || item.kind == "macro" {
+                continue;
+            }
+            if dead(&ctx.crate_name, &item.name) {
+                out.findings.push(mk_finding(
+                    "S3",
+                    &ctx.rel_path,
+                    item.line,
+                    format!(
+                        "`pub {} {}` is referenced by no other workspace crate or test",
+                        item.kind, item.name,
+                    ),
+                    None,
+                ));
+            }
+        }
+        for f in &parsed.fns {
+            if f.vis != Visibility::Pub
+                || f.in_test
+                || f.self_ty.is_some()
+                || f.name == "main"
+                || ENTRY_POINTS.contains(&f.name.as_str())
+            {
+                continue;
+            }
+            if dead(&ctx.crate_name, &f.name) {
+                out.findings.push(mk_finding(
+                    "S3",
+                    &ctx.rel_path,
+                    f.line,
+                    format!(
+                        "`pub fn {}` is referenced by no other workspace crate or test",
+                        f.name,
+                    ),
+                    None,
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build_graph;
+    use crate::parser::parse_file;
+    use std::path::Path;
+
+    fn run(files: &[(&str, &str)]) -> SemanticOutput {
+        let built: Vec<(FileCtx, ParsedFile)> = files
+            .iter()
+            .map(|(path, src)| {
+                let ctx = FileCtx::new(path, src);
+                let parsed = parse_file(&ctx);
+                (ctx, parsed)
+            })
+            .collect();
+        let graph = build_graph(Path::new("/nonexistent-root"), &built);
+        analyze(&graph, &built)
+    }
+
+    fn rules_of(out: &SemanticOutput) -> Vec<&'static str> {
+        let mut v: Vec<_> = out.findings.iter().map(|f| f.rule).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn s1_reports_transitive_panic_with_chain() {
+        let out = run(&[
+            (
+                "crates/alpha/src/lib.rs",
+                "use beta::step;\npub fn march() { step(); }",
+            ),
+            (
+                "crates/beta/src/lib.rs",
+                "pub fn step() { deep(); }\nfn deep() { None::<u32>.unwrap(); }",
+            ),
+        ]);
+        let s1 = out.findings.iter().find(|f| f.rule == "S1").expect("S1");
+        let path = s1.path.as_deref().expect("chain");
+        assert_eq!(path, "alpha::march -> beta::step -> beta::deep");
+        assert!(s1.message.contains("`.unwrap()`"));
+        assert!(s1.message.contains("crates/beta/src/lib.rs:2"));
+    }
+
+    #[test]
+    fn s1_ignores_non_entry_fns_and_test_panics() {
+        let out = run(&[(
+            "crates/alpha/src/lib.rs",
+            "pub fn helper_api(x: Option<u32>) -> u32 { x.unwrap() }\n\
+             pub fn march() { clean(); }\nfn clean() {}\n\
+             #[cfg(test)]\nmod tests { fn t() { panic!(); } }",
+        )]);
+        assert!(!rules_of(&out).contains(&"S1"));
+    }
+
+    #[test]
+    fn panics_report_covers_non_entry_pub_fns() {
+        let out = run(&[(
+            "crates/alpha/src/lib.rs",
+            "pub fn other(x: Option<u32>) -> u32 { x.unwrap() }",
+        )]);
+        let row = out
+            .panics
+            .entries
+            .iter()
+            .find(|e| e.display == "alpha::other")
+            .expect("report row");
+        assert_eq!(row.dist, Some(0));
+        assert!(row.sink.as_deref().unwrap_or("").contains("`.unwrap()`"));
+    }
+
+    #[test]
+    fn s2_flags_determinism_sinks() {
+        let out = run(&[(
+            "crates/alpha/src/lib.rs",
+            "pub fn march() { helper(); }\nfn helper() { let _ = thread_rng(); }",
+        )]);
+        let s2 = out.findings.iter().find(|f| f.rule == "S2").expect("S2");
+        assert!(s2.message.contains("thread_rng"));
+        assert_eq!(s2.path.as_deref(), Some("alpha::march -> alpha::helper"));
+    }
+
+    #[test]
+    fn s2_exempts_the_wall_module() {
+        let out = run(&[
+            (
+                "crates/trace/src/wall.rs",
+                "pub fn now_ms() -> u64 { SystemTime::now(); 0 }",
+            ),
+            (
+                "crates/alpha/src/lib.rs",
+                "use trace::now_ms;\npub fn march() { now_ms(); }",
+            ),
+        ]);
+        assert!(!rules_of(&out).contains(&"S2"));
+    }
+
+    #[test]
+    fn s3_flags_cross_crate_dead_pub_only() {
+        let out = run(&[
+            (
+                "crates/alpha/src/lib.rs",
+                "pub struct Used;\npub struct Dead;\npub fn dead_fn() {}\n\
+                 pub fn used_fn() {}\npub(crate) fn internal() {}",
+            ),
+            (
+                "crates/beta/src/lib.rs",
+                "use alpha::Used;\npub fn f(_u: Used) { alpha::used_fn(); }",
+            ),
+        ]);
+        let s3: Vec<&str> = out
+            .findings
+            .iter()
+            .filter(|f| f.rule == "S3")
+            .map(|f| f.message.as_str())
+            .collect();
+        // `beta::f` is also dead: nothing references beta's export.
+        assert_eq!(s3.len(), 3, "{s3:?}");
+        assert!(s3.iter().any(|m| m.contains("struct Dead")));
+        assert!(s3.iter().any(|m| m.contains("fn dead_fn")));
+        assert!(!s3
+            .iter()
+            .any(|m| m.contains("used_fn") || m.contains("Used") && !m.contains("Dead")));
+    }
+
+    #[test]
+    fn s3_test_references_keep_exports_alive() {
+        let out = run(&[
+            ("crates/alpha/src/lib.rs", "pub fn probe() {}"),
+            (
+                "crates/alpha/tests/t.rs",
+                "#[test]\nfn uses() { alpha::probe(); }",
+            ),
+        ]);
+        assert!(rules_of(&out).is_empty());
+    }
+
+    #[test]
+    fn panics_report_is_deterministic() {
+        let files: &[(&str, &str)] = &[(
+            "crates/alpha/src/lib.rs",
+            "pub fn alpha_a() { alpha_b(); }\npub fn alpha_b(x: Option<u32>) { x.unwrap(); }\npub fn alpha_c() {}",
+        )];
+        let a = run(files).panics.to_jsonl();
+        let b = run(files).panics.to_jsonl();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\":\"anr-lint-panics/1\""));
+        assert!(a.lines().last().unwrap().contains("\"reachable\":2"));
+    }
+}

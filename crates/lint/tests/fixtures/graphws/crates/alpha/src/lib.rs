@@ -1,0 +1,33 @@
+//! Fixture crate `alpha`: a type with an inherent method, a trait with
+//! a dispatchable method, and a `pub use` re-export — everything the
+//! call-graph builder must resolve from `beta`.
+
+pub struct Widget;
+
+impl Widget {
+    pub fn render(&self) -> u32 {
+        helper()
+    }
+}
+
+pub trait Draw {
+    fn draw(&self) -> u32;
+}
+
+impl Draw for Widget {
+    fn draw(&self) -> u32 {
+        self.render()
+    }
+}
+
+fn helper() -> u32 {
+    7
+}
+
+pub mod inner {
+    pub fn deep() -> u32 {
+        9
+    }
+}
+
+pub use inner::deep;

@@ -1,0 +1,9 @@
+//! Fixture crate `beta`: calls into `alpha` through a trait method, a
+//! qualified path, and a re-exported free function.
+
+use alpha::{deep, Draw, Widget};
+
+pub fn run() -> u32 {
+    let w = Widget;
+    w.draw() + deep() + alpha::Widget::render(&w)
+}

@@ -1,0 +1,21 @@
+// Byte and char literals whose payload is a brace or quote: the lexer
+// must treat them as opaque literals, not structural punctuation.
+pub fn braces_in_chars() -> (char, char, u8, u8) {
+    ('}', '{', b'}', b'{')
+}
+
+pub fn quotes_and_escapes() -> (char, char, u8, &'static [u8]) {
+    ('\'', '\\', b'\'', b"bytes with } inside")
+}
+
+pub fn lifetimes_next_to_chars<'a>(x: &'a char) -> char {
+    let c: char = *x;
+    let d = '"';
+    if c == d {
+        '}'
+    } else {
+        c
+    }
+}
+
+pub fn marker_byte_chars() {}

@@ -1,0 +1,9 @@
+/* outer { unbalanced
+   /* inner } also unbalanced, plus unwrap() and panic!() */
+   still inside the outer comment } } }
+*/
+pub fn after_nested() -> u32 {
+    41 /* inline /* deeply /* nested */ */ } */ + 1
+}
+
+pub fn marker_nested_comments() {}

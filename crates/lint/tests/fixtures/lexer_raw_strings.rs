@@ -1,0 +1,21 @@
+// Raw strings with `#` guards: everything between the quotes is opaque,
+// including unbalanced braces, quotes, and fake rule trips.
+pub fn raw_guarded() -> &'static str {
+    r#"unbalanced { { { and a "quoted" panic!() and unwrap() "#
+}
+
+pub fn raw_double_guard() -> &'static str {
+    r##"contains "# (a one-hash closer) and }} braces"##
+}
+
+pub fn raw_plain() -> &'static str {
+    r"no guard } at all"
+}
+
+pub fn raw_identifiers() -> u32 {
+    let r#type = 1u32;
+    let r#fn = 2u32;
+    r#type + r#fn
+}
+
+pub fn marker_raw_strings() {}

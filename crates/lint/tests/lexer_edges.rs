@@ -1,0 +1,90 @@
+//! Lexer edge cases that would corrupt the item parser if mis-lexed:
+//! raw strings with `#` guards, nested block comments, and byte/char
+//! literals containing structural characters. Each fixture carries
+//! braces inside opaque regions; if any leaked, brace matching — and
+//! with it every item boundary the parser finds — would be off.
+
+use anr_lint::{lex, scan_source, TokKind, Token};
+
+fn balance(toks: &[Token]) -> i64 {
+    toks.iter().fold(0i64, |acc, t| {
+        if t.is_punct("{") {
+            acc + 1
+        } else if t.is_punct("}") {
+            acc - 1
+        } else {
+            acc
+        }
+    })
+}
+
+fn has_ident(toks: &[Token], name: &str) -> bool {
+    toks.iter().any(|t| t.is_ident(name))
+}
+
+#[test]
+fn raw_strings_with_hash_guards_are_opaque() {
+    let src = include_str!("fixtures/lexer_raw_strings.rs");
+    let toks = lex(src);
+    assert_eq!(
+        balance(&toks),
+        0,
+        "brace payloads leaked out of raw strings"
+    );
+    assert!(has_ident(&toks, "marker_raw_strings"));
+    // The fake `panic!()`/`unwrap()` live inside string payloads only.
+    assert!(!has_ident(&toks, "panic"));
+    assert!(!has_ident(&toks, "unwrap"));
+    assert!(scan_source("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn raw_identifiers_are_idents_not_literals() {
+    let toks = lex("let r#type = 1; let r#fn = r#type;");
+    // No phantom `r#` literal token, and the keyword-shaped names keep
+    // their prefix so they never match `fn`/`type` keywords.
+    assert!(toks
+        .iter()
+        .all(|t| t.kind != TokKind::Literal || t.text != "r#"));
+    assert_eq!(toks.iter().filter(|t| t.is_ident("r#type")).count(), 2);
+    assert_eq!(toks.iter().filter(|t| t.is_ident("r#fn")).count(), 1);
+    assert!(!has_ident(&toks, "fn"));
+}
+
+#[test]
+fn nested_block_comments_are_skipped_entirely() {
+    let src = include_str!("fixtures/lexer_nested_comments.rs");
+    let toks = lex(src);
+    assert_eq!(balance(&toks), 0, "braces leaked out of nested comments");
+    assert!(has_ident(&toks, "marker_nested_comments"));
+    assert!(!has_ident(&toks, "unwrap"));
+    assert!(scan_source("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn byte_and_char_literals_containing_braces_are_opaque() {
+    let src = include_str!("fixtures/lexer_byte_chars.rs");
+    let toks = lex(src);
+    assert_eq!(balance(&toks), 0, "brace chars leaked as punctuation");
+    assert!(has_ident(&toks, "marker_byte_chars"));
+    for payload in ["'}'", "'{'", "b'}'", "b'{'", "'\\''", "b'\\''"] {
+        assert!(
+            toks.iter()
+                .any(|t| t.kind == TokKind::Literal && t.text == payload),
+            "expected literal token {payload}"
+        );
+    }
+    assert!(scan_source("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn raw_string_closer_needs_full_guard() {
+    // `"#` inside an `r##"…"##` string is payload, not a terminator.
+    let toks = lex(r####"let s = r##"stop "# not yet"## ; done"####);
+    let lit = toks
+        .iter()
+        .find(|t| t.kind == TokKind::Literal)
+        .expect("raw string literal");
+    assert!(lit.text.contains("not yet"));
+    assert!(has_ident(&toks, "done"));
+}

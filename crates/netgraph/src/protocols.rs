@@ -24,7 +24,7 @@ use anr_distsim::{Envelope, Node, Outbox, SimError, Simulator};
 
 /// Message for the boundary-loop protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum LoopMsg {
+pub(crate) enum LoopMsg {
     /// Hop-counting token: (initiator id, hops travelled so far).
     Token {
         /// ID of the initiating boundary vertex.
@@ -43,22 +43,22 @@ pub enum LoopMsg {
 /// edges. After the run, `index` holds the vertex's position along the
 /// loop (initiator = 0) and `loop_size` the total loop length.
 #[derive(Debug, Clone)]
-pub struct BoundaryLoopNode {
+pub(crate) struct BoundaryLoopNode {
     /// This node's ID (its index in the simulator).
-    pub id: usize,
+    pub(crate) id: usize,
     /// Whether this node starts the token (smallest boundary ID).
-    pub is_initiator: bool,
+    pub(crate) is_initiator: bool,
     /// Successor on the boundary loop.
-    pub next: usize,
+    pub(crate) next: usize,
     /// Learned position along the loop.
-    pub index: Option<usize>,
+    pub(crate) index: Option<usize>,
     /// Learned loop size.
-    pub loop_size: Option<usize>,
+    pub(crate) loop_size: Option<usize>,
 }
 
 impl BoundaryLoopNode {
     /// Creates a protocol participant.
-    pub fn new(id: usize, is_initiator: bool, next: usize) -> Self {
+    pub(crate) fn new(id: usize, is_initiator: bool, next: usize) -> Self {
         BoundaryLoopNode {
             id,
             is_initiator,
@@ -166,31 +166,26 @@ pub fn run_boundary_loop(ids: &[usize]) -> Result<Vec<(usize, usize)>, SimError>
 /// The paper uses this to aggregate per-robot stable-link ratios and
 /// moving distances during the rotation search (Sec. III-B, III-D-2).
 #[derive(Debug, Clone)]
-pub struct FloodNode {
+pub(crate) struct FloodNode {
     /// This node's ID.
-    pub id: usize,
+    pub(crate) id: usize,
     /// This node's own value.
-    pub value: f64,
+    pub(crate) value: f64,
     /// All values learned so far, indexed by robot ID.
-    pub known: Vec<Option<f64>>,
+    pub(crate) known: Vec<Option<f64>>,
 }
 
 impl FloodNode {
     /// Creates a flooding participant for a network of `n` robots.
-    pub fn new(id: usize, value: f64, n: usize) -> Self {
+    pub(crate) fn new(id: usize, value: f64, n: usize) -> Self {
         let mut known = vec![None; n];
         known[id] = Some(value);
         FloodNode { id, value, known }
     }
 
     /// Sum of all known values (the global aggregate after quiescence).
-    pub fn sum(&self) -> f64 {
+    pub(crate) fn sum(&self) -> f64 {
         self.known.iter().flatten().sum()
-    }
-
-    /// Does this node know every robot's value?
-    pub fn is_complete(&self) -> bool {
-        self.known.iter().all(Option::is_some)
     }
 }
 
@@ -243,11 +238,11 @@ pub fn run_flood_sum(values: &[f64], adjacency: &[Vec<usize>]) -> Result<Vec<f64
 /// Multi-source BFS participant: sources start with hop 0 and everyone
 /// learns the hop distance to the nearest source.
 #[derive(Debug, Clone)]
-pub struct HopFieldNode {
+pub(crate) struct HopFieldNode {
     /// Whether this node is a source (e.g. a boundary vertex).
-    pub is_source: bool,
+    pub(crate) is_source: bool,
     /// Learned hop distance to the nearest source.
-    pub hops: Option<usize>,
+    pub(crate) hops: Option<usize>,
 }
 
 impl Node for HopFieldNode {

@@ -392,7 +392,7 @@ pub fn run_robust_hop_field(
 
 /// Message of the robust boundary-loop protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RLoopMsg {
+pub(crate) enum RLoopMsg {
     /// Hop-counting token: (initiator, hops so far, launch attempt).
     Token {
         /// Initiating boundary vertex.
@@ -430,17 +430,17 @@ pub enum RLoopMsg {
 /// — the backstop for a token that died when a hop exhausted its
 /// retries or a robot crashed mid-loop.
 #[derive(Debug, Clone)]
-pub struct RobustBoundaryLoopNode {
+pub(crate) struct RobustBoundaryLoopNode {
     /// This node's ID (simulator index).
-    pub id: usize,
+    pub(crate) id: usize,
     /// Whether this node launches the token.
-    pub is_initiator: bool,
+    pub(crate) is_initiator: bool,
     /// Successor on the boundary loop.
-    pub next: usize,
+    pub(crate) next: usize,
     /// Learned position along the loop (initiator = 0).
-    pub index: Option<usize>,
+    pub(crate) index: Option<usize>,
     /// Learned loop size.
-    pub loop_size: Option<usize>,
+    pub(crate) loop_size: Option<usize>,
     cfg: RetransmitConfig,
     /// Rounds the initiator waits for its token before restarting.
     restart_after: usize,
@@ -465,7 +465,7 @@ impl RobustBoundaryLoopNode {
     /// `restart_after` is the initiator's token timeout in rounds (a
     /// generous bound is `(loop length + 2) × (interval + 1)`);
     /// `max_attempts` bounds restarts.
-    pub fn new(
+    pub(crate) fn new(
         id: usize,
         is_initiator: bool,
         next: usize,
@@ -493,7 +493,7 @@ impl RobustBoundaryLoopNode {
     }
 
     /// Has this node learned everything and stopped transmitting?
-    pub fn is_settled(&self) -> bool {
+    pub(crate) fn is_settled(&self) -> bool {
         self.index.is_some() && self.loop_size.is_some() && self.pending.is_empty()
     }
 

@@ -47,7 +47,7 @@ pub mod palette {
     /// FoI boundary stroke.
     pub const FOI_STROKE: &str = "#6b6b6b";
     /// Hole fill.
-    pub const HOLE_FILL: &str = "#cfd8dc";
+    pub(crate) const HOLE_FILL: &str = "#cfd8dc";
     /// Trajectory stroke.
     pub const TRAJECTORY: &str = "#8888cc";
 }
