@@ -20,8 +20,12 @@
 #![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
+pub mod distsim;
 pub mod timing;
 
+pub use distsim::{
+    run_distsim_bench, DistsimBenchOptions, DistsimBenchReport, DistsimSeries, DistsimSweepTiming,
+};
 pub use timing::{run_pipeline_bench, BenchOptions, PipelineBenchReport};
 
 use anr_march::{
@@ -42,6 +46,8 @@ pub enum BenchError {
     March(MarchError),
     /// A fault-sweep simulation failed.
     Sim(anr_distsim::SimError),
+    /// A checkpoint save/restore round trip failed.
+    Ckpt(anr_eventsim::CkptError),
     /// The benchmark was asked for zero timed repetitions.
     ZeroRepeats,
 }
@@ -52,6 +58,7 @@ impl fmt::Display for BenchError {
             BenchError::Scenario(e) => write!(f, "scenario: {e}"),
             BenchError::March(e) => write!(f, "march: {e}"),
             BenchError::Sim(e) => write!(f, "simulation: {e}"),
+            BenchError::Ckpt(e) => write!(f, "checkpoint: {e}"),
             BenchError::ZeroRepeats => write!(f, "repeats must be at least 1"),
         }
     }
@@ -74,6 +81,12 @@ impl From<MarchError> for BenchError {
 impl From<anr_distsim::SimError> for BenchError {
     fn from(e: anr_distsim::SimError) -> Self {
         BenchError::Sim(e)
+    }
+}
+
+impl From<anr_eventsim::CkptError> for BenchError {
+    fn from(e: anr_eventsim::CkptError) -> Self {
+        BenchError::Ckpt(e)
     }
 }
 

@@ -125,7 +125,10 @@ fn median_of(mut times: Vec<f64>) -> f64 {
 /// the pipeline's own stage spans use — rather than an ad-hoc timer.
 /// The closure's result is returned (from the last run) so the timed
 /// work cannot be optimized away.
-fn median_ms<T>(repeats: usize, mut f: impl FnMut() -> T) -> Result<(f64, T), BenchError> {
+pub(crate) fn median_ms<T>(
+    repeats: usize,
+    mut f: impl FnMut() -> T,
+) -> Result<(f64, T), BenchError> {
     let tracer = Tracer::wall(2 * repeats);
     let mut last = None;
     for _ in 0..repeats {

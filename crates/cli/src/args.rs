@@ -19,6 +19,16 @@ pub enum MethodArg {
     All,
 }
 
+/// Which simulation engine runs the fault-sweep cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineArg {
+    /// The round-stepping synchronous harness.
+    #[default]
+    Sync,
+    /// The discrete-event engine (`anr-eventsim`).
+    Event,
+}
+
 impl MethodArg {
     fn parse(s: &str) -> Result<Self, ArgError> {
         match s {
@@ -76,7 +86,7 @@ pub enum Command {
         robots: usize,
     },
     /// `anr fault-sweep [--id N] [--robots R] [--loss CSV] [--crashes CSV]
-    /// [--seed S] [--workers W] [--out FILE]`
+    /// [--seed S] [--workers W] [--engine sync|event] [--out FILE]`
     FaultSweep {
         /// Scenario id (1–7) whose deployment supplies the topology.
         id: u8,
@@ -90,17 +100,30 @@ pub enum Command {
         seed: u64,
         /// Worker threads for the grid (0 = auto).
         workers: usize,
+        /// Simulation engine for the cell runs (results are
+        /// byte-identical; the event engine scales further).
+        engine: EngineArg,
         /// Write the JSON grid here instead of stdout.
         out: Option<PathBuf>,
     },
-    /// `anr bench [--smoke] [--repeats N] [--out FILE]`
+    /// `anr bench [--smoke] [--repeats N] [--distsim] [--large]
+    /// [--ckpt FILE] [--out FILE]`
     Bench {
         /// Tiny problem sizes and one repeat — a CI smoke run.
         smoke: bool,
         /// Timed repetitions per stage (the median is reported).
         repeats: usize,
+        /// Run the distributed-simulation scaling tier
+        /// (`anr-eventsim`) instead of the pipeline trajectory.
+        distsim: bool,
+        /// Distsim tier only: include the 10⁶-robot series.
+        large: bool,
+        /// Distsim tier only: also write the 10⁴-robot checkpoint
+        /// artifact here.
+        ckpt: Option<PathBuf>,
         /// Where to write the JSON trajectory (default
-        /// `BENCH_pipeline.json`).
+        /// `BENCH_pipeline.json`, or `BENCH_distsim.json` with
+        /// `--distsim`).
         out: PathBuf,
     },
     /// `anr audit [--id N] [--method a|b] [--separation S] [--robots R]`
@@ -229,10 +252,11 @@ COMMANDS:
   anr mission  [--stops <k>] [--robots <n>]
   anr fault-sweep [--id <1-7>] [--robots <n>] [--loss <p,p,...>]
                [--crashes <k,k,...>] [--seed <s>] [--workers <w>]
-               [--out <file.json>]
+               [--engine sync|event] [--out <file.json>]
   anr audit    [--id <1-7>] [--method a|b] [--separation <ranges>]
                [--robots <n>]
-  anr bench    [--smoke] [--repeats <n>] [--out <file.json>]
+  anr bench    [--smoke] [--repeats <n>] [--distsim] [--large]
+               [--ckpt <file>] [--out <file.json>]
   anr lint     [--root <dir>] [--baseline <file>] [--jsonl <file>]
                [--graph <file>] [--panics <file>] [--report panics]
                [--workers <n>] [--deny] [--write-baseline]
@@ -248,6 +272,14 @@ GLOBAL FLAGS:
 `anr audit` re-checks the continuous-time connectivity guarantee with
 the closed-form per-link extremum (no sampling) and exits non-zero if
 any audited transition ever disconnects.
+
+`anr fault-sweep --engine event` runs the grid on the discrete-event
+engine (anr-eventsim); the JSON is byte-identical to the synchronous
+engine, but dormant robots cost nothing, so much larger swarms fit the
+same budget. `anr bench --distsim` times that engine's n-scaling tier
+(10k and 100k robots; 10⁶ with --large) plus checkpoint save/restore,
+writing BENCH_distsim.json; `--ckpt <file>` also writes the 10k-robot
+snapshot as an artifact.
 
 `anr lint` runs the workspace determinism & panic-safety analyzer
 (anr-lint) against the checked-in `lint.allow.toml` baseline; with
@@ -449,6 +481,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
             let mut crashes = vec![0usize, 1, 2];
             let mut seed = 42u64;
             let mut workers = 0usize;
+            let mut engine = EngineArg::default();
             let mut out = None;
             while let Some(flag) = cur.next() {
                 match flag.as_str() {
@@ -480,6 +513,19 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
                             "an integer (0 = auto)",
                         )?
                     }
+                    "--engine" => {
+                        engine = match cur.value_for("--engine")?.as_str() {
+                            "sync" => EngineArg::Sync,
+                            "event" => EngineArg::Event,
+                            other => {
+                                return Err(ArgError::BadValue {
+                                    flag: "--engine",
+                                    value: other.to_string(),
+                                    expected: "sync or event",
+                                })
+                            }
+                        }
+                    }
                     "--out" => out = Some(PathBuf::from(cur.value_for("--out")?)),
                     other => {
                         return Err(ArgError::UnknownFlag {
@@ -495,13 +541,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
                 crashes,
                 seed,
                 workers,
+                engine,
                 out,
             })
         }
         "bench" => {
             let mut smoke = false;
             let mut repeats = 5usize;
-            let mut out = PathBuf::from("BENCH_pipeline.json");
+            let mut distsim = false;
+            let mut large = false;
+            let mut ckpt = None;
+            let mut out: Option<PathBuf> = None;
             while let Some(flag) = cur.next() {
                 match flag.as_str() {
                     "--smoke" => smoke = true,
@@ -509,7 +559,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
                         repeats =
                             parse_num("--repeats", &cur.value_for("--repeats")?, "an integer ≥ 1")?
                     }
-                    "--out" => out = PathBuf::from(cur.value_for("--out")?),
+                    "--distsim" => distsim = true,
+                    "--large" => large = true,
+                    "--ckpt" => ckpt = Some(PathBuf::from(cur.value_for("--ckpt")?)),
+                    "--out" => out = Some(PathBuf::from(cur.value_for("--out")?)),
                     other => {
                         return Err(ArgError::UnknownFlag {
                             flag: other.to_string(),
@@ -524,9 +577,26 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
                     expected: "an integer ≥ 1",
                 });
             }
+            if (large || ckpt.is_some()) && !distsim {
+                return Err(ArgError::BadValue {
+                    flag: if large { "--large" } else { "--ckpt" },
+                    value: "set".to_string(),
+                    expected: "only valid together with --distsim",
+                });
+            }
+            let out = out.unwrap_or_else(|| {
+                PathBuf::from(if distsim {
+                    "BENCH_distsim.json"
+                } else {
+                    "BENCH_pipeline.json"
+                })
+            });
             Ok(Command::Bench {
                 smoke,
                 repeats,
+                distsim,
+                large,
+                ckpt,
                 out,
             })
         }
@@ -735,6 +805,7 @@ mod tests {
                 crashes: vec![0, 1, 2],
                 seed: 42,
                 workers: 0,
+                engine: EngineArg::Sync,
                 out: None,
             }
         );
@@ -756,6 +827,8 @@ mod tests {
             "7",
             "--workers",
             "4",
+            "--engine",
+            "event",
             "--out",
             "grid.json",
         ])
@@ -769,9 +842,25 @@ mod tests {
                 crashes: vec![0, 2, 4],
                 seed: 7,
                 workers: 4,
+                engine: EngineArg::Event,
                 out: Some(PathBuf::from("grid.json")),
             }
         );
+        // The engine defaults to the synchronous harness.
+        assert!(matches!(
+            parse(&["fault-sweep"]).unwrap(),
+            Command::FaultSweep {
+                engine: EngineArg::Sync,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&["fault-sweep", "--engine", "quantum"]),
+            Err(ArgError::BadValue {
+                flag: "--engine",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -781,6 +870,9 @@ mod tests {
             Command::Bench {
                 smoke: false,
                 repeats: 5,
+                distsim: false,
+                large: false,
+                ckpt: None,
                 out: PathBuf::from("BENCH_pipeline.json"),
             }
         );
@@ -789,6 +881,9 @@ mod tests {
             Command::Bench {
                 smoke: true,
                 repeats: 3,
+                distsim: false,
+                large: false,
+                ckpt: None,
                 out: PathBuf::from("b.json"),
             }
         );
@@ -798,6 +893,45 @@ mod tests {
                 flag: "--repeats",
                 ..
             })
+        ));
+    }
+
+    #[test]
+    fn bench_distsim_tier_flags() {
+        // --distsim switches the default output file.
+        assert_eq!(
+            parse(&["bench", "--distsim", "--smoke"]).unwrap(),
+            Command::Bench {
+                smoke: true,
+                repeats: 5,
+                distsim: true,
+                large: false,
+                ckpt: None,
+                out: PathBuf::from("BENCH_distsim.json"),
+            }
+        );
+        assert_eq!(
+            parse(&["bench", "--distsim", "--large", "--ckpt", "c.ckpt"]).unwrap(),
+            Command::Bench {
+                smoke: false,
+                repeats: 5,
+                distsim: true,
+                large: true,
+                ckpt: Some(PathBuf::from("c.ckpt")),
+                out: PathBuf::from("BENCH_distsim.json"),
+            }
+        );
+        // --large / --ckpt only make sense for the distsim tier.
+        assert!(matches!(
+            parse(&["bench", "--large"]),
+            Err(ArgError::BadValue {
+                flag: "--large",
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse(&["bench", "--ckpt", "c.ckpt"]),
+            Err(ArgError::BadValue { flag: "--ckpt", .. })
         ));
     }
 

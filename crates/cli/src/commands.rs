@@ -1,11 +1,11 @@
 //! Command execution for the `anr` binary.
 
-use crate::{Command, MethodArg};
+use crate::{Command, EngineArg, MethodArg};
 use anr_geom::Point;
 use anr_march::{
     audit_piecewise, direct_translation, hungarian_direct, march_mission, march_traced,
     run_fault_sweep_traced, MarchConfig, MarchError, MarchOutcome, MarchProblem, Method,
-    MetricsError, Mission, SweepConfig,
+    MetricsError, Mission, SweepConfig, SweepEngine,
 };
 use anr_netgraph::UnitDiskGraph;
 use anr_scenarios::{blob, build_scenario, ScenarioError, ScenarioParams};
@@ -318,6 +318,7 @@ pub fn run_command_traced(command: Command, tracer: &Tracer) -> Result<(), CliEr
             crashes,
             seed,
             workers,
+            engine,
             out,
         } => {
             let problem = scenario_problem(id, 10.0, robots)?;
@@ -332,6 +333,10 @@ pub fn run_command_traced(command: Command, tracer: &Tracer) -> Result<(), CliEr
                 crash_counts: crashes,
                 seed,
                 workers,
+                engine: match engine {
+                    EngineArg::Sync => SweepEngine::Synchronous,
+                    EngineArg::Event => SweepEngine::Event,
+                },
                 ..Default::default()
             };
             let report =
@@ -354,7 +359,54 @@ pub fn run_command_traced(command: Command, tracer: &Tracer) -> Result<(), CliEr
         Command::Bench {
             smoke,
             repeats,
+            distsim: true,
+            large,
+            ckpt,
             out,
+        } => {
+            let report = anr_bench::run_distsim_bench(&anr_bench::DistsimBenchOptions {
+                smoke,
+                repeats,
+                large,
+            })
+            .map_err(|e| CliError::BadParameter(e.to_string()))?;
+            std::fs::write(&out, report.to_json())?;
+            for series in &report.series {
+                eprintln!(
+                    "distsim {} n={}: run {:.1} ms ({} rounds, {} messages), \
+                     save {:.2} ms / restore {:.2} ms ({} bytes), resume identical = {}",
+                    series.protocol,
+                    series.robots,
+                    series.run_ms,
+                    series.rounds,
+                    series.sent,
+                    series.save_ms,
+                    series.restore_ms,
+                    series.ckpt_bytes,
+                    series.resume_identical,
+                );
+            }
+            eprintln!(
+                "distsim fault sweep (event engine, n={}): {:.1} ms over {} cells/protocol",
+                report.sweep.robots, report.sweep.total_ms, report.sweep.cells,
+            );
+            if let Some(path) = ckpt {
+                std::fs::write(&path, &report.checkpoint_artifact)?;
+                eprintln!(
+                    "checkpoint artifact ({} bytes) written to {}",
+                    report.checkpoint_artifact.len(),
+                    path.display()
+                );
+            }
+            eprintln!("distsim benchmark written to {}", out.display());
+            Ok(())
+        }
+        Command::Bench {
+            smoke,
+            repeats,
+            distsim: false,
+            out,
+            ..
         } => {
             let report = anr_bench::run_pipeline_bench(&anr_bench::BenchOptions { smoke, repeats })
                 .map_err(|e| CliError::BadParameter(e.to_string()))?;
@@ -675,13 +727,31 @@ mod tests {
             crashes: vec![0, 1],
             seed: 5,
             workers: 0,
+            engine: EngineArg::Sync,
             out: Some(path.clone()),
         })
         .unwrap();
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"protocol\": \"flooding\""));
         assert!(json.contains("\"protocol\": \"hop_field\""));
+
+        // The event engine produces the very same document.
+        let event_path = std::env::temp_dir().join("anr_cli_fault_sweep_event_test.json");
+        run_command(Command::FaultSweep {
+            id: 1,
+            robots: 64,
+            loss: vec![0.0, 0.1],
+            crashes: vec![0, 1],
+            seed: 5,
+            workers: 0,
+            engine: EngineArg::Event,
+            out: Some(event_path.clone()),
+        })
+        .unwrap();
+        let event_json = std::fs::read_to_string(&event_path).unwrap();
+        assert_eq!(json, event_json, "engines must emit identical JSON");
         std::fs::remove_file(path).ok();
+        std::fs::remove_file(event_path).ok();
     }
 
     #[test]
@@ -729,6 +799,7 @@ mod tests {
                 crashes: vec![500],
                 seed: 5,
                 workers: 0,
+                engine: EngineArg::Sync,
                 out: None,
             }),
             Err(CliError::BadParameter(_))

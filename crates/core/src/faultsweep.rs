@@ -25,10 +25,48 @@
 //! `fault_sweep` bench binary.
 
 use anr_distsim::{FaultPlan, FaultStats, FaultySimulator, SimError};
+use anr_eventsim::{EventNode, EventSim, ExplicitTopology};
 use anr_geom::Point;
 use anr_netgraph::robust::{RetransmitConfig, RobustFloodNode, RobustHopFieldNode};
 use anr_netgraph::UnitDiskGraph;
 use anr_trace::{TraceValue, Tracer};
+
+/// Which simulation engine executes the sweep's cell runs.
+///
+/// The engines are bit-identical under any common fault plan (pinned
+/// by `anr-eventsim`'s equivalence tests), so the choice affects cost,
+/// not results: the event engine skips dormant robots and empty
+/// rounds, which is what makes 10⁵–10⁶-robot sweeps affordable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepEngine {
+    /// The round-stepping [`FaultySimulator`] — `Θ(n)` per round.
+    #[default]
+    Synchronous,
+    /// The discrete-event [`EventSim`] — `Θ(active)` per round.
+    Event,
+}
+
+/// Which robust protocols a sweep exercises.
+///
+/// Flooding keeps `O(n)` state per robot (every robot learns every
+/// value), so it is intentionally deselectable for large-`n` sweeps
+/// where the hop field is the scalable representative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepProtocols {
+    /// Ack/retransmit flooding of per-robot values.
+    pub flooding: bool,
+    /// The robust multi-source hop field.
+    pub hop_field: bool,
+}
+
+impl Default for SweepProtocols {
+    fn default() -> Self {
+        SweepProtocols {
+            flooding: true,
+            hop_field: true,
+        }
+    }
+}
 
 /// Parameters of a fault sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +87,11 @@ pub struct SweepConfig {
     /// ([`anr_par::default_workers`]); `1` forces the serial order. The
     /// report — and its JSON — is byte-identical whatever the count.
     pub workers: usize,
+    /// Engine executing the cell runs; the report is byte-identical
+    /// either way.
+    pub engine: SweepEngine,
+    /// Protocols to sweep (at least one must be enabled).
+    pub protocols: SweepProtocols,
 }
 
 impl Default for SweepConfig {
@@ -60,6 +103,8 @@ impl Default for SweepConfig {
             max_rounds: 4000,
             retransmit: RetransmitConfig::default(),
             workers: 0,
+            engine: SweepEngine::default(),
+            protocols: SweepProtocols::default(),
         }
     }
 }
@@ -214,39 +259,63 @@ struct CellRun {
 }
 
 /// Runs one protocol under one plan, tolerating non-convergence (the
-/// stats of a timed-out run are still reported).
+/// stats of a timed-out run are still reported). Both engines follow
+/// the same settle-then-drain shape, so their cells are byte-identical.
 fn run_cell<N, F, C>(
     nodes: Vec<N>,
     adjacency: &[Vec<usize>],
     plan: FaultPlan,
     max_rounds: usize,
+    engine: SweepEngine,
     settled: F,
     check: C,
 ) -> Result<CellRun, SimError>
 where
-    N: anr_distsim::Node,
+    N: EventNode,
     F: Fn(&[N]) -> bool,
     C: Fn(&[N]) -> bool,
 {
-    let mut sim = FaultySimulator::new(nodes, adjacency.to_vec(), plan)?;
-    let converged = match sim.run_until(max_rounds, &settled) {
-        Ok(_) => true,
-        Err(SimError::NotQuiescent { .. }) => false,
-        Err(e) => return Err(e),
-    };
-    if converged {
-        // Drain the in-flight tail (stray acks, duplicates) so delivery
-        // accounting is complete.
-        match sim.run_until_quiet(max_rounds) {
-            Ok(_) | Err(SimError::NotQuiescent { .. }) => {}
-            Err(e) => return Err(e),
+    let (converged, correct, stats) = match engine {
+        SweepEngine::Synchronous => {
+            let mut sim = FaultySimulator::new(nodes, adjacency.to_vec(), plan)?;
+            let converged = match sim.run_until(max_rounds, &settled) {
+                Ok(_) => true,
+                Err(SimError::NotQuiescent { .. }) => false,
+                Err(e) => return Err(e),
+            };
+            if converged {
+                // Drain the in-flight tail (stray acks, duplicates) so
+                // delivery accounting is complete.
+                match sim.run_until_quiet(max_rounds) {
+                    Ok(_) | Err(SimError::NotQuiescent { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            let correct = converged && check(sim.nodes());
+            (converged, correct, sim.stats())
         }
-    }
-    let correct = converged && check(sim.nodes());
+        SweepEngine::Event => {
+            let topology = ExplicitTopology::new(adjacency.to_vec())?;
+            let mut sim = EventSim::new(nodes, topology, plan)?;
+            let converged = match sim.run_until(max_rounds, &settled) {
+                Ok(_) => true,
+                Err(SimError::NotQuiescent { .. }) => false,
+                Err(e) => return Err(e),
+            };
+            if converged {
+                match sim.run_until_quiet(max_rounds) {
+                    Ok(_) | Err(SimError::NotQuiescent { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            let correct = converged && check(sim.nodes());
+            (converged, correct, sim.stats())
+        }
+    };
     Ok(CellRun {
         converged,
         correct,
-        stats: sim.stats(),
+        stats,
     })
 }
 
@@ -257,6 +326,7 @@ fn flood_cell(
     crashed: &[bool],
     cfg: RetransmitConfig,
     max_rounds: usize,
+    engine: SweepEngine,
 ) -> Result<CellRun, SimError> {
     let n = values.len();
     let comp = live_components(adjacency, crashed);
@@ -280,6 +350,7 @@ fn flood_cell(
         adjacency,
         plan,
         max_rounds,
+        engine,
         |ns| ns.iter().all(RobustFloodNode::is_settled),
         move |ns| {
             ns.iter().enumerate().all(|(i, nd)| match expected[i] {
@@ -297,6 +368,7 @@ fn hop_field_cell(
     crashed: &[bool],
     cfg: RetransmitConfig,
     max_rounds: usize,
+    engine: SweepEngine,
 ) -> Result<CellRun, SimError> {
     let expected = live_hops(adjacency, crashed, sources);
     let crashed_owned = crashed.to_vec();
@@ -310,6 +382,7 @@ fn hop_field_cell(
         adjacency,
         plan,
         max_rounds,
+        engine,
         |ns| ns.iter().all(RobustHopFieldNode::is_settled),
         move |ns| {
             ns.iter()
@@ -380,6 +453,11 @@ pub fn run_fault_sweep_traced(
             });
         }
     }
+    if !config.protocols.flooding && !config.protocols.hop_field {
+        return Err(SimError::InvalidFaultPlan {
+            reason: "no protocols selected for the sweep".to_string(),
+        });
+    }
     let _sweep_span = tracer.span_with(
         "fault_sweep",
         vec![
@@ -398,38 +476,43 @@ pub fn run_fault_sweep_traced(
     let no_crash = vec![false; n];
     let cfg = config.retransmit;
 
-    // Zero-fault baselines (overhead denominators).
-    let flood_base = flood_cell(
-        &adjacency,
-        &values,
-        FaultPlan::reliable(config.seed),
-        &no_crash,
-        cfg,
-        config.max_rounds,
-    )?;
-    let hop_base = hop_field_cell(
-        &adjacency,
-        &sources,
-        FaultPlan::reliable(config.seed),
-        &no_crash,
-        cfg,
-        config.max_rounds,
-    )?;
-
-    let mut grids = vec![
-        ProtocolGrid {
+    // Zero-fault baselines (overhead denominators), one per enabled
+    // protocol, in the fixed flooding-then-hop-field order.
+    let mut grids = Vec::new();
+    if config.protocols.flooding {
+        let flood_base = flood_cell(
+            &adjacency,
+            &values,
+            FaultPlan::reliable(config.seed),
+            &no_crash,
+            cfg,
+            config.max_rounds,
+            config.engine,
+        )?;
+        grids.push(ProtocolGrid {
             protocol: "flooding".to_string(),
             baseline_rounds: flood_base.stats.rounds,
             baseline_sent: flood_base.stats.sent,
             cells: Vec::new(),
-        },
-        ProtocolGrid {
+        });
+    }
+    if config.protocols.hop_field {
+        let hop_base = hop_field_cell(
+            &adjacency,
+            &sources,
+            FaultPlan::reliable(config.seed),
+            &no_crash,
+            cfg,
+            config.max_rounds,
+            config.engine,
+        )?;
+        grids.push(ProtocolGrid {
             protocol: "hop_field".to_string(),
             baseline_rounds: hop_base.stats.rounds,
             baseline_sent: hop_base.stats.sent,
             cells: Vec::new(),
-        },
-    ];
+        });
+    }
 
     // Every cell is an independent seeded simulation: fan them out and
     // fold the results back in loss-major order, so the report (and its
@@ -451,21 +534,34 @@ pub fn run_fault_sweep_traced(
             crashed[r] = true;
             plan = plan.with_crash(0, r);
         }
-        Ok([
-            flood_cell(
+        let mut runs = Vec::with_capacity(2);
+        if config.protocols.flooding {
+            runs.push(flood_cell(
                 &adjacency,
                 &values,
                 plan.clone(),
                 &crashed,
                 cfg,
                 config.max_rounds,
-            )?,
-            hop_field_cell(&adjacency, &sources, plan, &crashed, cfg, config.max_rounds)?,
-        ])
+                config.engine,
+            )?);
+        }
+        if config.protocols.hop_field {
+            runs.push(hop_field_cell(
+                &adjacency,
+                &sources,
+                plan,
+                &crashed,
+                cfg,
+                config.max_rounds,
+                config.engine,
+            )?);
+        }
+        Ok(runs)
     });
 
     for (&(li, ci), runs) in coords.iter().zip(cell_results) {
-        let runs: [CellRun; 2] = runs?;
+        let runs: Vec<CellRun> = runs?;
         let loss = config.loss_rates[li];
         let crash_count = config.crash_counts[ci];
         for (grid, run) in grids.iter_mut().zip(runs) {
@@ -600,9 +696,60 @@ mod tests {
             crash_counts: vec![0, 1],
             seed: 7,
             max_rounds: 3000,
-            retransmit: RetransmitConfig::default(),
-            workers: 0,
+            ..SweepConfig::default()
         }
+    }
+
+    #[test]
+    fn event_engine_report_is_byte_identical_to_sync() {
+        let pts = lattice(3, 4);
+        let sync = run_fault_sweep(&pts, 80.0, &small_config()).unwrap();
+        let event = run_fault_sweep(
+            &pts,
+            80.0,
+            &SweepConfig {
+                engine: SweepEngine::Event,
+                ..small_config()
+            },
+        )
+        .unwrap();
+        assert_eq!(sync, event, "engines must agree cell by cell");
+        assert_eq!(sync.to_json(), event.to_json());
+    }
+
+    #[test]
+    fn protocol_selection_prunes_grids() {
+        let pts = lattice(3, 4);
+        let both = run_fault_sweep(&pts, 80.0, &small_config()).unwrap();
+        let hop_only = run_fault_sweep(
+            &pts,
+            80.0,
+            &SweepConfig {
+                protocols: SweepProtocols {
+                    flooding: false,
+                    hop_field: true,
+                },
+                ..small_config()
+            },
+        )
+        .unwrap();
+        assert_eq!(hop_only.protocols.len(), 1);
+        assert_eq!(hop_only.protocols[0].protocol, "hop_field");
+        // Deselecting flooding must not perturb the hop-field grid:
+        // cells are seeded per coordinate, not per protocol order.
+        assert_eq!(hop_only.protocols[0], both.protocols[1]);
+        let none = run_fault_sweep(
+            &pts,
+            80.0,
+            &SweepConfig {
+                protocols: SweepProtocols {
+                    flooding: false,
+                    hop_field: false,
+                },
+                ..small_config()
+            },
+        );
+        assert!(matches!(none, Err(SimError::InvalidFaultPlan { .. })));
     }
 
     #[test]

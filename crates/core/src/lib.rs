@@ -75,7 +75,7 @@ pub use energy::{EnergyModel, EnergyReport};
 pub use error::MarchError;
 pub use faultsweep::{
     run_fault_sweep, run_fault_sweep_traced, FaultSweepReport, ProtocolGrid, SurvivalStats,
-    SweepConfig,
+    SweepConfig, SweepEngine, SweepProtocols,
 };
 pub use metrics::{
     edge_stretch_stats, evaluate_timeline, MetricsError, StretchStats, TransitionMetrics,

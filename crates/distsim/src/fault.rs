@@ -307,6 +307,18 @@ impl FaultRng {
         debug_assert!(min <= max);
         min + (self.next_u64() % (max - min + 1) as u64) as usize
     }
+
+    /// Current internal state word (for checkpointing).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds the stream from a previously captured [`state`].
+    ///
+    /// [`state`]: FaultRng::state
+    pub fn from_state(state: u64) -> Self {
+        FaultRng { state }
+    }
 }
 
 #[cfg(test)]

@@ -52,10 +52,12 @@
 pub mod channel;
 pub mod fault;
 pub mod harness;
+pub mod snapshot;
 
 pub use channel::FaultChannel;
 pub use fault::{ChurnEvent, ChurnKind, DelayModel, FaultPlan};
 pub use harness::{FaultStats, FaultySimulator};
+pub use snapshot::{Persist, PersistError, SnapshotReader, SnapshotWriter};
 
 use std::error::Error;
 use std::fmt;
@@ -80,10 +82,24 @@ pub struct Outbox<M> {
 }
 
 /// Destination marker for a broadcast to all neighbors.
-const BROADCAST: usize = usize::MAX;
+///
+/// Queued sends carrying this destination are expanded over the
+/// sender's adjacency row (in neighbor order) when the outbox is
+/// committed. Exposed so alternative execution engines (e.g. the
+/// discrete-event engine in `anr-eventsim`) can expand outboxes with
+/// semantics identical to [`Simulator`].
+pub const BROADCAST: usize = usize::MAX;
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox::new()
+    }
+}
 
 impl<M> Outbox<M> {
-    fn new() -> Self {
+    /// An empty outbox. Public so alternative execution engines can
+    /// drive [`Node`] implementations directly.
+    pub fn new() -> Self {
         Outbox { queued: Vec::new() }
     }
 
@@ -113,8 +129,13 @@ impl<M> Outbox<M> {
         self.queued.is_empty()
     }
 
-    /// Drains the queued sends (harness internals).
-    pub(crate) fn take_queued(&mut self) -> Vec<(usize, M)> {
+    /// Drains the queued sends.
+    ///
+    /// Destinations equal to [`BROADCAST`] denote a broadcast and must
+    /// be expanded over the sender's neighbor list by the caller.
+    /// Public so alternative execution engines can commit outboxes with
+    /// the same expansion order as [`Simulator`].
+    pub fn take_queued(&mut self) -> Vec<(usize, M)> {
         std::mem::take(&mut self.queued)
     }
 }

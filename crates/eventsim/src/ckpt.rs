@@ -1,0 +1,363 @@
+//! Versioned, byte-stable checkpoint/restore for [`EventSim`].
+//!
+//! A snapshot captures the complete dynamic state of a run at a round
+//! boundary — event heap, node state, crash flags, wakeup slots, the
+//! fault RNG stream, and accounting — under the format tag
+//! [`CKPT_MAGIC`] (`anr-eventsim-ckpt/1`). The topology is **not**
+//! embedded: it is a pure function of the deployment, so the caller
+//! supplies it again on restore (and a robot-count mismatch is a typed
+//! error).
+//!
+//! Guarantees, pinned by `tests/checkpoint.rs`:
+//!
+//! * **Resumability** — `run(t1); save; restore; run(t2)` reaches a
+//!   state byte-identical to `run(t1 + t2)` uninterrupted, under any
+//!   fault plan.
+//! * **Canonical bytes** — heap entries are serialized in key order
+//!   (keys are unique, so the order is total); equal states produce
+//!   identical snapshots, so snapshots can themselves be compared.
+//! * **No panics** — corrupted, truncated, or alien input surfaces as
+//!   a [`CkptError`].
+//!
+//! ## Layout
+//!
+//! ```text
+//! "anr-eventsim-ckpt/1\n"            ASCII magic line
+//! body                                little-endian, via anr_distsim::snapshot
+//!   now, seq, started
+//!   rng state, fault plan
+//!   crashed flags
+//!   wakeup slots (sparse, ascending node index)
+//!   stats (sent, delivered, drops, duplicates, delays, churn counts)
+//!   heap entries, sorted by (due, class, ord)
+//!   nodes
+//! checksum                            FNV-1a 64 over everything above
+//! ```
+
+use crate::engine::{
+    Event, EventNode, EventSim, Payload, CLASS_CHURN, CLASS_DELIVER, CLASS_WAKE, NO_WAKE,
+};
+use crate::topology::Topology;
+use anr_distsim::fault::FaultRng;
+use anr_distsim::snapshot::{Persist, PersistError, SnapshotReader, SnapshotWriter};
+use anr_distsim::{FaultPlan, FaultStats};
+use anr_trace::Tracer;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+
+/// Format tag of the snapshot layout this module reads and writes.
+pub const CKPT_MAGIC: &str = "anr-eventsim-ckpt/1";
+
+/// Why a snapshot could not be restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CkptError {
+    /// The input does not start with [`CKPT_MAGIC`].
+    BadMagic,
+    /// The input is shorter than the fixed framing (magic + checksum).
+    Truncated,
+    /// The checksum over magic + body did not match.
+    ChecksumMismatch {
+        /// Checksum recorded in the snapshot.
+        expected: u64,
+        /// Checksum recomputed over the input.
+        actual: u64,
+    },
+    /// The snapshot was taken over a different robot count than the
+    /// supplied topology provides.
+    TopologyMismatch {
+        /// Robots in the snapshot.
+        snapshot: usize,
+        /// Robots in the supplied topology.
+        topology: usize,
+    },
+    /// The body failed structural decoding.
+    Codec(PersistError),
+    /// The body decoded but left unread bytes.
+    TrailingBytes {
+        /// Bytes left over.
+        extra: usize,
+    },
+    /// A decoded field is inconsistent with the rest of the snapshot
+    /// (e.g. an out-of-range node index).
+    Inconsistent {
+        /// What was inconsistent.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::BadMagic => write!(f, "snapshot does not start with {CKPT_MAGIC:?}"),
+            CkptError::Truncated => write!(f, "snapshot shorter than its fixed framing"),
+            CkptError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: recorded {expected:#018x}, computed {actual:#018x}"
+            ),
+            CkptError::TopologyMismatch { snapshot, topology } => write!(
+                f,
+                "snapshot has {snapshot} robots but the topology has {topology}"
+            ),
+            CkptError::Codec(err) => write!(f, "snapshot body malformed: {err}"),
+            CkptError::TrailingBytes { extra } => {
+                write!(f, "snapshot body has {extra} trailing bytes")
+            }
+            CkptError::Inconsistent { context } => {
+                write!(f, "snapshot is internally inconsistent: {context}")
+            }
+        }
+    }
+}
+
+impl Error for CkptError {}
+
+impl From<PersistError> for CkptError {
+    fn from(err: PersistError) -> Self {
+        CkptError::Codec(err)
+    }
+}
+
+/// FNV-1a 64-bit over `bytes`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn persist_stats(stats: &FaultStats, w: &mut SnapshotWriter) {
+    stats.sent.persist(w);
+    stats.delivered.persist(w);
+    stats.dropped_loss.persist(w);
+    stats.dropped_crash.persist(w);
+    stats.duplicated.persist(w);
+    stats.delayed.persist(w);
+    stats.crashes.persist(w);
+    stats.recoveries.persist(w);
+}
+
+fn restore_stats(r: &mut SnapshotReader<'_>) -> Result<FaultStats, PersistError> {
+    Ok(FaultStats {
+        rounds: 0,
+        sent: usize::restore(r)?,
+        delivered: usize::restore(r)?,
+        dropped_loss: usize::restore(r)?,
+        dropped_crash: usize::restore(r)?,
+        duplicated: usize::restore(r)?,
+        delayed: usize::restore(r)?,
+        crashes: usize::restore(r)?,
+        recoveries: usize::restore(r)?,
+    })
+}
+
+impl<N, T> EventSim<N, T>
+where
+    N: EventNode + Persist,
+    N::Msg: Persist,
+    T: Topology,
+{
+    /// Serializes the full run state as an `anr-eventsim-ckpt/1`
+    /// snapshot. Byte-stable: equal states yield identical bytes.
+    ///
+    /// Take snapshots at round boundaries (between `run_*` calls);
+    /// inboxes are always drained within a round, so none exist to
+    /// capture.
+    pub fn save(&self) -> Vec<u8> {
+        let _span = self.tracer.span("ckpt_write");
+        let mut w = SnapshotWriter::new();
+        w.put_bytes(CKPT_MAGIC.as_bytes());
+        w.put_u8(b'\n');
+        self.now.persist(&mut w);
+        self.seq.persist(&mut w);
+        self.started.persist(&mut w);
+        self.rng.persist(&mut w);
+        self.plan.persist(&mut w);
+        self.crashed.persist(&mut w);
+        let wakes: Vec<(usize, u64)> = self
+            .next_wake
+            .iter()
+            .enumerate()
+            .filter(|&(_, &due)| due != NO_WAKE)
+            .map(|(i, &due)| (i, due))
+            .collect();
+        wakes.persist(&mut w);
+        persist_stats(&self.stats, &mut w);
+        // Canonical heap order: sorted by the unique (due, class, ord)
+        // key. BinaryHeap iteration order is unspecified, so sort.
+        let mut entries: Vec<&Event<N::Msg>> = self.heap.iter().map(|Reverse(ev)| ev).collect();
+        entries.sort_by_key(|ev| ev.key());
+        w.put_u64(entries.len() as u64);
+        for ev in entries {
+            ev.due.persist(&mut w);
+            ev.class.persist(&mut w);
+            ev.ord.persist(&mut w);
+            if let Payload::Deliver { from, to, msg } = &ev.payload {
+                from.persist(&mut w);
+                to.persist(&mut w);
+                msg.persist(&mut w);
+            }
+        }
+        self.nodes.persist(&mut w);
+        let checksum = fnv1a(w.as_bytes());
+        w.put_u64(checksum);
+        if self.tracer.is_enabled() {
+            self.tracer.counter_add("ckpt_bytes", w.len() as u64);
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuilds a run from a [`save`](EventSim::save) snapshot and the
+    /// deployment's topology. The restored simulator continues
+    /// bit-identically to the uninterrupted original.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError`] on any malformed input — wrong magic, failed
+    /// checksum, truncation, codec errors, trailing bytes, or a robot
+    /// count that disagrees with `topology`.
+    pub fn restore(bytes: &[u8], topology: T) -> Result<Self, CkptError> {
+        Self::restore_traced(bytes, topology, &Tracer::disabled())
+    }
+
+    /// [`restore`](EventSim::restore) with a tracer attached from the
+    /// start (so the `ckpt_restore` span is captured too).
+    ///
+    /// # Errors
+    ///
+    /// See [`restore`](EventSim::restore).
+    pub fn restore_traced(bytes: &[u8], topology: T, tracer: &Tracer) -> Result<Self, CkptError> {
+        let _span = tracer.span("ckpt_restore");
+        let magic_len = CKPT_MAGIC.len() + 1;
+        if bytes.len() < magic_len + 8 {
+            return Err(CkptError::Truncated);
+        }
+        if &bytes[..CKPT_MAGIC.len()] != CKPT_MAGIC.as_bytes() || bytes[CKPT_MAGIC.len()] != b'\n' {
+            return Err(CkptError::BadMagic);
+        }
+        let body_end = bytes.len() - 8;
+        let mut tail = [0u8; 8];
+        tail.copy_from_slice(&bytes[body_end..]);
+        let expected = u64::from_le_bytes(tail);
+        let actual = fnv1a(&bytes[..body_end]);
+        if expected != actual {
+            return Err(CkptError::ChecksumMismatch { expected, actual });
+        }
+        let mut r = SnapshotReader::new(&bytes[magic_len..body_end]);
+        let now = u64::restore(&mut r)?;
+        let seq = u64::restore(&mut r)?;
+        let started = bool::restore(&mut r)?;
+        let rng = FaultRng::restore(&mut r)?;
+        let plan = FaultPlan::restore(&mut r)?;
+        let crashed = Vec::<bool>::restore(&mut r)?;
+        let n = crashed.len();
+        if topology.len() != n {
+            return Err(CkptError::TopologyMismatch {
+                snapshot: n,
+                topology: topology.len(),
+            });
+        }
+        let wakes = Vec::<(usize, u64)>::restore(&mut r)?;
+        let mut next_wake = vec![NO_WAKE; n];
+        for (i, due) in wakes {
+            if i >= n {
+                return Err(CkptError::Inconsistent {
+                    context: "wakeup slot node index out of range",
+                });
+            }
+            next_wake[i] = due;
+        }
+        let stats = restore_stats(&mut r)?;
+        let entry_count = u64::restore(&mut r)?;
+        let mut heap = BinaryHeap::new();
+        let mut pending_msgs = 0usize;
+        let mut max_churn_ord: Option<u64> = None;
+        for _ in 0..entry_count {
+            let due = u64::restore(&mut r)?;
+            let class = u8::restore(&mut r)?;
+            let ord = u64::restore(&mut r)?;
+            let payload = match class {
+                CLASS_CHURN => {
+                    max_churn_ord = Some(max_churn_ord.unwrap_or(0).max(ord));
+                    Payload::Control
+                }
+                CLASS_WAKE => {
+                    if ord >= n as u64 {
+                        return Err(CkptError::Inconsistent {
+                            context: "wakeup event node index out of range",
+                        });
+                    }
+                    Payload::Control
+                }
+                CLASS_DELIVER => {
+                    pending_msgs += 1;
+                    let from = usize::restore(&mut r)?;
+                    let to = usize::restore(&mut r)?;
+                    if to >= n {
+                        return Err(CkptError::Inconsistent {
+                            context: "delivery recipient out of range",
+                        });
+                    }
+                    Payload::Deliver {
+                        from,
+                        to,
+                        msg: N::Msg::restore(&mut r)?,
+                    }
+                }
+                tag => {
+                    return Err(CkptError::Codec(PersistError::BadTag {
+                        tag,
+                        context: "event class",
+                    }))
+                }
+            };
+            heap.push(Reverse(Event {
+                due,
+                class,
+                ord,
+                payload,
+            }));
+        }
+        let nodes = Vec::<N>::restore(&mut r)?;
+        if nodes.len() != n {
+            return Err(CkptError::Inconsistent {
+                context: "node count disagrees with crash flags",
+            });
+        }
+        if r.remaining() != 0 {
+            return Err(CkptError::TrailingBytes {
+                extra: r.remaining(),
+            });
+        }
+        // The sorted churn list is a pure function of the plan — the
+        // same stable sort `new` applies. Un-popped churn events must
+        // reference it.
+        let mut churn = plan.churn.clone();
+        churn.sort_by_key(|ev| ev.round);
+        if max_churn_ord.is_some_and(|ord| ord >= churn.len() as u64) {
+            return Err(CkptError::Inconsistent {
+                context: "queued churn event outside the plan's schedule",
+            });
+        }
+        Ok(EventSim {
+            topology,
+            nodes,
+            crashed,
+            next_wake,
+            plan,
+            rng,
+            churn,
+            heap,
+            now,
+            seq,
+            pending_msgs,
+            started,
+            stats,
+            tracer: tracer.clone(),
+        })
+    }
+}

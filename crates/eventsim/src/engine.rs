@@ -1,0 +1,658 @@
+//! The deterministic discrete-event engine.
+//!
+//! [`EventSim`] executes the same round-indexed protocol semantics as
+//! [`anr_distsim::FaultySimulator`], but sparsely: instead of stepping
+//! every robot every round, it keeps a time-ordered binary heap of
+//! *events* — crash/recovery instants, message deliveries, and node
+//! wakeups — and only executes rounds in which at least one event is
+//! due. The two engines are **bit-identical** under any common
+//! [`FaultPlan`]: same random draws in the same order, same inbox
+//! contents, same final node states, same statistics (pinned by the
+//! equivalence tests in `tests/equivalence.rs`).
+//!
+//! ## Why dormancy is behavior-preserving
+//!
+//! The synchronous harness calls `on_round` on every live robot every
+//! round, so a protocol timer can tick anywhere. The event engine
+//! instead relies on the [`EventNode::idle`] contract: an idle node's
+//! `on_round` with an empty inbox changes no state, sends nothing, and
+//! draws no randomness — so skipping it is unobservable. Non-idle
+//! nodes keep a wakeup event scheduled every round; idle nodes are
+//! woken only by a delivery. This is what turns `Θ(n)` per round into
+//! `Θ(active)` per round.
+//!
+//! ## Event ordering
+//!
+//! Heap keys are `(due, class, ord)`, unique by construction:
+//!
+//! | class | meaning    | `ord`                               |
+//! |-------|------------|-------------------------------------|
+//! | 0     | churn      | position in the round-sorted plan   |
+//! | 1     | delivery   | global send sequence number         |
+//! | 2     | wakeup     | node index                          |
+//!
+//! The class order mirrors the synchronous round phases (churn →
+//! deliveries → `on_round`); delivery `ord` reproduces the channel's
+//! per-recipient inbox order; wakeup `ord` reproduces index-order
+//! stepping — which is also what keeps the shared random stream in
+//! sync-identical order.
+
+use crate::topology::Topology;
+use anr_distsim::fault::FaultRng;
+use anr_distsim::{
+    ChurnEvent, ChurnKind, DelayModel, Envelope, FaultPlan, FaultStats, Node, Outbox, SimError,
+    BROADCAST,
+};
+use anr_trace::{TraceValue, Tracer};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// A [`Node`] the event engine can put to sleep.
+///
+/// The default `idle` of `false` is always safe: the node is woken
+/// every round, exactly like the synchronous harness. Override it when
+/// the node can certify dormancy.
+pub trait EventNode: Node {
+    /// Dormancy certificate. Returning `true` promises that, until a
+    /// message arrives, `on_round` with an empty inbox would change no
+    /// state, send nothing, and draw no randomness — so the engine may
+    /// skip those calls entirely.
+    fn idle(&self) -> bool {
+        false
+    }
+}
+
+pub(crate) const CLASS_CHURN: u8 = 0;
+pub(crate) const CLASS_DELIVER: u8 = 1;
+pub(crate) const CLASS_WAKE: u8 = 2;
+
+/// Sentinel for "no wakeup scheduled".
+pub(crate) const NO_WAKE: u64 = u64::MAX;
+
+/// One scheduled event. Ordering (and equality) use only the
+/// `(due, class, ord)` key — payloads are not comparable and never need
+/// to be: keys are unique across the heap.
+#[derive(Debug, Clone)]
+pub(crate) struct Event<M> {
+    pub(crate) due: u64,
+    pub(crate) class: u8,
+    pub(crate) ord: u64,
+    pub(crate) payload: Payload<M>,
+}
+
+/// Event payload; churn and wakeup events carry everything they need
+/// in `ord`.
+#[derive(Debug, Clone)]
+pub(crate) enum Payload<M> {
+    /// Churn (class 0, `ord` indexes the sorted plan) or wakeup
+    /// (class 2, `ord` is the node).
+    Control,
+    /// A message delivery (class 1).
+    Deliver {
+        /// Sending node.
+        from: usize,
+        /// Receiving node.
+        to: usize,
+        /// The payload.
+        msg: M,
+    },
+}
+
+impl<M> Event<M> {
+    pub(crate) fn key(&self) -> (u64, u8, u64) {
+        (self.due, self.class, self.ord)
+    }
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Deterministic discrete-event simulator with the
+/// [`FaultySimulator`](anr_distsim::FaultySimulator) fault semantics.
+///
+/// State is struct-of-arrays: nodes, crash flags, and wakeup slots are
+/// parallel vectors indexed by robot; nothing is materialized per
+/// round.
+pub struct EventSim<N: EventNode, T: Topology> {
+    pub(crate) topology: T,
+    pub(crate) nodes: Vec<N>,
+    pub(crate) crashed: Vec<bool>,
+    pub(crate) next_wake: Vec<u64>,
+    pub(crate) plan: FaultPlan,
+    pub(crate) rng: FaultRng,
+    /// Churn events sorted by round (stable, so plan order breaks
+    /// ties) — `ord` of class-0 events indexes this list.
+    pub(crate) churn: Vec<ChurnEvent>,
+    pub(crate) heap: BinaryHeap<Reverse<Event<N::Msg>>>,
+    /// Next round to execute == rounds completed so far.
+    pub(crate) now: u64,
+    /// Global send sequence (delivery `ord`).
+    pub(crate) seq: u64,
+    pub(crate) pending_msgs: usize,
+    pub(crate) started: bool,
+    /// Accounting; the `rounds` field is maintained lazily by
+    /// [`stats`](EventSim::stats).
+    pub(crate) stats: FaultStats,
+    pub(crate) tracer: Tracer,
+}
+
+impl<N: EventNode, T: Topology> std::fmt::Debug for EventSim<N, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSim")
+            .field("robots", &self.nodes.len())
+            .field("now", &self.now)
+            .field("queued_events", &self.heap.len())
+            .field("pending_msgs", &self.pending_msgs)
+            .field("started", &self.started)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<N: EventNode, T: Topology> EventSim<N, T> {
+    /// Creates an event simulator over `nodes` connected by `topology`,
+    /// misbehaving per `plan`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TopologyMismatch`] when `nodes` and `topology`
+    /// disagree on the robot count, or
+    /// [`SimError::InvalidFaultPlan`] when the plan references robots
+    /// outside the topology.
+    pub fn new(nodes: Vec<N>, topology: T, plan: FaultPlan) -> Result<Self, SimError> {
+        if nodes.len() != topology.len() {
+            return Err(SimError::TopologyMismatch {
+                nodes: nodes.len(),
+                adjacency: topology.len(),
+            });
+        }
+        plan.validate(nodes.len())?;
+        let n = nodes.len();
+        let mut churn = plan.churn.clone();
+        churn.sort_by_key(|ev| ev.round);
+        let mut heap = BinaryHeap::with_capacity(churn.len());
+        for (i, ev) in churn.iter().enumerate() {
+            heap.push(Reverse(Event {
+                due: ev.round as u64,
+                class: CLASS_CHURN,
+                ord: i as u64,
+                payload: Payload::Control,
+            }));
+        }
+        let rng = FaultRng::new(plan.seed);
+        Ok(EventSim {
+            topology,
+            nodes,
+            crashed: vec![false; n],
+            next_wake: vec![NO_WAKE; n],
+            plan,
+            rng,
+            churn,
+            heap,
+            now: 0,
+            seq: 0,
+            pending_msgs: 0,
+            started: false,
+            stats: FaultStats::default(),
+            tracer: Tracer::disabled(),
+        })
+    }
+
+    /// Attaches a tracer: the engine then emits the channel-shaped
+    /// `msg_send` / `msg_drop` / `msg_deliver` and `robot_crash` /
+    /// `robot_recover` events, plus an `event_pop` counter and a
+    /// `heap_depth` histogram sample per executed round. Tracing is
+    /// observation only — the run is bit-identical with or without it.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self
+    }
+
+    /// Read access to the nodes.
+    #[inline]
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Mutable access to the nodes.
+    #[inline]
+    pub fn nodes_mut(&mut self) -> &mut [N] {
+        &mut self.nodes
+    }
+
+    /// Consumes the simulator, returning the nodes.
+    pub fn into_nodes(self) -> Vec<N> {
+        self.nodes
+    }
+
+    /// The topology (mutable: lazy topologies cache rows on query).
+    #[inline]
+    pub fn topology_mut(&mut self) -> &mut T {
+        &mut self.topology
+    }
+
+    /// Is robot `i` currently crashed?
+    pub fn is_crashed(&self, i: usize) -> bool {
+        self.crashed[i]
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds(&self) -> usize {
+        self.now as usize
+    }
+
+    /// Accounting so far (field-for-field comparable with
+    /// [`FaultySimulator::stats`](anr_distsim::FaultySimulator::stats)).
+    pub fn stats(&self) -> FaultStats {
+        let mut stats = self.stats;
+        stats.rounds = self.now as usize;
+        stats
+    }
+
+    /// Are any deliveries queued for this or a future round?
+    pub fn has_messages_in_flight(&self) -> bool {
+        self.pending_msgs > 0
+    }
+
+    /// Robots with deliveries queued towards them, sorted ascending —
+    /// the same shape as the synchronous simulator's
+    /// `pending_recipients()`, and the payload of
+    /// [`SimError::NotQuiescent`].
+    pub fn pending_recipients(&self) -> Vec<usize> {
+        let mut pending: Vec<usize> = self
+            .heap
+            .iter()
+            .filter_map(|Reverse(ev)| match &ev.payload {
+                Payload::Deliver { to, .. } => Some(*to),
+                Payload::Control => None,
+            })
+            .collect();
+        pending.sort_unstable();
+        pending.dedup();
+        pending
+    }
+
+    /// Schedules a wakeup for `u` at round `due` unless one is already
+    /// queued (wakeups are deduplicated per node; the invariant is one
+    /// outstanding wakeup at most, due this round or the next).
+    fn schedule_wake(&mut self, u: usize, due: u64) {
+        if self.next_wake[u] == NO_WAKE {
+            self.next_wake[u] = due;
+            self.heap.push(Reverse(Event {
+                due,
+                class: CLASS_WAKE,
+                ord: u as u64,
+                payload: Payload::Control,
+            }));
+        }
+    }
+
+    /// Offers one `from → to` send to the fault model with the given
+    /// arrival base (`base + delay` is the delivery round). Replicates
+    /// [`FaultChannel::offer`](anr_distsim::FaultChannel::offer) draw
+    /// for draw.
+    fn offer(&mut self, from: usize, to: usize, msg: N::Msg, base: u64) {
+        let p = self.plan.loss_on(from, to);
+        if p > 0.0 && self.rng.unit() < p {
+            self.stats.dropped_loss += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.event(
+                    "msg_drop",
+                    &[
+                        ("from", TraceValue::U64(from as u64)),
+                        ("to", TraceValue::U64(to as u64)),
+                        ("reason", TraceValue::Str("loss".to_string())),
+                    ],
+                );
+            }
+            return;
+        }
+        let copies = if self.plan.duplication > 0.0 && self.rng.unit() < self.plan.duplication {
+            self.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let delay = match self.plan.delay {
+                DelayModel::None => 0,
+                DelayModel::Fixed(k) => k,
+                DelayModel::Uniform { min, max } => {
+                    if min == max {
+                        min
+                    } else {
+                        self.rng.uniform_usize(min, max)
+                    }
+                }
+            };
+            if delay > 0 {
+                self.stats.delayed += 1;
+            }
+            self.heap.push(Reverse(Event {
+                due: base + delay as u64,
+                class: CLASS_DELIVER,
+                ord: self.seq,
+                payload: Payload::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            }));
+            self.seq += 1;
+            self.pending_msgs += 1;
+            self.stats.sent += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.event(
+                    "msg_send",
+                    &[
+                        ("from", TraceValue::U64(from as u64)),
+                        ("to", TraceValue::U64(to as u64)),
+                        ("delay", TraceValue::U64(delay as u64)),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// Commits a node's outbox: broadcasts expand over the neighbor row
+    /// in order, unicast destinations are validated against the
+    /// topology.
+    fn commit_outbox(
+        &mut self,
+        from: usize,
+        mut out: Outbox<N::Msg>,
+        base: u64,
+    ) -> Result<(), SimError> {
+        for (to, msg) in out.take_queued() {
+            if to == BROADCAST {
+                let count = self.topology.neighbors(from).len();
+                for k in 0..count {
+                    let nbr = self.topology.neighbors(from)[k];
+                    self.offer(from, nbr, msg.clone(), base);
+                }
+            } else {
+                if !self.topology.has_link(from, to) {
+                    return Err(SimError::NotANeighbor { from, to });
+                }
+                self.offer(from, to, msg, base);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one churn event (idempotent, like the harness): a
+    /// recovery on a non-idle node re-arms its wakeup.
+    fn apply_churn(&mut self, ord: usize, round: u64) {
+        let ev = self.churn[ord];
+        match ev.kind {
+            ChurnKind::Crash => {
+                if !self.crashed[ev.robot] {
+                    self.crashed[ev.robot] = true;
+                    self.stats.crashes += 1;
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            "robot_crash",
+                            &[
+                                ("round", TraceValue::U64(round)),
+                                ("robot", TraceValue::U64(ev.robot as u64)),
+                            ],
+                        );
+                    }
+                }
+            }
+            ChurnKind::Recover => {
+                if self.crashed[ev.robot] {
+                    self.crashed[ev.robot] = false;
+                    self.stats.recoveries += 1;
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            "robot_recover",
+                            &[
+                                ("round", TraceValue::U64(round)),
+                                ("robot", TraceValue::U64(ev.robot as u64)),
+                            ],
+                        );
+                    }
+                    if !self.nodes[ev.robot].idle() {
+                        self.schedule_wake(ev.robot, round);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs `on_start` on every robot live at round 0 (idempotent).
+    /// Robots crashed by a round-0 churn event never start.
+    ///
+    /// # Errors
+    ///
+    /// Send-validation errors ([`SimError::NotANeighbor`]).
+    pub fn start(&mut self) -> Result<(), SimError> {
+        if self.started {
+            return Ok(());
+        }
+        self.started = true;
+        // Round-0 churn precedes `on_start`, as in the harness. Only
+        // churn events can be queued at this point.
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if top.due != 0 || top.class != CLASS_CHURN {
+                break;
+            }
+            let ord = top.ord as usize;
+            self.heap.pop();
+            self.apply_churn(ord, 0);
+        }
+        for i in 0..self.nodes.len() {
+            if self.crashed[i] {
+                continue;
+            }
+            let mut out = Outbox::new();
+            self.nodes[i].on_start(&mut out);
+            // `on_start` sends arrive at round `delay` — the slot the
+            // synchronous channel files them under.
+            self.commit_outbox(i, out, 0)?;
+        }
+        for i in 0..self.nodes.len() {
+            if !self.crashed[i] && !self.nodes[i].idle() {
+                self.schedule_wake(i, 0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes every event due at round `t` (which must be the
+    /// earliest due round in the heap), then the `on_round` phase for
+    /// woken robots in index order.
+    fn execute_round(&mut self, t: u64) -> Result<(), SimError> {
+        if self.tracer.is_enabled() {
+            self.tracer
+                .hist_record("heap_depth", self.heap.len() as f64);
+        }
+        let mut inboxes: BTreeMap<usize, Vec<Envelope<N::Msg>>> = BTreeMap::new();
+        let mut crash_drops: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut woken: Vec<usize> = Vec::new();
+        let mut popped = 0u64;
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if top.due != t {
+                debug_assert!(top.due > t, "events must not be overdue");
+                break;
+            }
+            let Some(Reverse(ev)) = self.heap.pop() else {
+                break;
+            };
+            popped += 1;
+            match ev.payload {
+                Payload::Control => {
+                    if ev.class == CLASS_CHURN {
+                        self.apply_churn(ev.ord as usize, t);
+                    } else {
+                        let u = ev.ord as usize;
+                        self.next_wake[u] = NO_WAKE;
+                        if !self.crashed[u] {
+                            woken.push(u);
+                        }
+                    }
+                }
+                Payload::Deliver { from, to, msg } => {
+                    self.pending_msgs -= 1;
+                    if self.crashed[to] {
+                        self.stats.dropped_crash += 1;
+                        *crash_drops.entry(to).or_insert(0) += 1;
+                    } else {
+                        self.stats.delivered += 1;
+                        inboxes.entry(to).or_default().push(Envelope { from, msg });
+                        self.schedule_wake(to, t);
+                    }
+                }
+            }
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.counter_add("event_pop", popped);
+            for (&to, &count) in &crash_drops {
+                self.tracer.event(
+                    "msg_drop",
+                    &[
+                        ("to", TraceValue::U64(to as u64)),
+                        ("count", TraceValue::U64(count)),
+                        ("reason", TraceValue::Str("crash".to_string())),
+                    ],
+                );
+            }
+            for (&to, inbox) in &inboxes {
+                self.tracer.event(
+                    "msg_deliver",
+                    &[
+                        ("to", TraceValue::U64(to as u64)),
+                        ("count", TraceValue::U64(inbox.len() as u64)),
+                    ],
+                );
+            }
+        }
+        // Wakeups pop in index order (class 2, ord = node), so `woken`
+        // is already ascending — the synchronous stepping order.
+        debug_assert!(woken.windows(2).all(|w| w[0] < w[1]));
+        for u in woken {
+            let inbox = inboxes.remove(&u).unwrap_or_default();
+            let mut out = Outbox::new();
+            self.nodes[u].on_round(t as usize, &inbox, &mut out);
+            self.commit_outbox(u, out, t + 1)?;
+            if !self.nodes[u].idle() {
+                self.schedule_wake(u, t + 1);
+            }
+        }
+        debug_assert!(inboxes.is_empty(), "inboxes only exist for woken robots");
+        self.now = t + 1;
+        Ok(())
+    }
+
+    /// Due round of the earliest queued event, if any.
+    fn next_due(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(ev)| ev.due)
+    }
+
+    /// Advances exactly `k` rounds of simulated time. Rounds with no
+    /// events complete in O(1); rounds with events execute them. This
+    /// leaves the simulator in the state the synchronous harness
+    /// reaches after `k` calls to `step_round`.
+    ///
+    /// # Errors
+    ///
+    /// Send-validation errors ([`SimError::NotANeighbor`]).
+    pub fn run_rounds(&mut self, k: usize) -> Result<FaultStats, SimError> {
+        self.start()?;
+        let target = self.now + k as u64;
+        while let Some(due) = self.next_due() {
+            if due >= target {
+                break;
+            }
+            self.execute_round(due)?;
+        }
+        self.now = target;
+        Ok(self.stats())
+    }
+
+    /// Runs until no deliveries are queued — the event twin of
+    /// [`FaultySimulator::run_until_quiet`](anr_distsim::FaultySimulator::run_until_quiet),
+    /// with the same early-stop caveat for retransmission timers.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotQuiescent`] (with the pending recipients) when
+    /// `max_rounds` is exceeded, plus any send-validation error.
+    pub fn run_until_quiet(&mut self, max_rounds: usize) -> Result<FaultStats, SimError> {
+        self.start()?;
+        let horizon = self.now + max_rounds as u64;
+        while self.pending_msgs > 0 {
+            match self.next_due() {
+                Some(due) if due < horizon => self.execute_round(due)?,
+                _ => {
+                    self.now = horizon;
+                    return Err(SimError::NotQuiescent {
+                        max_rounds,
+                        pending: self.pending_recipients(),
+                    });
+                }
+            }
+        }
+        Ok(self.stats())
+    }
+
+    /// Runs until `done(nodes)` is true, for at most `max_rounds`
+    /// *total* rounds — the event twin of
+    /// [`FaultySimulator::run_until`](anr_distsim::FaultySimulator::run_until),
+    /// whose cap is likewise an absolute round count.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotQuiescent`] (with the pending recipients) when
+    /// the round cap is reached before convergence, plus any
+    /// send-validation error.
+    pub fn run_until<F>(&mut self, max_rounds: usize, done: F) -> Result<FaultStats, SimError>
+    where
+        F: Fn(&[N]) -> bool,
+    {
+        self.start()?;
+        let horizon = max_rounds as u64;
+        loop {
+            if done(&self.nodes) {
+                return Ok(self.stats());
+            }
+            if self.now >= horizon {
+                return Err(SimError::NotQuiescent {
+                    max_rounds,
+                    pending: self.pending_recipients(),
+                });
+            }
+            match self.next_due() {
+                Some(due) if due < horizon => self.execute_round(due)?,
+                _ => {
+                    // The synchronous harness burns the remaining
+                    // rounds stepping idle robots (no-ops under the
+                    // idle contract); jump straight to the horizon.
+                    self.now = horizon;
+                    return Err(SimError::NotQuiescent {
+                        max_rounds,
+                        pending: self.pending_recipients(),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # anr-eventsim — discrete-event simulation core for large swarms
+//!
+//! The synchronous [`anr_distsim`] simulators materialize every robot
+//! every round: stepping `n` robots for `R` rounds costs `Θ(nR)` even
+//! when almost all robots are dormant. That blocks the million-robot
+//! scale the paper's marching scenarios ultimately target. This crate
+//! is the complementary execution layer: a **deterministic
+//! discrete-event engine** that only spends work where something
+//! happens.
+//!
+//! * [`EventSim`] — a time-ordered binary heap of message-delivery,
+//!   node-wakeup, and crash/recovery events over compact
+//!   struct-of-arrays per-node state. Rounds with no events cost
+//!   nothing; dormant robots are never touched.
+//! * [`Topology`] — pluggable neighbor discovery:
+//!   [`ExplicitTopology`] wraps a prebuilt adjacency,
+//!   [`GridTopology`] resolves neighbor rows **lazily** from positions
+//!   using the same uniform-grid prune as
+//!   [`anr_netgraph::UnitDiskGraph`].
+//! * Fault semantics — the seeded [`anr_distsim::FaultPlan`] model
+//!   (loss, delay/reordering, duplication, churn) is mapped onto event
+//!   timestamps so a run is **bit-identical** to the synchronous
+//!   [`anr_distsim::FaultySimulator`] under any common plan (pinned by
+//!   equivalence tests).
+//! * Checkpoint/restore — [`EventSim::save`] emits a versioned,
+//!   byte-stable `anr-eventsim-ckpt/1` snapshot of heap + node state +
+//!   RNG streams; a restored run is bit-identical to an uninterrupted
+//!   one.
+//! * [`protocols`] — the ack/retransmit flooding, hop-field, and
+//!   boundary-loop protocols from [`anr_netgraph::robust`], ported onto
+//!   the event engine behind the existing [`anr_distsim::Node`] trait.
+//!
+//! ## Determinism rules
+//!
+//! Events are ordered by `(due round, class, ord)` where the class
+//! order is churn < delivery < wakeup — mirroring the synchronous
+//! round phases — and `ord` is a global send sequence number for
+//! deliveries (reproducing inbox order), the plan position for churn,
+//! and the node index for wakeups. All keys are unique, so heap order
+//! is a total order and every run (and every snapshot) is a pure
+//! function of `(nodes, topology, plan)`.
+
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+#![warn(missing_docs)]
+
+pub mod ckpt;
+pub mod engine;
+pub mod protocols;
+pub mod topology;
+
+pub use ckpt::{CkptError, CKPT_MAGIC};
+pub use engine::{EventNode, EventSim};
+pub use protocols::{run_event_boundary_loop, run_event_flood_sum, run_event_hop_field};
+pub use topology::{ExplicitTopology, GridTopology, Topology};

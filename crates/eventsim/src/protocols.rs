@@ -1,0 +1,163 @@
+//! The robust distributed protocols, ported onto the event engine.
+//!
+//! The node types are reused verbatim from [`anr_netgraph::robust`] —
+//! they already implement [`anr_distsim::Node`], so porting them is a
+//! matter of certifying dormancy: each gets an [`EventNode`] impl
+//! delegating to its `is_idle` predicate (no pending retransmissions;
+//! for the boundary initiator, additionally a dead restart timer).
+//!
+//! The runners mirror the synchronous ones
+//! ([`run_robust_flood_sum`](anr_netgraph::robust::run_robust_flood_sum)
+//! etc.) and produce identical results and statistics under the same
+//! fault plan — the equivalence tests drive both and compare.
+
+use crate::engine::{EventNode, EventSim};
+use crate::topology::ExplicitTopology;
+use anr_distsim::{FaultPlan, SimError};
+use anr_netgraph::robust::{
+    RetransmitConfig, RobustBoundaryLoopNode, RobustFloodNode, RobustHopFieldNode, RobustRunOutcome,
+};
+
+impl EventNode for RobustFloodNode {
+    fn idle(&self) -> bool {
+        self.is_idle()
+    }
+}
+
+impl EventNode for RobustHopFieldNode {
+    fn idle(&self) -> bool {
+        self.is_idle()
+    }
+}
+
+impl EventNode for RobustBoundaryLoopNode {
+    fn idle(&self) -> bool {
+        self.is_idle()
+    }
+}
+
+/// Event-engine twin of
+/// [`run_robust_flood_sum`](anr_netgraph::robust::run_robust_flood_sum):
+/// ack/retransmit flooding of `values` over `adjacency` under `plan`;
+/// returns each robot's learned sum.
+///
+/// # Errors
+///
+/// Propagates engine errors; [`SimError::NotQuiescent`] when the
+/// protocol does not converge within `max_rounds`.
+pub fn run_event_flood_sum(
+    values: &[f64],
+    adjacency: &[Vec<usize>],
+    plan: FaultPlan,
+    cfg: RetransmitConfig,
+    max_rounds: usize,
+) -> Result<RobustRunOutcome<Vec<f64>>, SimError> {
+    let n = values.len();
+    let nodes: Vec<RobustFloodNode> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| RobustFloodNode::new(i, v, n, adjacency[i].clone(), cfg))
+        .collect();
+    let topology = ExplicitTopology::new(adjacency.to_vec())?;
+    let mut sim = EventSim::new(nodes, topology, plan)?;
+    let stats = sim.run_until(max_rounds, |nodes| {
+        nodes.iter().all(RobustFloodNode::is_settled)
+    })?;
+    // Drain the tail: in-flight acks/dups may still be delivered.
+    let stats = sim.run_until_quiet(max_rounds.saturating_sub(stats.rounds))?;
+    Ok(RobustRunOutcome {
+        results: sim.into_nodes().iter().map(RobustFloodNode::sum).collect(),
+        stats,
+    })
+}
+
+/// Event-engine twin of
+/// [`run_robust_hop_field`](anr_netgraph::robust::run_robust_hop_field):
+/// ack/retransmit multi-source BFS; `None` entries mark robots no
+/// source can reach.
+///
+/// # Errors
+///
+/// Propagates engine errors; [`SimError::NotQuiescent`] when the
+/// protocol does not settle within `max_rounds`.
+pub fn run_event_hop_field(
+    sources: &[bool],
+    adjacency: &[Vec<usize>],
+    plan: FaultPlan,
+    cfg: RetransmitConfig,
+    max_rounds: usize,
+) -> Result<RobustRunOutcome<Vec<Option<usize>>>, SimError> {
+    let nodes: Vec<RobustHopFieldNode> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, &is_source)| RobustHopFieldNode::new(is_source, adjacency[i].clone(), cfg))
+        .collect();
+    let topology = ExplicitTopology::new(adjacency.to_vec())?;
+    let mut sim = EventSim::new(nodes, topology, plan)?;
+    let stats = sim.run_until(max_rounds, |nodes| {
+        nodes.iter().all(RobustHopFieldNode::is_settled)
+    })?;
+    let stats = sim.run_until_quiet(max_rounds.saturating_sub(stats.rounds))?;
+    Ok(RobustRunOutcome {
+        results: sim.into_nodes().into_iter().map(|nd| nd.hops).collect(),
+        stats,
+    })
+}
+
+/// Event-engine twin of
+/// [`run_robust_boundary_loop`](anr_netgraph::robust::run_robust_boundary_loop):
+/// the per-hop-acked boundary token over a cyclic order of boundary
+/// IDs (smallest ID initiates). Returns `(index, loop size)` per
+/// vertex in `ids` order.
+///
+/// # Errors
+///
+/// Propagates engine errors; [`SimError::NotQuiescent`] when the loop
+/// is not fully labeled within `max_rounds`.
+///
+/// # Panics
+///
+/// Panics when `ids.len() < 3`.
+pub fn run_event_boundary_loop(
+    ids: &[usize],
+    plan: FaultPlan,
+    cfg: RetransmitConfig,
+    max_rounds: usize,
+) -> Result<RobustRunOutcome<Vec<(usize, usize)>>, SimError> {
+    let n = ids.len();
+    assert!(n >= 3, "a boundary loop needs at least 3 vertices");
+    let initiator_pos = ids
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &id)| id)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let restart_after = (n + 2) * (cfg.interval + 1);
+    let nodes: Vec<RobustBoundaryLoopNode> = (0..n)
+        .map(|i| {
+            RobustBoundaryLoopNode::new(i, i == initiator_pos, (i + 1) % n, cfg, restart_after, 16)
+        })
+        .collect();
+    let adjacency: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + n - 1) % n, (i + 1) % n]).collect();
+    let topology = ExplicitTopology::new(adjacency)?;
+    let mut sim = EventSim::new(nodes, topology, plan)?;
+    let stats = sim.run_until(max_rounds, |nodes| {
+        nodes.iter().all(RobustBoundaryLoopNode::is_settled)
+    })?;
+    let stats = sim.run_until_quiet(max_rounds.saturating_sub(stats.rounds))?;
+    let mut results = Vec::with_capacity(n);
+    for nd in sim.into_nodes() {
+        match (nd.index, nd.loop_size) {
+            (Some(index), Some(size)) => results.push((index, size)),
+            // Unreachable after a settled run; surfaced as an error
+            // rather than a panic to keep the engine panic-free.
+            _ => {
+                return Err(SimError::NotQuiescent {
+                    max_rounds,
+                    pending: vec![nd.id],
+                })
+            }
+        }
+    }
+    Ok(RobustRunOutcome { results, stats })
+}

@@ -1,0 +1,266 @@
+//! Event engine ≡ synchronous harness, pinned bit-for-bit.
+//!
+//! Every test drives [`anr_eventsim::EventSim`] and
+//! [`anr_distsim::FaultySimulator`] with identical nodes, topology, and
+//! fault plan, then compares results, node states, and full
+//! [`FaultStats`] — the equivalence the event engine's determinism
+//! rules are designed to guarantee.
+
+use anr_distsim::{DelayModel, FaultPlan, FaultySimulator, SimError};
+use anr_eventsim::{
+    run_event_boundary_loop, run_event_flood_sum, run_event_hop_field, EventSim, ExplicitTopology,
+    GridTopology,
+};
+use anr_geom::Point;
+use anr_netgraph::robust::{
+    run_robust_boundary_loop, run_robust_flood_sum, run_robust_hop_field, RetransmitConfig,
+    RobustFloodNode,
+};
+use anr_netgraph::UnitDiskGraph;
+
+fn lattice(cols: usize, rows: usize, pitch: f64) -> Vec<Point> {
+    (0..cols * rows)
+        .map(|i| Point::new((i % cols) as f64 * pitch, (i / cols) as f64 * pitch))
+        .collect()
+}
+
+fn lattice_adjacency(cols: usize, rows: usize) -> Vec<Vec<usize>> {
+    let pts = lattice(cols, rows, 55.0);
+    UnitDiskGraph::new(&pts, 80.0).adjacency().to_vec()
+}
+
+fn nasty_plan(seed: u64) -> FaultPlan {
+    FaultPlan::reliable(seed)
+        .with_loss(0.3)
+        .with_delay(DelayModel::Uniform { min: 0, max: 2 })
+        .with_duplication(0.1)
+}
+
+#[test]
+fn flood_sum_matches_sync_under_reliable_plan() {
+    let adjacency = lattice_adjacency(6, 4);
+    let values: Vec<f64> = (0..adjacency.len()).map(|i| i as f64 * 1.5 + 1.0).collect();
+    let cfg = RetransmitConfig::default();
+    let sync = run_robust_flood_sum(&values, &adjacency, FaultPlan::reliable(7), cfg, 400)
+        .expect("sync converges");
+    let event = run_event_flood_sum(&values, &adjacency, FaultPlan::reliable(7), cfg, 400)
+        .expect("event converges");
+    assert_eq!(sync.results, event.results);
+    assert_eq!(sync.stats, event.stats);
+}
+
+#[test]
+fn flood_sum_matches_sync_under_nasty_plan_across_seeds() {
+    let adjacency = lattice_adjacency(5, 4);
+    let values: Vec<f64> = (0..adjacency.len())
+        .map(|i| (i * i) as f64 * 0.25)
+        .collect();
+    let cfg = RetransmitConfig::default();
+    for seed in [1u64, 2, 3, 42, 99] {
+        let sync = run_robust_flood_sum(&values, &adjacency, nasty_plan(seed), cfg, 2000)
+            .unwrap_or_else(|e| panic!("sync seed {seed}: {e}"));
+        let event = run_event_flood_sum(&values, &adjacency, nasty_plan(seed), cfg, 2000)
+            .unwrap_or_else(|e| panic!("event seed {seed}: {e}"));
+        assert_eq!(sync.results, event.results, "results, seed {seed}");
+        assert_eq!(sync.stats, event.stats, "stats, seed {seed}");
+    }
+}
+
+#[test]
+fn hop_field_matches_sync_under_churn() {
+    let adjacency = lattice_adjacency(6, 3);
+    let n = adjacency.len();
+    let mut sources = vec![false; n];
+    sources[0] = true;
+    sources[n - 1] = true;
+    for seed in [5u64, 17] {
+        let plan = FaultPlan::reliable(seed)
+            .with_loss(0.15)
+            .with_crash(3, 7)
+            .with_recovery(12, 7)
+            .with_crash(0, 4)
+            .with_recovery(9, 4);
+        let sync = run_robust_hop_field(
+            &sources,
+            &adjacency,
+            plan.clone(),
+            RetransmitConfig::default(),
+            2000,
+        )
+        .unwrap_or_else(|e| panic!("sync seed {seed}: {e}"));
+        let event = run_event_hop_field(
+            &sources,
+            &adjacency,
+            plan,
+            RetransmitConfig::default(),
+            2000,
+        )
+        .unwrap_or_else(|e| panic!("event seed {seed}: {e}"));
+        assert_eq!(sync.results, event.results, "results, seed {seed}");
+        assert_eq!(sync.stats, event.stats, "stats, seed {seed}");
+    }
+}
+
+#[test]
+fn boundary_loop_matches_sync_under_loss() {
+    let ids: Vec<usize> = vec![9, 4, 11, 2, 7, 5, 13, 8];
+    for seed in [3u64, 21] {
+        let plan = FaultPlan::reliable(seed).with_loss(0.2);
+        let sync = run_robust_boundary_loop(&ids, plan.clone(), RetransmitConfig::default(), 4000)
+            .unwrap_or_else(|e| panic!("sync seed {seed}: {e}"));
+        let event = run_event_boundary_loop(&ids, plan, RetransmitConfig::default(), 4000)
+            .unwrap_or_else(|e| panic!("event seed {seed}: {e}"));
+        assert_eq!(sync.results, event.results, "results, seed {seed}");
+        assert_eq!(sync.stats, event.stats, "stats, seed {seed}");
+    }
+}
+
+/// Step-level equivalence: after every `run_rounds` increment the two
+/// engines agree on node states (field for field) and statistics.
+#[test]
+fn stepwise_states_match_sync() {
+    let adjacency = lattice_adjacency(4, 3);
+    let n = adjacency.len();
+    let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let mk_nodes = || -> Vec<RobustFloodNode> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                RobustFloodNode::new(i, v, n, adjacency[i].clone(), RetransmitConfig::default())
+            })
+            .collect()
+    };
+    let plan = nasty_plan(11).with_crash(4, 2).with_recovery(10, 2);
+
+    let mut sync = FaultySimulator::new(mk_nodes(), adjacency.clone(), plan.clone())
+        .expect("sync construction");
+    let topology = ExplicitTopology::new(adjacency.clone()).expect("topology");
+    let mut event = EventSim::new(mk_nodes(), topology, plan).expect("event construction");
+
+    for step in 0..40 {
+        let s_stats = sync.run_rounds(1).expect("sync step");
+        let e_stats = event.run_rounds(1).expect("event step");
+        assert_eq!(s_stats, e_stats, "stats after step {step}");
+        assert_eq!(sync.nodes(), event.nodes(), "nodes after step {step}");
+    }
+}
+
+/// The lazy grid topology and a prebuilt adjacency drive identical
+/// runs, and the lazy one resolves only the rows it touches at most
+/// once each.
+#[test]
+fn grid_topology_matches_explicit() {
+    let pts = lattice(6, 4, 55.0);
+    let adjacency = UnitDiskGraph::new(&pts, 80.0).adjacency().to_vec();
+    let n = pts.len();
+    let values: Vec<f64> = (0..n).map(|i| i as f64 * 2.0).collect();
+    let mk_nodes = |adj: &[Vec<usize>]| -> Vec<RobustFloodNode> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                RobustFloodNode::new(i, v, n, adj[i].clone(), RetransmitConfig::default())
+            })
+            .collect()
+    };
+    let plan = nasty_plan(23);
+
+    let topo_a = ExplicitTopology::new(adjacency.clone()).expect("topology");
+    let mut sim_a = EventSim::new(mk_nodes(&adjacency), topo_a, plan.clone()).expect("explicit");
+    let stats_a = sim_a
+        .run_until(2000, |nodes| nodes.iter().all(RobustFloodNode::is_settled))
+        .expect("explicit run");
+
+    let topo_b = GridTopology::new(&pts, 80.0);
+    let mut sim_b = EventSim::new(mk_nodes(&adjacency), topo_b, plan).expect("grid");
+    let stats_b = sim_b
+        .run_until(2000, |nodes| nodes.iter().all(RobustFloodNode::is_settled))
+        .expect("grid run");
+
+    assert_eq!(stats_a, stats_b);
+    assert_eq!(sim_a.nodes(), sim_b.nodes());
+    assert!(sim_b.topology_mut().resolved_rows() <= n);
+}
+
+/// Satellite 1: `NotQuiescent` parity. With a 5-round fixed delay and a
+/// 2-round quiet budget, both engines must fail with the same cap and
+/// the same sorted pending-recipient list.
+#[test]
+fn not_quiescent_reports_match_sync() {
+    let adjacency = lattice_adjacency(3, 3);
+    let n = adjacency.len();
+    let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let plan = FaultPlan::reliable(31).with_delay(DelayModel::Fixed(5));
+    let cfg = RetransmitConfig::default();
+    let mk_nodes = || -> Vec<RobustFloodNode> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| RobustFloodNode::new(i, v, n, adjacency[i].clone(), cfg))
+            .collect()
+    };
+
+    let mut sync = FaultySimulator::new(mk_nodes(), adjacency.clone(), plan.clone())
+        .expect("sync construction");
+    let sync_err = sync.run_until_quiet(2).expect_err("sync must time out");
+
+    let topology = ExplicitTopology::new(adjacency.clone()).expect("topology");
+    let mut event = EventSim::new(mk_nodes(), topology, plan).expect("event construction");
+    let event_err = event.run_until_quiet(2).expect_err("event must time out");
+
+    match (&sync_err, &event_err) {
+        (
+            SimError::NotQuiescent {
+                max_rounds: sm,
+                pending: sp,
+            },
+            SimError::NotQuiescent {
+                max_rounds: em,
+                pending: ep,
+            },
+        ) => {
+            assert_eq!(sm, em, "round caps");
+            assert_eq!(sp, ep, "pending recipients");
+            assert!(!sp.is_empty(), "delayed sends must still be pending");
+        }
+        other => panic!("expected NotQuiescent from both engines, got {other:?}"),
+    }
+    // After the timeout both engines agree on elapsed rounds too.
+    assert_eq!(sync.stats(), event.stats());
+}
+
+/// `run_until` uses an absolute round cap in both engines; a satisfied
+/// predicate returns identical stats even when the event engine skipped
+/// empty rounds to get there.
+#[test]
+fn run_until_cap_is_absolute_in_both_engines() {
+    let adjacency = lattice_adjacency(3, 2);
+    let n = adjacency.len();
+    let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let cfg = RetransmitConfig::default();
+    let plan = FaultPlan::reliable(13);
+    let mk_nodes = || -> Vec<RobustFloodNode> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| RobustFloodNode::new(i, v, n, adjacency[i].clone(), cfg))
+            .collect()
+    };
+
+    let mut sync = FaultySimulator::new(mk_nodes(), adjacency.clone(), plan.clone()).expect("sync");
+    // Burn some rounds first so the cap is tested mid-run.
+    sync.run_rounds(3).expect("sync warmup");
+    let sync_err = sync
+        .run_until(2, |_| false)
+        .expect_err("cap already exceeded");
+
+    let topology = ExplicitTopology::new(adjacency.clone()).expect("topology");
+    let mut event = EventSim::new(mk_nodes(), topology, plan).expect("event");
+    event.run_rounds(3).expect("event warmup");
+    let event_err = event
+        .run_until(2, |_| false)
+        .expect_err("cap already exceeded");
+
+    assert_eq!(format!("{sync_err}"), format!("{event_err}"));
+}

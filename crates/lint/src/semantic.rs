@@ -31,15 +31,16 @@ use crate::rules::{rule_info, Finding};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
-/// The six pipeline entry points S1/S2 guard. Matched by function name
-/// on non-test library code, so fixture workspaces can exercise the
-/// rules with a same-named function.
+/// The seven pipeline entry points S1/S2 guard. Matched by function
+/// name on non-test library code, so fixture workspaces can exercise
+/// the rules with a same-named function.
 pub const ENTRY_POINTS: &[&str] = &[
     "march",
     "audit_piecewise",
     "run_lloyd_guarded",
     "run_fault_sweep",
     "run_pipeline_bench",
+    "run_distsim_bench",
     "lint_workspace",
 ];
 

@@ -27,6 +27,7 @@
 //! [`FaultySimulator::run_until`] and the convergence predicates
 //! provided by the runner functions, not `run_until_quiet`.
 
+use anr_distsim::snapshot::{Persist, PersistError, SnapshotReader, SnapshotWriter};
 use anr_distsim::{Envelope, FaultPlan, FaultStats, FaultySimulator, Node, Outbox, SimError};
 
 /// Retransmission policy shared by the robust protocols.
@@ -101,7 +102,7 @@ pub enum RFloodMsg {
 /// Loss-tolerant [`FloodNode`](crate::protocols::FloodNode): every
 /// record is sent per-neighbor and retransmitted until acknowledged (or
 /// retries are exhausted).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RobustFloodNode {
     /// This node's ID.
     pub id: usize,
@@ -145,6 +146,14 @@ impl RobustFloodNode {
 
     /// No more retransmissions outstanding?
     pub fn is_settled(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Dormancy predicate for event-driven engines: with no pending
+    /// retransmissions, a round with an empty inbox changes no state
+    /// and sends nothing, so the node need not be woken until a
+    /// message arrives.
+    pub fn is_idle(&self) -> bool {
         self.pending.is_empty()
     }
 
@@ -277,7 +286,7 @@ pub enum RHopMsg {
 
 /// Loss-tolerant [`HopFieldNode`](crate::protocols::HopFieldNode):
 /// distance improvements are sent per-neighbor with ack/retransmit.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RobustHopFieldNode {
     /// Whether this node is a source (hop 0).
     pub is_source: bool,
@@ -302,6 +311,12 @@ impl RobustHopFieldNode {
 
     /// No more retransmissions outstanding?
     pub fn is_settled(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Dormancy predicate for event-driven engines: see
+    /// [`RobustFloodNode::is_idle`].
+    pub fn is_idle(&self) -> bool {
         self.pending.is_empty()
     }
 
@@ -392,7 +407,7 @@ pub fn run_robust_hop_field(
 
 /// Message of the robust boundary-loop protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum RLoopMsg {
+pub enum RLoopMsg {
     /// Hop-counting token: (initiator, hops so far, launch attempt).
     Token {
         /// Initiating boundary vertex.
@@ -429,18 +444,18 @@ pub(crate) enum RLoopMsg {
 /// attempt number) if it does not return within `restart_after` rounds
 /// — the backstop for a token that died when a hop exhausted its
 /// retries or a robot crashed mid-loop.
-#[derive(Debug, Clone)]
-pub(crate) struct RobustBoundaryLoopNode {
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustBoundaryLoopNode {
     /// This node's ID (simulator index).
-    pub(crate) id: usize,
+    pub id: usize,
     /// Whether this node launches the token.
-    pub(crate) is_initiator: bool,
+    pub is_initiator: bool,
     /// Successor on the boundary loop.
-    pub(crate) next: usize,
+    pub next: usize,
     /// Learned position along the loop (initiator = 0).
-    pub(crate) index: Option<usize>,
+    pub index: Option<usize>,
     /// Learned loop size.
-    pub(crate) loop_size: Option<usize>,
+    pub loop_size: Option<usize>,
     cfg: RetransmitConfig,
     /// Rounds the initiator waits for its token before restarting.
     restart_after: usize,
@@ -465,7 +480,7 @@ impl RobustBoundaryLoopNode {
     /// `restart_after` is the initiator's token timeout in rounds (a
     /// generous bound is `(loop length + 2) × (interval + 1)`);
     /// `max_attempts` bounds restarts.
-    pub(crate) fn new(
+    pub fn new(
         id: usize,
         is_initiator: bool,
         next: usize,
@@ -493,8 +508,17 @@ impl RobustBoundaryLoopNode {
     }
 
     /// Has this node learned everything and stopped transmitting?
-    pub(crate) fn is_settled(&self) -> bool {
+    pub fn is_settled(&self) -> bool {
         self.index.is_some() && self.loop_size.is_some() && self.pending.is_empty()
+    }
+
+    /// Dormancy predicate for event-driven engines. Beyond an empty
+    /// retransmit queue, the initiator is only idle once its restart
+    /// timer can never fire again: the token came home, or every
+    /// restart attempt has been spent.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty()
+            && (!self.is_initiator || self.token_returned || self.attempt + 1 >= self.max_attempts)
     }
 
     fn send_tracked(
@@ -698,6 +722,233 @@ pub fn run_robust_boundary_loop(
     })
 }
 
+// ---------------------------------------------------------------------
+// Checkpoint support: byte-stable Persist impls
+// ---------------------------------------------------------------------
+//
+// The discrete-event engine snapshots node state mid-run. The robust
+// nodes keep their retransmit queues private, so the codecs live here.
+// Encodings follow the snapshot module's rules: fields in declaration
+// order, enum tags in declaration order.
+
+impl Persist for RetransmitConfig {
+    fn persist(&self, w: &mut SnapshotWriter) {
+        self.interval.persist(w);
+        self.max_retries.persist(w);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        Ok(RetransmitConfig {
+            interval: usize::restore(r)?,
+            max_retries: usize::restore(r)?,
+        })
+    }
+}
+
+impl<M: Persist> Persist for PendingSend<M> {
+    fn persist(&self, w: &mut SnapshotWriter) {
+        self.to.persist(w);
+        self.msg.persist(w);
+        self.resend_at.persist(w);
+        self.retries.persist(w);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        Ok(PendingSend {
+            to: usize::restore(r)?,
+            msg: M::restore(r)?,
+            resend_at: usize::restore(r)?,
+            retries: usize::restore(r)?,
+        })
+    }
+}
+
+impl Persist for RFloodMsg {
+    fn persist(&self, w: &mut SnapshotWriter) {
+        match *self {
+            RFloodMsg::Data { origin, value } => {
+                w.put_u8(0);
+                origin.persist(w);
+                value.persist(w);
+            }
+            RFloodMsg::Ack { origin } => {
+                w.put_u8(1);
+                origin.persist(w);
+            }
+        }
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(RFloodMsg::Data {
+                origin: usize::restore(r)?,
+                value: f64::restore(r)?,
+            }),
+            1 => Ok(RFloodMsg::Ack {
+                origin: usize::restore(r)?,
+            }),
+            tag => Err(PersistError::BadTag {
+                tag,
+                context: "RFloodMsg",
+            }),
+        }
+    }
+}
+
+impl Persist for RHopMsg {
+    fn persist(&self, w: &mut SnapshotWriter) {
+        match *self {
+            RHopMsg::Dist(d) => {
+                w.put_u8(0);
+                d.persist(w);
+            }
+            RHopMsg::DistAck(d) => {
+                w.put_u8(1);
+                d.persist(w);
+            }
+        }
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(RHopMsg::Dist(usize::restore(r)?)),
+            1 => Ok(RHopMsg::DistAck(usize::restore(r)?)),
+            tag => Err(PersistError::BadTag {
+                tag,
+                context: "RHopMsg",
+            }),
+        }
+    }
+}
+
+impl Persist for RLoopMsg {
+    fn persist(&self, w: &mut SnapshotWriter) {
+        match *self {
+            RLoopMsg::Token {
+                initiator,
+                hops,
+                attempt,
+            } => {
+                w.put_u8(0);
+                initiator.persist(w);
+                hops.persist(w);
+                attempt.persist(w);
+            }
+            RLoopMsg::TokenAck { hops, attempt } => {
+                w.put_u8(1);
+                hops.persist(w);
+                attempt.persist(w);
+            }
+            RLoopMsg::Size { size, attempt } => {
+                w.put_u8(2);
+                size.persist(w);
+                attempt.persist(w);
+            }
+            RLoopMsg::SizeAck { attempt } => {
+                w.put_u8(3);
+                attempt.persist(w);
+            }
+        }
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(RLoopMsg::Token {
+                initiator: usize::restore(r)?,
+                hops: usize::restore(r)?,
+                attempt: usize::restore(r)?,
+            }),
+            1 => Ok(RLoopMsg::TokenAck {
+                hops: usize::restore(r)?,
+                attempt: usize::restore(r)?,
+            }),
+            2 => Ok(RLoopMsg::Size {
+                size: usize::restore(r)?,
+                attempt: usize::restore(r)?,
+            }),
+            3 => Ok(RLoopMsg::SizeAck {
+                attempt: usize::restore(r)?,
+            }),
+            tag => Err(PersistError::BadTag {
+                tag,
+                context: "RLoopMsg",
+            }),
+        }
+    }
+}
+
+impl Persist for RobustFloodNode {
+    fn persist(&self, w: &mut SnapshotWriter) {
+        self.id.persist(w);
+        self.known.persist(w);
+        self.cfg.persist(w);
+        self.pending.persist(w);
+        self.neighbors.persist(w);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        Ok(RobustFloodNode {
+            id: usize::restore(r)?,
+            known: Vec::restore(r)?,
+            cfg: RetransmitConfig::restore(r)?,
+            pending: Vec::restore(r)?,
+            neighbors: Vec::restore(r)?,
+        })
+    }
+}
+
+impl Persist for RobustHopFieldNode {
+    fn persist(&self, w: &mut SnapshotWriter) {
+        self.is_source.persist(w);
+        self.hops.persist(w);
+        self.cfg.persist(w);
+        self.pending.persist(w);
+        self.neighbors.persist(w);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        Ok(RobustHopFieldNode {
+            is_source: bool::restore(r)?,
+            hops: Option::restore(r)?,
+            cfg: RetransmitConfig::restore(r)?,
+            pending: Vec::restore(r)?,
+            neighbors: Vec::restore(r)?,
+        })
+    }
+}
+
+impl Persist for RobustBoundaryLoopNode {
+    fn persist(&self, w: &mut SnapshotWriter) {
+        self.id.persist(w);
+        self.is_initiator.persist(w);
+        self.next.persist(w);
+        self.index.persist(w);
+        self.loop_size.persist(w);
+        self.cfg.persist(w);
+        self.restart_after.persist(w);
+        self.max_attempts.persist(w);
+        self.attempt.persist(w);
+        self.token_done_attempt.persist(w);
+        self.size_done_attempt.persist(w);
+        self.token_returned.persist(w);
+        self.size_returned.persist(w);
+        self.launched_at.persist(w);
+        self.pending.persist(w);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        Ok(RobustBoundaryLoopNode {
+            id: usize::restore(r)?,
+            is_initiator: bool::restore(r)?,
+            next: usize::restore(r)?,
+            index: Option::restore(r)?,
+            loop_size: Option::restore(r)?,
+            cfg: RetransmitConfig::restore(r)?,
+            restart_after: usize::restore(r)?,
+            max_attempts: usize::restore(r)?,
+            attempt: usize::restore(r)?,
+            token_done_attempt: Option::restore(r)?,
+            size_done_attempt: Option::restore(r)?,
+            token_returned: bool::restore(r)?,
+            size_returned: bool::restore(r)?,
+            launched_at: usize::restore(r)?,
+            pending: Vec::restore(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -847,6 +1098,70 @@ mod tests {
             assert_eq!(robust.results, reference, "seed {seed}");
             assert!(robust.stats.dropped_loss > 0);
         }
+    }
+
+    #[test]
+    fn node_persist_round_trips_mid_run() {
+        use anr_distsim::Simulator;
+        // Freeze a flooding run mid-protocol and check the codec
+        // reproduces the exact in-flight node state (retransmit queues
+        // included).
+        let g = grid_graph(3, 3);
+        let values: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let nodes: Vec<RobustFloodNode> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                RobustFloodNode::new(
+                    i,
+                    v,
+                    9,
+                    g.adjacency()[i].clone(),
+                    RetransmitConfig::default(),
+                )
+            })
+            .collect();
+        let mut sim = Simulator::new(nodes, g.adjacency().to_vec()).unwrap();
+        sim.start().unwrap();
+        sim.step_round().unwrap();
+        for node in sim.nodes() {
+            let mut w = SnapshotWriter::new();
+            node.persist(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = SnapshotReader::new(&bytes);
+            let back = RobustFloodNode::restore(&mut r).unwrap();
+            assert_eq!(&back, node);
+            assert_eq!(r.remaining(), 0);
+        }
+        // Boundary-loop node with a live retransmit queue.
+        let mut bl = RobustBoundaryLoopNode::new(0, true, 1, RetransmitConfig::default(), 30, 4);
+        let mut out = Outbox::default();
+        bl.on_start(&mut out);
+        let mut w = SnapshotWriter::new();
+        bl.persist(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        assert_eq!(RobustBoundaryLoopNode::restore(&mut r).unwrap(), bl);
+    }
+
+    #[test]
+    fn idle_predicates_match_settledness() {
+        // A fresh non-initiator loop node is idle (nothing pending, no
+        // timer); a fresh initiator is not (its restart timer is armed
+        // after launch).
+        let cfg = RetransmitConfig::default();
+        let follower = RobustBoundaryLoopNode::new(1, false, 2, cfg, 30, 4);
+        assert!(follower.is_idle());
+        let mut initiator = RobustBoundaryLoopNode::new(0, true, 1, cfg, 30, 4);
+        let mut out = Outbox::default();
+        initiator.on_start(&mut out);
+        assert!(!initiator.is_idle());
+        // Flood/hop nodes: idle exactly when the retransmit queue is
+        // empty.
+        let flood = RobustFloodNode::new(0, 1.0, 3, vec![1], cfg);
+        assert!(!flood.is_settled() || flood.is_idle());
+        let hop = RobustHopFieldNode::new(false, vec![1], cfg);
+        assert!(hop.is_idle());
     }
 
     #[test]
