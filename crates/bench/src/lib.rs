@@ -26,7 +26,10 @@ pub mod timing;
 pub use distsim::{
     run_distsim_bench, DistsimBenchOptions, DistsimBenchReport, DistsimSeries, DistsimSweepTiming,
 };
-pub use timing::{run_pipeline_bench, BenchOptions, PipelineBenchReport};
+pub use timing::{
+    parse_march_stage_medians, run_pipeline_bench, stage_regressions, BenchOptions,
+    PipelineBenchReport, ScaleTierTiming,
+};
 
 use anr_march::{
     direct_translation, hungarian_direct, march, MarchConfig, MarchError, MarchOutcome,
@@ -100,6 +103,30 @@ pub fn scenario_problem(id: u8, separation_ranges: f64) -> Result<MarchProblem, 
     let s = build_scenario(
         id,
         &ScenarioParams {
+            separation_ranges,
+            ..Default::default()
+        },
+    )?;
+    Ok(MarchProblem::with_lattice_deployment(
+        s.m1, s.m2, s.robots, s.range,
+    )?)
+}
+
+/// Like [`scenario_problem`], with an explicit robot count (the bench
+/// tiers: 144 smoke, 1296 full, 10_000 large).
+///
+/// # Errors
+///
+/// Propagates scenario/problem construction failures.
+pub fn scenario_problem_sized(
+    id: u8,
+    separation_ranges: f64,
+    robots: usize,
+) -> Result<MarchProblem, BenchError> {
+    let s = build_scenario(
+        id,
+        &ScenarioParams {
+            robots,
             separation_ranges,
             ..Default::default()
         },

@@ -10,7 +10,10 @@
 
 use crate::BenchError;
 use anr_coverage::{GridPartition, LloydConfig};
-use anr_harmonic::{fill_holes, harmonic_map_to_disk, DiskOverlay, HarmonicConfig, Solver};
+use anr_harmonic::{
+    fill_holes, harmonic_map_to_disk, harmonic_map_to_disk_warm, DiskOverlay, HarmonicConfig,
+    Solver,
+};
 use anr_march::{march_traced, run_fault_sweep, MarchConfig, MarchProblem, Method, SweepConfig};
 use anr_mesh::FoiMesher;
 use anr_netgraph::{extract_triangulation, UnitDiskGraph};
@@ -25,6 +28,9 @@ pub struct BenchOptions {
     pub smoke: bool,
     /// Timed repetitions per stage; the median is reported.
     pub repeats: usize,
+    /// Also run the 10⁴-robot scale tier (scenario 1, one repeat):
+    /// a single full march at 10k robots, reported separately.
+    pub scale_tier: bool,
 }
 
 /// One timed stage of one scenario.
@@ -53,6 +59,32 @@ pub struct SolverComparison {
     pub max_position_diff: f64,
 }
 
+/// Cold-versus-warm PCG re-solve across one march step.
+///
+/// The robot triangulation one timeline row later is solved twice: from
+/// scratch (interior seeded at the origin, as every pinned march path
+/// does) and warm-started from the previous row's disk embedding via
+/// [`harmonic_map_to_disk_warm`]. Both solvers stop on the residual of
+/// the *current* iterate, so the warm solve converges in the iterations
+/// the seed is still short of tolerance — the march paths stay cold for
+/// byte-determinism, and this duel measures what a warm start would buy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStartComparison {
+    /// Median cold re-solve wall time, milliseconds.
+    pub cold_ms: f64,
+    /// Median warm re-solve wall time, milliseconds.
+    pub warm_ms: f64,
+    /// `cold_ms / warm_ms`.
+    pub speedup: f64,
+    /// PCG iterations of the cold re-solve.
+    pub cold_iterations: usize,
+    /// PCG iterations of the warm re-solve.
+    pub warm_iterations: usize,
+    /// Max per-vertex distance between the cold and warm embeddings —
+    /// they agree to solver tolerance, not bit-exactly.
+    pub max_position_diff: f64,
+}
+
 /// Everything measured on one scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioTimings {
@@ -72,6 +104,14 @@ pub struct ScenarioTimings {
     pub march_stages: Vec<StageTiming>,
     /// The harmonic-solver duel.
     pub harmonic: SolverComparison,
+    /// The warm-start re-solve duel across one march step.
+    pub warm_start: WarmStartComparison,
+    /// Linear motion pieces the continuous audit decomposed the march
+    /// timeline into.
+    pub audit_pieces: usize,
+    /// Connectivity checks (event-sweep intervals) the audit performed —
+    /// the per-scenario audit event count.
+    pub audit_checks: usize,
 }
 
 /// Serial-versus-parallel fault-sweep timing.
@@ -91,11 +131,31 @@ pub struct FaultSweepTiming {
     pub byte_identical: bool,
 }
 
+/// One full march at scale-tier size (10⁴ robots, one repeat).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleTierTiming {
+    /// Robots in the deployment.
+    pub robots: usize,
+    /// End-to-end march wall time, milliseconds (single run).
+    pub march_ms: f64,
+    /// Per-stage wall times from the pipeline's own trace spans.
+    pub march_stages: Vec<StageTiming>,
+    /// Timeline rows the metrics were evaluated on.
+    pub timeline_rows: usize,
+    /// Audit pieces of the march timeline.
+    pub audit_pieces: usize,
+    /// Audit connectivity checks (event count) of the march timeline.
+    pub audit_checks: usize,
+}
+
 /// The full benchmark trajectory.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineBenchReport {
     /// Logical cores of the machine the numbers were taken on.
     pub cores: usize,
+    /// Worker threads the parallel paths (audit, assignment, rotation,
+    /// fault sweep) fan out over (`anr_par::default_workers()`).
+    pub workers: usize,
     /// Repeats per stage.
     pub repeats: usize,
     /// Was this a smoke run?
@@ -104,6 +164,8 @@ pub struct PipelineBenchReport {
     pub scenarios: Vec<ScenarioTimings>,
     /// The fault-sweep duel.
     pub fault_sweep: FaultSweepTiming,
+    /// The 10⁴-robot scale tier, when requested.
+    pub scale: Option<ScaleTierTiming>,
 }
 
 /// Median of a set of timings, `0.0` when empty.
@@ -206,17 +268,22 @@ fn bench_scenario(
         filled2.virtual_vertices(),
     );
     let links = UnitDiskGraph::new(&problem.positions, problem.range).links();
+    let disk_locator = anr_mesh::PointLocator::new(overlay.disk_mesh());
     let (rotation_ms, _) = median_ms(repeats, || {
-        config.rotation.maximize(|theta| {
-            let q = overlay.map_all(&robot_disk, theta);
-            if links.is_empty() {
-                return 1.0;
-            }
-            links
-                .iter()
-                .filter(|&&(i, j)| q[i].position.distance(q[j].position) <= problem.range)
-                .count() as f64
-                / links.len() as f64
+        // Same shape as the pipeline's rotation stage: locator hoisted
+        // out of the sweep, angle batches fanned over workers.
+        config.rotation.maximize_batch(|thetas| {
+            anr_par::par_map(thetas, 0, |&theta| {
+                let q = overlay.map_all_with(&disk_locator, &robot_disk, theta);
+                if links.is_empty() {
+                    return 1.0;
+                }
+                links
+                    .iter()
+                    .filter(|&&(i, j)| q[i].position.distance(q[j].position) <= problem.range)
+                    .count() as f64
+                    / links.len() as f64
+            })
         })
     })?;
 
@@ -245,7 +312,42 @@ fn bench_scenario(
     })
     .collect();
 
-    // Stage 5: the guarded Lloyd refinement from the mapped positions.
+    // Stage 5: the warm-start duel — re-solve the robot triangulation
+    // one march step later, cold versus warm-started from the previous
+    // row's disk embedding. Uses the march's own timeline so the step
+    // size is the real one, not a synthetic perturbation.
+    let row_a = outcome.timeline.first().unwrap_or(&problem.positions);
+    let row_b = outcome.timeline.get(1).unwrap_or(row_a);
+    let mesh_a = anr_mesh::delaunay(row_a).map_err(anr_march::MarchError::from)?;
+    let map_a = harmonic_map_to_disk(&mesh_a, &pcg_cfg).map_err(anr_march::MarchError::from)?;
+    let mesh_b = anr_mesh::delaunay(row_b).map_err(anr_march::MarchError::from)?;
+    let (cold_ms, cold_map) = median_ms(repeats, || harmonic_map_to_disk(&mesh_b, &pcg_cfg))?;
+    let cold_map = cold_map.map_err(anr_march::MarchError::from)?;
+    let warm_tracer = Tracer::disabled();
+    let (warm_ms, warm_map) = median_ms(repeats, || {
+        harmonic_map_to_disk_warm(&mesh_b, &pcg_cfg, map_a.positions(), &warm_tracer)
+    })?;
+    let warm_map = warm_map.map_err(anr_march::MarchError::from)?;
+    let warm_diff = cold_map
+        .positions()
+        .iter()
+        .zip(warm_map.positions())
+        .map(|(a, b)| a.distance(*b))
+        .fold(0.0f64, f64::max);
+    let warm_start = WarmStartComparison {
+        cold_ms,
+        warm_ms,
+        speedup: if warm_ms > 0.0 {
+            cold_ms / warm_ms
+        } else {
+            0.0
+        },
+        cold_iterations: cold_map.iterations(),
+        warm_iterations: warm_map.iterations(),
+        max_position_diff: warm_diff,
+    };
+
+    // Stage 6: the guarded Lloyd refinement from the mapped positions.
     let partition = GridPartition::new(&problem.m2, spacing * 0.2);
     let lloyd_cfg = LloydConfig {
         record_history: true,
@@ -300,6 +402,46 @@ fn bench_scenario(
             gs_iterations: gs_map.iterations(),
             max_position_diff,
         },
+        warm_start,
+        audit_pieces: outcome.metrics.audit_pieces,
+        audit_checks: outcome.metrics.audit_checks,
+    })
+}
+
+/// One end-to-end march at the 10⁴-robot scale tier (scenario 1,
+/// single run — at this size a single march is minutes of compute, so
+/// medians over repeats are not worth their cost).
+fn bench_scale_tier(robots: usize) -> Result<ScaleTierTiming, BenchError> {
+    let problem = crate::scenario_problem_sized(1, 10.0, robots)?;
+    let config = MarchConfig::default();
+    let tracer = Tracer::wall(1 << 18);
+    let (march_ms, outcome) = median_ms(1, || {
+        march_traced(&problem, Method::MaxStableLinks, &config, &tracer)
+    })?;
+    let outcome = outcome?;
+    let march_stages = [
+        "triangulate",
+        "harmonic_m1",
+        "harmonic_m2",
+        "rotation",
+        "repair",
+        "trajectories",
+        "lloyd",
+        "metrics",
+    ]
+    .iter()
+    .map(|&stage| StageTiming {
+        stage,
+        median_ms: median_of(tracer.span_durations_ms(stage)),
+    })
+    .collect();
+    Ok(ScaleTierTiming {
+        robots: problem.num_robots(),
+        march_ms,
+        march_stages,
+        timeline_rows: outcome.timeline.len(),
+        audit_pieces: outcome.metrics.audit_pieces,
+        audit_checks: outcome.metrics.audit_checks,
     })
 }
 
@@ -376,12 +518,19 @@ pub fn run_pipeline_bench(opts: &BenchOptions) -> Result<PipelineBenchReport, Be
         scenarios.push(bench_scenario(id, robots, separation, opts.repeats)?);
     }
     let fault_sweep = bench_fault_sweep(64, opts.smoke, opts.repeats)?;
+    let scale = if opts.scale_tier {
+        Some(bench_scale_tier(10_000)?)
+    } else {
+        None
+    };
     Ok(PipelineBenchReport {
         cores: anr_par::default_workers(),
+        workers: anr_par::default_workers(),
         repeats: opts.repeats,
         smoke: opts.smoke,
         scenarios,
         fault_sweep,
+        scale,
     })
 }
 
@@ -395,8 +544,9 @@ impl PipelineBenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"anr-bench-pipeline/2\",\n");
+        s.push_str("  \"schema\": \"anr-bench-pipeline/3\",\n");
         s.push_str(&format!("  \"cores\": {},\n", self.cores));
+        s.push_str(&format!("  \"workers\": {},\n", self.workers));
         s.push_str(&format!("  \"repeats\": {},\n", self.repeats));
         s.push_str(&format!("  \"smoke\": {},\n", self.smoke));
         s.push_str("  \"scenarios\": [\n");
@@ -432,13 +582,29 @@ impl PipelineBenchReport {
             let h = &sc.harmonic;
             s.push_str(&format!(
                 "      \"harmonic\": {{\"pcg_ms\": {}, \"gs_ms\": {}, \"speedup\": {:.2}, \
-                 \"pcg_iterations\": {}, \"gs_iterations\": {}, \"max_position_diff\": {:.3e}}}\n",
+                 \"pcg_iterations\": {}, \"gs_iterations\": {}, \"max_position_diff\": {:.3e}}},\n",
                 json_ms(h.pcg_ms),
                 json_ms(h.gs_ms),
                 h.speedup,
                 h.pcg_iterations,
                 h.gs_iterations,
                 h.max_position_diff,
+            ));
+            let w = &sc.warm_start;
+            s.push_str(&format!(
+                "      \"warm_start\": {{\"cold_ms\": {}, \"warm_ms\": {}, \"speedup\": {:.2}, \
+                 \"cold_iterations\": {}, \"warm_iterations\": {}, \
+                 \"max_position_diff\": {:.3e}}},\n",
+                json_ms(w.cold_ms),
+                json_ms(w.warm_ms),
+                w.speedup,
+                w.cold_iterations,
+                w.warm_iterations,
+                w.max_position_diff,
+            ));
+            s.push_str(&format!(
+                "      \"audit_pieces\": {},\n      \"audit_checks\": {}\n",
+                sc.audit_pieces, sc.audit_checks,
             ));
             s.push_str(&format!(
                 "    }}{}\n",
@@ -453,7 +619,7 @@ impl PipelineBenchReport {
         let fsw = &self.fault_sweep;
         s.push_str(&format!(
             "  \"fault_sweep\": {{\"robots\": {}, \"cells\": {}, \"serial_ms\": {}, \
-             \"parallel_ms\": {}, \"workers\": {}, \"byte_identical\": {}}}\n",
+             \"parallel_ms\": {}, \"workers\": {}, \"byte_identical\": {}}},\n",
             fsw.robots,
             fsw.cells,
             json_ms(fsw.serial_ms),
@@ -461,9 +627,122 @@ impl PipelineBenchReport {
             fsw.workers,
             fsw.byte_identical,
         ));
+        match &self.scale {
+            None => s.push_str("  \"scale_tier\": null\n"),
+            Some(t) => {
+                s.push_str("  \"scale_tier\": {\n");
+                s.push_str(&format!("    \"robots\": {},\n", t.robots));
+                s.push_str(&format!("    \"march_ms\": {},\n", json_ms(t.march_ms)));
+                s.push_str("    \"march_stages\": [\n");
+                for (i, st) in t.march_stages.iter().enumerate() {
+                    s.push_str(&format!(
+                        "      {{\"stage\": \"{}\", \"median_ms\": {}}}{}\n",
+                        st.stage,
+                        json_ms(st.median_ms),
+                        if i + 1 < t.march_stages.len() {
+                            ","
+                        } else {
+                            ""
+                        },
+                    ));
+                }
+                s.push_str("    ],\n");
+                s.push_str(&format!("    \"timeline_rows\": {},\n", t.timeline_rows));
+                s.push_str(&format!("    \"audit_pieces\": {},\n", t.audit_pieces));
+                s.push_str(&format!("    \"audit_checks\": {}\n", t.audit_checks));
+                s.push_str("  }\n");
+            }
+        }
         s.push_str("}\n");
         s
     }
+}
+
+/// Extracts `(scenario id, stage, median_ms)` triples from a pipeline
+/// bench report's JSON — the committed `BENCH_pipeline*.json` baselines
+/// this crate itself writes (scenario `march_stages` sections only).
+///
+/// The parser is keyed on this crate's own serializer layout; lines it
+/// does not recognize are skipped, so schema `/2` baselines (without
+/// audit counters) parse fine.
+#[must_use]
+pub fn parse_march_stage_medians(json: &str) -> Vec<(u8, String, f64)> {
+    let mut out = Vec::new();
+    let mut scenario: Option<u8> = None;
+    let mut in_march_stages = false;
+    let mut in_scale_tier = false;
+    for line in json.lines() {
+        let t = line.trim();
+        if t.starts_with("\"scale_tier\"") {
+            in_scale_tier = true;
+        }
+        if let Some(rest) = t.strip_prefix("\"id\":") {
+            scenario = rest.trim_end_matches(',').trim().parse().ok();
+        }
+        if t.starts_with("\"march_stages\"") {
+            in_march_stages = !in_scale_tier;
+            continue;
+        }
+        if in_march_stages {
+            if t.starts_with(']') {
+                in_march_stages = false;
+                continue;
+            }
+            let (Some(id), Some(si)) = (scenario, t.find("\"stage\": \"")) else {
+                continue;
+            };
+            let rest = &t[si + 10..];
+            let Some(se) = rest.find('\"') else { continue };
+            let stage = rest[..se].to_string();
+            let Some(mi) = t.find("\"median_ms\": ") else {
+                continue;
+            };
+            let med = t[mi + 13..]
+                .trim_end_matches(['}', ',', ' '])
+                .parse::<f64>();
+            if let Ok(m) = med {
+                out.push((id, stage, m));
+            }
+        }
+    }
+    out
+}
+
+/// Compares a fresh report's per-scenario pipeline-stage medians against
+/// a committed baseline report (same scale!), returning one message per
+/// stage that regressed beyond `factor`× the baseline plus `grace_ms`.
+///
+/// The absolute grace keeps sub-millisecond stages from tripping the
+/// guard on scheduler jitter. Stages or scenarios missing from either
+/// side are ignored (a new stage has no baseline to regress from).
+#[must_use]
+pub fn stage_regressions(
+    current: &PipelineBenchReport,
+    baseline_json: &str,
+    factor: f64,
+    grace_ms: f64,
+) -> Vec<String> {
+    let baseline = parse_march_stage_medians(baseline_json);
+    let mut messages = Vec::new();
+    for sc in &current.scenarios {
+        for st in &sc.march_stages {
+            let Some((_, _, base)) = baseline
+                .iter()
+                .find(|(id, stage, _)| *id == sc.id && stage == st.stage)
+            else {
+                continue;
+            };
+            let limit = base * factor + grace_ms;
+            if st.median_ms > limit {
+                messages.push(format!(
+                    "scenario {} stage `{}`: {:.3} ms exceeds {:.3} ms \
+                     ({factor}x baseline {:.3} ms + {grace_ms} ms grace)",
+                    sc.id, st.stage, st.median_ms, limit, base,
+                ));
+            }
+        }
+    }
+    messages
 }
 
 #[cfg(test)]
@@ -487,6 +766,7 @@ mod tests {
         let report = run_pipeline_bench(&BenchOptions {
             smoke: true,
             repeats: 1,
+            scale_tier: false,
         })
         .unwrap();
         assert_eq!(report.scenarios.len(), 1);
@@ -504,15 +784,34 @@ mod tests {
             "diff {}",
             sc.harmonic.max_position_diff
         );
+        // The warm-started re-solve lands on the cold solution (to
+        // solver tolerance) without doing more work than the cold one.
+        assert!(
+            sc.warm_start.max_position_diff < 1e-4,
+            "warm diff {}",
+            sc.warm_start.max_position_diff
+        );
+        assert!(
+            sc.warm_start.warm_iterations <= sc.warm_start.cold_iterations,
+            "warm start did extra work: {} > {}",
+            sc.warm_start.warm_iterations,
+            sc.warm_start.cold_iterations
+        );
         let json = report.to_json();
         for key in [
-            "\"schema\": \"anr-bench-pipeline/2\"",
+            "\"schema\": \"anr-bench-pipeline/3\"",
+            "\"workers\"",
+            "\"audit_pieces\"",
+            "\"audit_checks\"",
+            "\"scale_tier\": null",
             "\"stage\": \"harmonic_pcg\"",
             "\"stage\": \"lloyd\"",
             "\"march_stages\"",
             "\"stage\": \"triangulate\"",
             "\"stage\": \"trajectories\"",
             "\"speedup\"",
+            "\"warm_start\"",
+            "\"cold_iterations\"",
             "\"fault_sweep\"",
             "\"byte_identical\": true",
         ] {
@@ -520,5 +819,44 @@ mod tests {
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(sc.audit_checks >= 1, "audit never checked connectivity");
+        assert!(sc.audit_pieces >= 1, "audit saw no motion pieces");
+
+        // The report's own JSON round-trips through the baseline parser,
+        // and an identical baseline never trips the regression guard.
+        let parsed = parse_march_stage_medians(&json);
+        assert_eq!(parsed.len(), sc.march_stages.len());
+        for st in &sc.march_stages {
+            assert!(
+                parsed.iter().any(|(id, stage, m)| *id == sc.id
+                    && stage == st.stage
+                    && (*m - st.median_ms).abs() <= 0.0005),
+                "stage `{}` lost by the parser",
+                st.stage
+            );
+        }
+        assert!(stage_regressions(&report, &json, 2.0, 10.0).is_empty());
+
+        // A baseline claiming everything ran in ~0 ms flags every stage
+        // slower than the grace budget.
+        let zeroed: String = json
+            .lines()
+            .map(|l| {
+                if l.contains("\"median_ms\"") {
+                    let head = l.split("\"median_ms\"").next().unwrap();
+                    format!("{head}\"median_ms\": 0.000}},")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let slow: Vec<_> = sc
+            .march_stages
+            .iter()
+            .filter(|st| st.median_ms > 10.0)
+            .collect();
+        let flagged = stage_regressions(&report, &zeroed, 2.0, 10.0);
+        assert_eq!(flagged.len(), slow.len(), "{flagged:?}");
     }
 }

@@ -106,8 +106,8 @@ pub enum Command {
         /// Write the JSON grid here instead of stdout.
         out: Option<PathBuf>,
     },
-    /// `anr bench [--smoke] [--repeats N] [--distsim] [--large]
-    /// [--ckpt FILE] [--out FILE]`
+    /// `anr bench [--smoke] [--repeats N] [--tier10k] [--against FILE]
+    /// [--distsim] [--large] [--ckpt FILE] [--out FILE]`
     Bench {
         /// Tiny problem sizes and one repeat — a CI smoke run.
         smoke: bool,
@@ -121,6 +121,13 @@ pub enum Command {
         /// Distsim tier only: also write the 10⁴-robot checkpoint
         /// artifact here.
         ckpt: Option<PathBuf>,
+        /// Pipeline tier only: also run the 10⁴-robot scale tier
+        /// (scenario 1, one end-to-end march).
+        tier10k: bool,
+        /// Pipeline tier only: committed baseline report to guard
+        /// against — exit non-zero when any pipeline stage median
+        /// regresses beyond 2× the baseline (plus a 10 ms grace).
+        against: Option<PathBuf>,
         /// Where to write the JSON trajectory (default
         /// `BENCH_pipeline.json`, or `BENCH_distsim.json` with
         /// `--distsim`).
@@ -255,7 +262,8 @@ COMMANDS:
                [--engine sync|event] [--out <file.json>]
   anr audit    [--id <1-7>] [--method a|b] [--separation <ranges>]
                [--robots <n>]
-  anr bench    [--smoke] [--repeats <n>] [--distsim] [--large]
+  anr bench    [--smoke] [--repeats <n>] [--tier10k] [--against <f>]
+               [--distsim] [--large]
                [--ckpt <file>] [--out <file.json>]
   anr lint     [--root <dir>] [--baseline <file>] [--jsonl <file>]
                [--graph <file>] [--panics <file>] [--report panics]
@@ -551,6 +559,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
             let mut distsim = false;
             let mut large = false;
             let mut ckpt = None;
+            let mut tier10k = false;
+            let mut against = None;
             let mut out: Option<PathBuf> = None;
             while let Some(flag) = cur.next() {
                 match flag.as_str() {
@@ -562,6 +572,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
                     "--distsim" => distsim = true,
                     "--large" => large = true,
                     "--ckpt" => ckpt = Some(PathBuf::from(cur.value_for("--ckpt")?)),
+                    "--tier10k" => tier10k = true,
+                    "--against" => against = Some(PathBuf::from(cur.value_for("--against")?)),
                     "--out" => out = Some(PathBuf::from(cur.value_for("--out")?)),
                     other => {
                         return Err(ArgError::UnknownFlag {
@@ -584,6 +596,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
                     expected: "only valid together with --distsim",
                 });
             }
+            if (tier10k || against.is_some()) && distsim {
+                return Err(ArgError::BadValue {
+                    flag: if tier10k { "--tier10k" } else { "--against" },
+                    value: "set".to_string(),
+                    expected: "only valid without --distsim",
+                });
+            }
             let out = out.unwrap_or_else(|| {
                 PathBuf::from(if distsim {
                     "BENCH_distsim.json"
@@ -597,6 +616,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Ar
                 distsim,
                 large,
                 ckpt,
+                tier10k,
+                against,
                 out,
             })
         }
@@ -873,6 +894,8 @@ mod tests {
                 distsim: false,
                 large: false,
                 ckpt: None,
+                tier10k: false,
+                against: None,
                 out: PathBuf::from("BENCH_pipeline.json"),
             }
         );
@@ -884,6 +907,8 @@ mod tests {
                 distsim: false,
                 large: false,
                 ckpt: None,
+                tier10k: false,
+                against: None,
                 out: PathBuf::from("b.json"),
             }
         );
@@ -907,6 +932,8 @@ mod tests {
                 distsim: true,
                 large: false,
                 ckpt: None,
+                tier10k: false,
+                against: None,
                 out: PathBuf::from("BENCH_distsim.json"),
             }
         );
@@ -918,9 +945,28 @@ mod tests {
                 distsim: true,
                 large: true,
                 ckpt: Some(PathBuf::from("c.ckpt")),
+                tier10k: false,
+                against: None,
                 out: PathBuf::from("BENCH_distsim.json"),
             }
         );
+        // Pipeline-tier flags are rejected with --distsim.
+        assert!(matches!(
+            parse(&["bench", "--distsim", "--tier10k"]),
+            Err(ArgError::BadValue {
+                flag: "--tier10k",
+                ..
+            })
+        ));
+        let parsed = parse(&["bench", "--tier10k", "--against", "base.json"]).unwrap();
+        assert!(matches!(
+            parsed,
+            Command::Bench {
+                tier10k: true,
+                ref against,
+                ..
+            } if against.as_deref() == Some(std::path::Path::new("base.json"))
+        ));
         // --large / --ckpt only make sense for the distsim tier.
         assert!(matches!(
             parse(&["bench", "--large"]),

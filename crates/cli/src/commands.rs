@@ -363,6 +363,7 @@ pub fn run_command_traced(command: Command, tracer: &Tracer) -> Result<(), CliEr
             large,
             ckpt,
             out,
+            ..
         } => {
             let report = anr_bench::run_distsim_bench(&anr_bench::DistsimBenchOptions {
                 smoke,
@@ -405,12 +406,43 @@ pub fn run_command_traced(command: Command, tracer: &Tracer) -> Result<(), CliEr
             smoke,
             repeats,
             distsim: false,
+            tier10k,
+            against,
             out,
             ..
         } => {
-            let report = anr_bench::run_pipeline_bench(&anr_bench::BenchOptions { smoke, repeats })
-                .map_err(|e| CliError::BadParameter(e.to_string()))?;
+            let report = anr_bench::run_pipeline_bench(&anr_bench::BenchOptions {
+                smoke,
+                repeats,
+                scale_tier: tier10k,
+            })
+            .map_err(|e| CliError::BadParameter(e.to_string()))?;
             std::fs::write(&out, report.to_json())?;
+            if let Some(t) = &report.scale {
+                eprintln!(
+                    "scale tier: {} robots marched end-to-end in {:.0} ms \
+                     ({} timeline rows, {} audit checks)",
+                    t.robots, t.march_ms, t.timeline_rows, t.audit_checks,
+                );
+            }
+            if let Some(baseline_path) = &against {
+                let baseline = std::fs::read_to_string(baseline_path)?;
+                let regressions = anr_bench::stage_regressions(&report, &baseline, 2.0, 10.0);
+                if !regressions.is_empty() {
+                    for r in &regressions {
+                        eprintln!("stage regression: {r}");
+                    }
+                    return Err(CliError::BadParameter(format!(
+                        "{} pipeline stage(s) regressed beyond 2x the baseline {}",
+                        regressions.len(),
+                        baseline_path.display(),
+                    )));
+                }
+                eprintln!(
+                    "stage medians within 2x of baseline {}",
+                    baseline_path.display()
+                );
+            }
             for sc in &report.scenarios {
                 eprintln!(
                     "scenario {}: {} robots, {} mesh vertices — PCG {:.1} ms vs GS {:.1} ms \

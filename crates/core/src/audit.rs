@@ -24,6 +24,24 @@
 //!   a closed condition; a supergraph of a connected graph is
 //!   connected).
 //!
+//! Motion is continuous across rows (a row is both the end of one piece
+//! and the start of the next), so the crossing instants of **all**
+//! pieces form one global event axis and connectivity is decided by a
+//! single offline dynamic-connectivity pass over it — a
+//! divide-and-conquer with a rollback union-find whose independent
+//! subtrees fan out over [`anr_par`]. The pair scan itself is batched
+//! into *epochs* of consecutive pieces: one uniform grid built at the
+//! epoch's first row prunes the `O(n²)` pair set for every piece of the
+//! epoch (robots move at most the epoch's displacement budget, so the
+//! grid stays conservative), positions and per-robot cumulative
+//! displacements are laid out as flat robot-major arrays, and each
+//! candidate pair walks the epoch with a displacement-bound skip: while
+//! the pair's distance is provably farther from `r` than the two robots
+//! can close, whole runs of pieces are skipped in `O(log)` without
+//! evaluating a single quadratic. All of this is observation-order
+//! independent — every parallel path returns byte-identical results at
+//! any worker count.
+//!
 //! [`audit_piecewise`] runs both checks over an explicit breakpoint
 //! timeline; [`audit_trajectories`] derives that timeline from a
 //! [`TrajectorySet`]'s own polyline waypoints. Violations are reported
@@ -69,8 +87,9 @@ pub struct AuditReport {
     pub disconnected_intervals: Vec<(f64, f64)>,
     /// Linear motion pieces audited (timeline rows − 1).
     pub pieces: usize,
-    /// Connectivity check instants examined (one per open interval
-    /// between consecutive edge-set change events).
+    /// Connectivity check instants examined: one per open interval
+    /// between consecutive edge-set change events on the **global**
+    /// event axis (events + 1).
     pub connectivity_checks: usize,
 }
 
@@ -107,8 +126,12 @@ pub fn audit_trajectories(
 /// every trajectory breakpoint — see
 /// [`TrajectorySet::breakpoints`]).
 ///
-/// Emits `audit_violation` / `audit_disconnect` trace events as
-/// violations are found and a final `audit_summary` event.
+/// Emits `audit_violation` / `audit_disconnect` trace events and a
+/// final `audit_summary` event.
+///
+/// Worker count: [`anr_par::default_workers`]. The result is
+/// byte-identical at any worker count (see
+/// [`audit_piecewise_with_workers`]).
 ///
 /// # Errors
 ///
@@ -120,6 +143,27 @@ pub fn audit_piecewise(
     range: f64,
     tracer: &Tracer,
 ) -> Result<AuditReport, MetricsError> {
+    audit_piecewise_with_workers(rows, times, range, 0, tracer)
+}
+
+/// [`audit_piecewise`] with an explicit worker count (0 = auto).
+///
+/// Parallel fan-out happens over three structures — link chunks of the
+/// stability maximum, piece epochs of the crossing scan, and subtrees of
+/// the offline dynamic-connectivity divide-and-conquer. Each is merged
+/// back in deterministic input order, so the report (and every trace
+/// event) is byte-identical whatever `workers` is.
+///
+/// # Errors
+///
+/// See [`audit_piecewise`].
+pub fn audit_piecewise_with_workers(
+    rows: &[Vec<Point>],
+    times: &[f64],
+    range: f64,
+    workers: usize,
+    tracer: &Tracer,
+) -> Result<AuditReport, MetricsError> {
     validate(rows, times, range)?;
     let n = rows[0].len();
     let r2 = range * range;
@@ -128,24 +172,235 @@ pub fn audit_piecewise(
     let links = initial.links();
     let initial_links = links.len();
 
+    let pieces = rows.len() - 1;
+    let (t0, t1) = (times[0], times[pieces]);
+
+    if pieces == 0 {
+        // Single instant: connectivity of the one row, no motion.
+        let mut disconnected_intervals = Vec::new();
+        if !initial.is_connected() {
+            disconnected_intervals.push((t0, t0));
+            tracer.event(
+                "audit_disconnect",
+                &[("s_lo", TraceValue::F64(t0)), ("s_hi", TraceValue::F64(t0))],
+            );
+        }
+        let stable_link_ratio = 1.0;
+        let report = AuditReport {
+            robots: n,
+            initial_links,
+            preserved_links: initial_links,
+            stable_link_ratio,
+            global_connectivity: u8::from(disconnected_intervals.is_empty()),
+            violations: Vec::new(),
+            disconnected_intervals,
+            pieces: 0,
+            connectivity_checks: 1,
+        };
+        trace_summary(tracer, &report);
+        return Ok(report);
+    }
+
     // ------------------------------------------------------------------
-    // Link stability: d is convex on every linear piece, so its maximum
-    // over [0, 1] is attained at a row instant. Exact, no sampling.
+    // Struct-of-arrays layout: positions plus a per-robot cumulative
+    // *deviation* prefix, robot-major (`arr[i * nrows + r]`). The
+    // deviation frame subtracts each piece's mean displacement over all
+    // robots: inter-robot distances are invariant under the common
+    // drift, so every skip and cutoff bound below only spends budget on
+    // how far robots move relative to the formation — for a marching
+    // swarm that is far smaller than absolute motion.
     // ------------------------------------------------------------------
-    let mut max_dist_sq = vec![0.0f64; links.len()];
-    for row in rows {
-        for (k, &(i, j)) in links.iter().enumerate() {
-            max_dist_sq[k] = max_dist_sq[k].max(row[i].distance_sq(row[j]));
+    let nrows = pieces + 1;
+    let mut px = vec![0.0f64; n * nrows];
+    let mut py = vec![0.0f64; n * nrows];
+    for (r, row) in rows.iter().enumerate() {
+        for (i, p) in row.iter().enumerate() {
+            px[i * nrows + r] = p.x;
+            py[i * nrows + r] = p.y;
+        }
+    }
+    let inv_n = 1.0 / n as f64;
+    let mut mean_dx = vec![0.0f64; pieces];
+    let mut mean_dy = vec![0.0f64; pieces];
+    for (r, (row, next)) in rows.iter().zip(&rows[1..]).enumerate() {
+        let (mut sx, mut sy) = (0.0f64, 0.0f64);
+        for (p, q) in row.iter().zip(next) {
+            sx += q.x - p.x;
+            sy += q.y - p.y;
+        }
+        mean_dx[r] = sx * inv_n;
+        mean_dy[r] = sy * inv_n;
+    }
+    // `dmax[r]`: the largest single-robot deviation on piece r (drives
+    // the epoch budget); `cum`: per-robot deviation prefix (drives the
+    // per-pair galloping skip and the discovery cutoffs).
+    let mut cum = vec![0.0f64; n * nrows];
+    let mut dmax = vec![0.0f64; pieces];
+    for i in 0..n {
+        let base = i * nrows;
+        for r in 1..nrows {
+            let dx = px[base + r] - px[base + r - 1] - mean_dx[r - 1];
+            let dy = py[base + r] - py[base + r - 1] - mean_dy[r - 1];
+            let dev = (dx * dx + dy * dy).sqrt();
+            cum[base + r] = cum[base + r - 1] + dev;
+            dmax[r - 1] = dmax[r - 1].max(dev);
         }
     }
 
-    let mut violations = Vec::new();
-    for (k, &(i, j)) in links.iter().enumerate() {
-        if max_dist_sq[k] <= r2 {
-            continue;
+    // ------------------------------------------------------------------
+    // Candidate discovery, batched into epochs of consecutive pieces.
+    // One uniform grid per epoch (built at its first row) marks every
+    // pair that can come within range during that epoch: a pair must
+    // start the epoch within `range + 2·(max per-robot deviation over
+    // the epoch)`. The union across epochs (a bit-OR, order-
+    // independent) is the full candidate set; pairs never marked are
+    // provably never in range. The greedy deviation budget keeps each
+    // epoch's cutoff (and so its candidate count) bounded.
+    // ------------------------------------------------------------------
+    let budget = 0.5 * range;
+    let mut epochs: Vec<(usize, usize)> = Vec::new(); // (first piece, piece count)
+    {
+        let mut k = 0;
+        while k < pieces {
+            let mut len = 1;
+            let mut moved = dmax[k];
+            while k + len < pieces && moved + dmax[k + len] <= budget {
+                moved += dmax[k + len];
+                len += 1;
+            }
+            epochs.push((k, len));
+            k += len;
         }
-        let interval = first_out_interval(rows, times, (i, j), r2);
-        let max_distance = max_dist_sq[k].sqrt();
+    }
+
+    let words = (n * n).div_ceil(64);
+    let pairs: Vec<(u32, u32)> = if n < 64 {
+        (0..n as u32)
+            .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+            .collect()
+    } else {
+        let sets: Vec<Vec<u64>> = anr_par::par_map(&epochs, workers, |&(k0, len)| {
+            discover_epoch(rows, k0, len, range, words, &cum, nrows)
+        });
+        let mut bits = vec![0u64; words];
+        for s in &sets {
+            for (w, &v) in bits.iter_mut().zip(s) {
+                *w |= v;
+            }
+        }
+        let mut pairs = Vec::new();
+        for (wi, &word) in bits.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let idx = wi * 64 + word.trailing_zeros() as usize;
+                pairs.push(((idx / n) as u32, (idx % n) as u32));
+                word &= word - 1;
+            }
+        }
+        pairs
+    };
+
+    // ------------------------------------------------------------------
+    // Crossing scan: every candidate pair walks the whole timeline once
+    // (position stripes + deviation prefix driving the galloping skip),
+    // emitting its maximal in-range spans, its crossing events on the
+    // global axis, and — when it is an initial link whose spans fail to
+    // cover the timeline — its violation record. Pair chunks are
+    // independent; concatenating chunk outputs in order keeps spans and
+    // violations sorted by pair.
+    // ------------------------------------------------------------------
+    let outs: Vec<PairScan> = anr_par::par_chunks(&pairs, 2048, workers, |chunk| {
+        let mut walk = PairWalk {
+            out: PairScan {
+                events: Vec::new(),
+                spans: Vec::new(),
+                violations: Vec::new(),
+            },
+            px: &px,
+            py: &py,
+            cum: &cum,
+            times,
+            npieces: pieces,
+            nrows,
+            range,
+            r2,
+        };
+        for &(i, j) in chunk {
+            walk.walk(i as usize, j as usize);
+        }
+        walk.out
+    });
+
+    // ------------------------------------------------------------------
+    // Global event axis: the edge set changes only at crossing instants
+    // (plus exact-at-a-row status flips, which the walker reports
+    // explicitly), so one check instant inside each open interval
+    // between consecutive events certifies the whole timeline.
+    // ------------------------------------------------------------------
+    let mut events: Vec<f64> = Vec::new();
+    for o in &outs {
+        events.extend(o.events.iter().copied().filter(|&e| e > t0 && e < t1));
+    }
+    events.sort_by(f64::total_cmp);
+    events.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
+
+    let mids: Vec<f64> = (0..=events.len())
+        .map(|k| {
+            let lo = if k == 0 { t0 } else { events[k - 1] };
+            let hi = events.get(k).copied().unwrap_or(t1);
+            0.5 * (lo + hi)
+        })
+        .collect();
+    let connectivity_checks = mids.len();
+
+    // Maximal in-range spans mapped to interval-index runs.
+    let spans: Vec<(u32, u32, u32, u32)> = outs
+        .iter()
+        .flat_map(|o| o.spans.iter())
+        .filter_map(|&(i, j, elo, ehi)| {
+            let a = mids.partition_point(|&m| m < elo);
+            let b = mids.partition_point(|&m| m <= ehi);
+            (a < b).then(|| (i, j, a as u32, (b - 1) as u32))
+        })
+        .collect();
+
+    let bad = if n > 1 {
+        disconnected_leaves_par(n, mids.len(), &spans, workers)
+    } else {
+        Vec::new()
+    };
+    let mut disconnected_intervals: Vec<(f64, f64)> = Vec::new();
+    for k in bad {
+        let lo = if k == 0 { t0 } else { events[k - 1] };
+        let hi = events.get(k).copied().unwrap_or(t1);
+        merge_interval(&mut disconnected_intervals, (lo, hi));
+    }
+    for &(lo, hi) in &disconnected_intervals {
+        tracer.event(
+            "audit_disconnect",
+            &[("s_lo", TraceValue::F64(lo)), ("s_hi", TraceValue::F64(hi))],
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Violations: a violating link is exactly an initial link whose
+    // in-range spans fail to cover [t0, t1] (d² is convex per piece, so
+    // any excursion beyond range shows up as a span gap). The walker
+    // already reported each one with its first out-of-range interval
+    // and its row-maximum distance; records are sorted by pair, so the
+    // link loop below keeps the initial-graph link order.
+    // ------------------------------------------------------------------
+    let mut vio: Vec<(u32, u32, f64, f64, f64)> = Vec::new();
+    for o in &outs {
+        vio.extend(o.violations.iter().copied());
+    }
+    let mut violations = Vec::new();
+    for &(i, j) in &links {
+        let Ok(k) = vio.binary_search_by(|v| (v.0 as usize, v.1 as usize).cmp(&(i, j))) else {
+            continue;
+        };
+        let (_, _, lo, hi, max_distance) = vio[k];
+        let interval = (lo, hi);
         tracer.event(
             "audit_violation",
             &[
@@ -169,157 +424,292 @@ pub fn audit_piecewise(
         preserved_links as f64 / initial_links as f64
     };
 
-    // ------------------------------------------------------------------
-    // Continuous connectivity: within a piece the edge set changes only
-    // at roots of d²(τ) = r²; one connectivity check per open interval
-    // between consecutive roots certifies the whole piece (at the roots
-    // themselves the edge set is a superset of both one-sided limits).
-    // ------------------------------------------------------------------
-    let mut disconnected_intervals: Vec<(f64, f64)> = Vec::new();
-    let mut connectivity_checks = 0usize;
-    if rows.len() == 1 {
-        connectivity_checks = 1;
-        if !initial.is_connected() {
-            disconnected_intervals.push((times[0], times[0]));
-        }
-    }
-    let mut events: Vec<f64> = Vec::new();
-    // Pairs ever in range during the current piece, with their in-range
-    // sub-interval of [0, 1] — one interval per pair, because d² is
-    // convex so {τ : d²(τ) ≤ r²} is connected. Each connectivity check
-    // then unions only these candidate edges (≈ the unit-disk degree
-    // sum) instead of re-scanning all n² pairs per check instant.
-    let mut candidates: Vec<(u32, u32, f64, f64)> = Vec::new();
-    for piece in 0..rows.len().saturating_sub(1) {
-        let (a, b) = (&rows[piece], &rows[piece + 1]);
-        events.clear();
-        candidates.clear();
-        let mut scan_pair = |i: usize, j: usize| {
-            let u = a[i] - a[j];
-            let w = (b[i] - b[j]) - u;
-            let (qa, qb, qc) = (w.norm_sq(), u.dot(w), u.norm_sq() - r2);
-            if qa <= 0.0 {
-                // Constant relative distance: no crossing, in range
-                // for the whole piece or not at all.
-                if qc <= 0.0 {
-                    candidates.push((i as u32, j as u32, 0.0, 1.0));
-                }
-                return;
-            }
-            let disc = qb * qb - qa * qc;
-            if disc <= 0.0 {
-                return; // never touches the range circle (or grazes it)
-            }
-            let sq = disc.sqrt();
-            let (t1, t2) = ((-qb - sq) / qa, (-qb + sq) / qa); // in range on [t1, t2]
-            if t2 <= 0.0 || t1 >= 1.0 {
-                return; // only in range outside this piece
-            }
-            candidates.push((i as u32, j as u32, t1.max(0.0), t2.min(1.0)));
-            for root in [t1, t2] {
-                if root > 0.0 && root < 1.0 {
-                    events.push(root);
-                }
-            }
-        };
-        // d(τ) ≥ d(0) − τ‖w‖ ≥ d(0) − 2·dmax, so only pairs starting
-        // within r + 2·dmax of each other can ever be in range on this
-        // piece: a grid with that cell size prunes the O(n²) scan to
-        // near-neighbors. The candidate/event multisets are unchanged
-        // (the scan itself re-filters), so results stay deterministic
-        // even though grid iteration order is not.
-        if n >= 64 {
-            let dmax = a
-                .iter()
-                .zip(b)
-                .map(|(p, q)| p.distance(*q))
-                .fold(0.0f64, f64::max);
-            for_each_near_pair(a, range + 2.0 * dmax, &mut scan_pair);
-        } else {
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    scan_pair(i, j);
-                }
-            }
-        }
-        events.sort_by(f64::total_cmp);
-        events.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
-
-        // One check instant inside every open interval between events.
-        // The edge set is constant on each interval, so certifying its
-        // midpoint certifies the interval. Large swarms can have
-        // hundreds of thousands of events per piece, so connectivity is
-        // decided offline: each edge covers a contiguous run of
-        // intervals (its in-range set is one interval), and a
-        // divide-and-conquer over the interval axis with a rollback
-        // union-find visits every interval in O(E log E) total unions
-        // instead of O(E · edges).
-        let mids: Vec<f64> = (0..=events.len())
-            .map(|k| {
-                let lo = if k == 0 { 0.0 } else { events[k - 1] };
-                let hi = events.get(k).copied().unwrap_or(1.0);
-                0.5 * (lo + hi)
-            })
-            .collect();
-        connectivity_checks += mids.len();
-
-        let spans: Vec<(u32, u32, u32, u32)> = candidates
-            .iter()
-            .filter_map(|&(i, j, elo, ehi)| {
-                let a = mids.partition_point(|&m| m < elo);
-                let b = mids.partition_point(|&m| m <= ehi);
-                (a < b).then(|| (i, j, a as u32, (b - 1) as u32))
-            })
-            .collect();
-
-        let mut bad_intervals = Vec::new();
-        if n > 1 {
-            let mut uf = RollbackUnionFind::new(n);
-            disconnected_leaves(0, mids.len() - 1, &spans, &mut uf, &mut bad_intervals);
-        }
-        for k in bad_intervals {
-            let lo = if k == 0 { 0.0 } else { events[k - 1] };
-            let hi = events.get(k).copied().unwrap_or(1.0);
-            let s0 = times[piece] + lo * (times[piece + 1] - times[piece]);
-            let s1 = times[piece] + hi * (times[piece + 1] - times[piece]);
-            tracer.event(
-                "audit_disconnect",
-                &[("s_lo", TraceValue::F64(s0)), ("s_hi", TraceValue::F64(s1))],
-            );
-            merge_interval(&mut disconnected_intervals, (s0, s1));
-        }
-    }
-    let global_connectivity = u8::from(disconnected_intervals.is_empty());
-
-    tracer.event(
-        "audit_summary",
-        &[
-            ("robots", TraceValue::U64(n as u64)),
-            ("initial_links", TraceValue::U64(initial_links as u64)),
-            ("violations", TraceValue::U64(violations.len() as u64)),
-            ("stable_link_ratio", TraceValue::F64(stable_link_ratio)),
-            (
-                "global_connectivity",
-                TraceValue::U64(u64::from(global_connectivity)),
-            ),
-            (
-                "connectivity_checks",
-                TraceValue::U64(connectivity_checks as u64),
-            ),
-        ],
-    );
-
-    Ok(AuditReport {
+    let report = AuditReport {
         robots: n,
         initial_links,
         preserved_links,
         stable_link_ratio,
-        global_connectivity,
+        global_connectivity: u8::from(disconnected_intervals.is_empty()),
         violations,
         disconnected_intervals,
-        pieces: rows.len().saturating_sub(1),
+        pieces,
         connectivity_checks,
-    })
+    };
+    trace_summary(tracer, &report);
+    Ok(report)
+}
+
+fn trace_summary(tracer: &Tracer, report: &AuditReport) {
+    tracer.event(
+        "audit_summary",
+        &[
+            ("robots", TraceValue::U64(report.robots as u64)),
+            (
+                "initial_links",
+                TraceValue::U64(report.initial_links as u64),
+            ),
+            (
+                "violations",
+                TraceValue::U64(report.violations.len() as u64),
+            ),
+            (
+                "stable_link_ratio",
+                TraceValue::F64(report.stable_link_ratio),
+            ),
+            (
+                "global_connectivity",
+                TraceValue::U64(u64::from(report.global_connectivity)),
+            ),
+            (
+                "connectivity_checks",
+                TraceValue::U64(report.connectivity_checks as u64),
+            ),
+        ],
+    );
+}
+
+/// Candidate-pair scan output, all values on the global time axis.
+struct PairScan {
+    /// Edge-set change instants (crossing roots plus exact-at-a-row
+    /// status flips), unsorted, possibly including the timeline bounds.
+    events: Vec<f64>,
+    /// Maximal closed in-range intervals, grouped by pair and
+    /// time-sorted within a pair.
+    spans: Vec<(u32, u32, f64, f64)>,
+    /// `(i, j, out_lo, out_hi, max_distance)` for every walked pair
+    /// that was in range at `times[0]` but not for the whole timeline,
+    /// sorted by pair.
+    violations: Vec<(u32, u32, f64, f64, f64)>,
+}
+
+/// Marks every pair that can come within range during pieces
+/// `k0 .. k0 + npieces` in a bitset (`bit i·n + j`): the pair must start
+/// the epoch within `range + 2·(max per-robot deviation over the
+/// epoch)`, and the uniform grid enumerates exactly those starts.
+fn discover_epoch(
+    rows: &[Vec<Point>],
+    k0: usize,
+    npieces: usize,
+    range: f64,
+    words: usize,
+    cum: &[f64],
+    nrows: usize,
+) -> Vec<u64> {
+    let n = rows[0].len();
+    let mut move_max = 0.0f64;
+    for i in 0..n {
+        let base = i * nrows;
+        move_max = move_max.max(cum[base + k0 + npieces] - cum[base + k0]);
+    }
+    let cutoff = range + 2.0 * move_max;
+    let mut bits = vec![0u64; words];
+    for_each_near_pair(&rows[k0], cutoff, &mut |i, j| {
+        let idx = i * n + j;
+        bits[idx >> 6] |= 1 << (idx & 63);
+    });
+    bits
+}
+
+/// Walks one candidate pair down the whole timeline.
+///
+/// Positions and per-robot cumulative displacements are flattened into
+/// robot-major arrays (`arr[i * nrows + r]`), so the walk touches two
+/// contiguous stripes. It skips runs of pieces in `O(log)` whenever the
+/// pair's distance to the range circle exceeds what the two robots'
+/// remaining displacement can close.
+struct PairWalk<'a> {
+    out: PairScan,
+    px: &'a [f64],
+    py: &'a [f64],
+    cum: &'a [f64],
+    times: &'a [f64],
+    npieces: usize,
+    nrows: usize,
+    range: f64,
+    r2: f64,
+}
+
+impl PairWalk<'_> {
+    fn emit(&mut self, i: usize, j: usize, s_lo: f64, s_hi: f64) {
+        self.out.spans.push((i as u32, j as u32, s_lo, s_hi));
+    }
+
+    fn walk(&mut self, i: usize, j: usize) {
+        let (bi, bj) = (i * self.nrows, j * self.nrows);
+        let start_idx = self.out.spans.len();
+        let d2 = {
+            let dx = self.px[bi] - self.px[bj];
+            let dy = self.py[bi] - self.py[bj];
+            dx * dx + dy * dy
+        };
+        let initial_in = d2 <= self.r2;
+        let mut prev_in = initial_in;
+        let mut open: Option<f64> = prev_in.then(|| self.times[0]);
+
+        let mut r = 0usize;
+        while r < self.npieces {
+            let dx = self.px[bi + r] - self.px[bj + r];
+            let dy = self.py[bi + r] - self.py[bj + r];
+            let dist = (dx * dx + dy * dy).sqrt();
+            // Small relative margin so a rounding wobble in the bound
+            // can never skip over a genuine grazing crossing.
+            let gap = (dist - self.range).abs() - 1e-9 * (dist + self.range);
+            if gap > 0.0 {
+                // Skip every piece the pair provably cannot cross: their
+                // combined displacement bound is monotone, so gallop then
+                // bisect for the farthest safe row.
+                let c0 = self.cum[bi + r] + self.cum[bj + r];
+                if self.cum[bi + r + 1] + self.cum[bj + r + 1] - c0 < gap {
+                    let mut q = r + 1;
+                    let mut step = 1usize;
+                    while q + step <= self.npieces
+                        && self.cum[bi + q + step] + self.cum[bj + q + step] - c0 < gap
+                    {
+                        q += step;
+                        step *= 2;
+                    }
+                    let mut hi = (q + step).min(self.npieces);
+                    while q < hi {
+                        let m = q + (hi - q).div_ceil(2);
+                        if self.cum[bi + m] + self.cum[bj + m] - c0 < gap {
+                            q = m;
+                        } else {
+                            hi = m - 1;
+                        }
+                    }
+                    r = q;
+                    continue;
+                }
+            }
+
+            // Exact quadratic on piece r.
+            let ux = dx;
+            let uy = dy;
+            let wx = (self.px[bi + r + 1] - self.px[bj + r + 1]) - ux;
+            let wy = (self.py[bi + r + 1] - self.py[bj + r + 1]) - uy;
+            let (qa, qb, qc) = (
+                wx * wx + wy * wy,
+                ux * wx + uy * wy,
+                ux * ux + uy * uy - self.r2,
+            );
+            let piece_lo = self.times[r];
+            let piece_hi = self.times[r + 1];
+            let span_w = piece_hi - piece_lo;
+            let mut iv: Option<(f64, f64)> = None;
+            if qa <= 0.0 {
+                if qc <= 0.0 {
+                    iv = Some((0.0, 1.0));
+                }
+            } else {
+                let disc = qb * qb - qa * qc;
+                if disc <= 0.0 {
+                    if qc <= 0.0 {
+                        iv = Some((0.0, 1.0));
+                    }
+                } else {
+                    let sq = disc.sqrt();
+                    let (root1, root2) = ((-qb - sq) / qa, (-qb + sq) / qa);
+                    if root2 > 0.0 && root1 < 1.0 {
+                        for root in [root1, root2] {
+                            if root > 0.0 && root < 1.0 {
+                                self.out.events.push(piece_lo + root * span_w);
+                            }
+                        }
+                        let (lo, hi) = (root1.max(0.0), root2.min(1.0));
+                        if hi > lo {
+                            iv = Some((lo, hi));
+                        }
+                    }
+                }
+            }
+
+            // A status flip exactly at the row instant has no interior
+            // root; the global axis still needs the event (the old
+            // per-piece interval axis restarted at every row).
+            let in_start = matches!(iv, Some((lo, _)) if lo == 0.0);
+            if in_start != prev_in {
+                self.out.events.push(piece_lo);
+                if prev_in {
+                    let s0 = open.take().unwrap_or(piece_lo);
+                    self.emit(i, j, s0, piece_lo);
+                } else {
+                    open = Some(piece_lo);
+                }
+            }
+            match iv {
+                None => prev_in = false,
+                Some((lo, hi)) => {
+                    if lo > 0.0 {
+                        open = Some(piece_lo + lo * span_w);
+                    }
+                    if hi < 1.0 {
+                        let s0 = open.take().unwrap_or(piece_lo);
+                        self.emit(i, j, s0, piece_lo + hi * span_w);
+                        prev_in = false;
+                    } else {
+                        prev_in = true;
+                    }
+                }
+            }
+            r += 1;
+        }
+        if let Some(s0) = open {
+            let end = self.times[self.npieces];
+            self.emit(i, j, s0, end);
+        }
+
+        // An initial link whose spans don't cover the timeline broke:
+        // report its first out-of-range interval plus its maximum
+        // distance (d is convex per piece, so the max over the rows of
+        // the pair's stripes is the exact maximum over all time).
+        if initial_in {
+            let (t0, t1) = (self.times[0], self.times[self.npieces]);
+            let spans = &self.out.spans[start_idx..];
+            let fully = spans.len() == 1 && spans[0].2 == t0 && spans[0].3 == t1;
+            if !fully {
+                let interval = first_out_from_spans(spans, t0, t1);
+                let mut m = 0.0f64;
+                for r in 0..self.nrows {
+                    let dx = self.px[bi + r] - self.px[bj + r];
+                    let dy = self.py[bi + r] - self.py[bj + r];
+                    m = m.max(dx * dx + dy * dy);
+                }
+                self.out
+                    .violations
+                    .push((i as u32, j as u32, interval.0, interval.1, m.sqrt()));
+            }
+        }
+    }
+}
+
+/// First maximal out-of-range interval of a link given its in-range
+/// spans over `[t0, t1]` (time-sorted): the complement's first run,
+/// with in-range gaps ≤ 1e-12 bridged. Degenerate `(t0, t0)` when the
+/// link only grazes out of range at isolated instants.
+fn first_out_from_spans(in_spans: &[(u32, u32, f64, f64)], t0: f64, t1: f64) -> (f64, f64) {
+    let mut outs: Vec<(f64, f64)> = Vec::new();
+    let mut cursor = t0;
+    for &(_, _, lo, hi) in in_spans {
+        if lo > cursor {
+            outs.push((cursor, lo));
+        }
+        cursor = cursor.max(hi);
+    }
+    if cursor < t1 {
+        outs.push((cursor, t1));
+    }
+    let mut it = outs.into_iter();
+    let Some((start, mut end)) = it.next() else {
+        return (t0, t0);
+    };
+    for (lo, hi) in it {
+        if lo <= end + 1e-12 {
+            end = end.max(hi);
+        } else {
+            break;
+        }
+    }
+    (start, end)
 }
 
 fn validate(rows: &[Vec<Point>], times: &[f64], range: f64) -> Result<(), MetricsError> {
@@ -394,6 +784,96 @@ fn for_each_near_pair(points: &[Point], cutoff: f64, f: &mut impl FnMut(usize, u
     }
 }
 
+/// Offline dynamic connectivity over the global interval axis, fanned
+/// out over [`anr_par`]: the recursion's independent subtrees are cut
+/// off at a fixed depth (worker-count independent) into tasks, each
+/// carrying the edges that fully cover its subtree (the unions its
+/// ancestors would have applied). Each task replays those unions into a
+/// fresh rollback union-find and runs the serial recursion; leaf
+/// indices concatenate back in axis order.
+fn disconnected_leaves_par(
+    n: usize,
+    num_leaves: usize,
+    spans: &[(u32, u32, u32, u32)],
+    workers: usize,
+) -> Vec<usize> {
+    struct Task {
+        k_lo: usize,
+        k_hi: usize,
+        spans: Vec<(u32, u32, u32, u32)>,
+        path: Vec<(u32, u32)>,
+    }
+    fn split(
+        k_lo: usize,
+        k_hi: usize,
+        spans: Vec<(u32, u32, u32, u32)>,
+        path: Vec<(u32, u32)>,
+        depth: usize,
+        uf: &mut RollbackUnionFind,
+        tasks: &mut Vec<Task>,
+    ) {
+        if depth == 0 || k_lo == k_hi {
+            tasks.push(Task {
+                k_lo,
+                k_hi,
+                spans,
+                path,
+            });
+            return;
+        }
+        let mark = uf.checkpoint();
+        let mid = k_lo + (k_hi - k_lo) / 2;
+        let mut covering = path;
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for &(i, j, a, b) in &spans {
+            if a as usize <= k_lo && k_hi <= b as usize {
+                covering.push((i, j));
+                uf.union(i as usize, j as usize);
+            } else {
+                if a as usize <= mid {
+                    left.push((i, j, a, b));
+                }
+                if b as usize > mid {
+                    right.push((i, j, a, b));
+                }
+            }
+        }
+        // The covering edges alone already connect the graph: every
+        // leaf below only gains edges, so the whole subtree is clean.
+        if uf.num_sets() == 1 {
+            uf.rollback(mark);
+            return;
+        }
+        split(k_lo, mid, left, covering.clone(), depth - 1, uf, tasks);
+        split(mid + 1, k_hi, right, covering, depth - 1, uf, tasks);
+        uf.rollback(mark);
+    }
+
+    let mut tasks = Vec::new();
+    let depth = if num_leaves >= 64 { 4 } else { 0 };
+    let mut uf0 = RollbackUnionFind::new(n);
+    split(
+        0,
+        num_leaves - 1,
+        spans.to_vec(),
+        Vec::new(),
+        depth,
+        &mut uf0,
+        &mut tasks,
+    );
+    let results = anr_par::par_map(&tasks, workers, |t| {
+        let mut uf = RollbackUnionFind::new(n);
+        for &(i, j) in &t.path {
+            uf.union(i as usize, j as usize);
+        }
+        let mut out = Vec::new();
+        disconnected_leaves(t.k_lo, t.k_hi, &t.spans, &mut uf, &mut out);
+        out
+    });
+    results.into_iter().flatten().collect()
+}
+
 /// Offline dynamic connectivity over the interval axis `[k_lo, k_hi]`:
 /// an edge whose interval run covers the whole node is unioned once
 /// here; the rest are handed to whichever children they overlap. Each
@@ -435,74 +915,15 @@ fn disconnected_leaves(
             }
         }
     }
+    // Covering edges alone connect the graph ⇒ every leaf below is
+    // connected; prune the subtree.
+    if uf.num_sets() == 1 {
+        uf.rollback(mark);
+        return;
+    }
     disconnected_leaves(k_lo, mid, &left, uf, out);
     disconnected_leaves(mid + 1, k_hi, &right, uf, out);
     uf.rollback(mark);
-}
-
-/// The first maximal normalized-time interval during which link `(i, j)`
-/// is out of range, from the exact per-piece quadratic roots.
-fn first_out_interval(
-    rows: &[Vec<Point>],
-    times: &[f64],
-    (i, j): (usize, usize),
-    r2: f64,
-) -> (f64, f64) {
-    let mut start: Option<f64> = None;
-    let mut end = times[0];
-    for piece in 0..rows.len() - 1 {
-        let (a, b) = (&rows[piece], &rows[piece + 1]);
-        let u = a[i] - a[j];
-        let w = (b[i] - b[j]) - u;
-        let (qa, qb, qc) = (w.norm_sq(), u.dot(w), u.norm_sq() - r2);
-        // Out-of-range sub-intervals of [0, 1]: where q(τ) > 0. q is
-        // convex, so that region is [0, 1] minus the root interval.
-        let mut outs: Vec<(f64, f64)> = Vec::new();
-        if qa <= 0.0 {
-            if qc > 0.0 {
-                outs.push((0.0, 1.0));
-            }
-        } else {
-            let disc = qb * qb - qa * qc;
-            if disc <= 0.0 {
-                if qc > 0.0 {
-                    outs.push((0.0, 1.0));
-                }
-            } else {
-                let sq = disc.sqrt();
-                let (t1, t2) = ((-qb - sq) / qa, (-qb + sq) / qa);
-                if t1 > 0.0 {
-                    outs.push((0.0, t1.min(1.0)));
-                }
-                if t2 < 1.0 {
-                    outs.push((t2.max(0.0), 1.0));
-                }
-            }
-        }
-        let span = times[piece + 1] - times[piece];
-        for (lo, hi) in outs {
-            if hi <= lo {
-                continue;
-            }
-            let (s0, s1) = (times[piece] + lo * span, times[piece] + hi * span);
-            match start {
-                None => {
-                    start = Some(s0);
-                    end = s1;
-                }
-                Some(_) if s0 <= end + 1e-12 => end = end.max(s1),
-                Some(s) => return (s, end), // gap: first interval complete
-            }
-        }
-        // In-range for the rest of this piece and a violation already
-        // found: if the next piece starts in range the interval is over —
-        // handled by the gap check above on the next out interval.
-    }
-    match start {
-        Some(s) => (s, end),
-        // max_dist > r only at an isolated instant (grazing): degenerate.
-        None => (times[0], times[0]),
-    }
 }
 
 /// Appends `iv` to `list`, merging with the previous interval when they
@@ -761,5 +1182,65 @@ mod tests {
         let r = audit_piecewise(&[split], &[0.0], 80.0, &Tracer::disabled()).unwrap();
         assert_eq!(r.global_connectivity, 0);
         assert_eq!(r.disconnected_intervals, vec![(0.0, 0.0)]);
+    }
+
+    /// The parallel fan-out must be byte-identical at every worker
+    /// count: same violations, same intervals, same counts.
+    #[test]
+    fn workers_do_not_change_the_report() {
+        // A 80-robot chain with several detouring robots, many pieces.
+        let n = 80;
+        let polys: Vec<Polyline> = (0..n)
+            .map(|i| {
+                let x = i as f64 * 50.0;
+                if i % 11 == 3 {
+                    Polyline::new(vec![
+                        p(x, 0.0),
+                        p(x + 90.0, -160.0),
+                        p(x + 180.0, 30.0),
+                        p(x + 300.0, 40.0),
+                    ])
+                } else {
+                    Polyline::new(vec![p(x, 0.0), p(x + 150.0, 20.0), p(x + 300.0, 40.0)])
+                }
+            })
+            .collect();
+        let set = TrajectorySet::new(polys);
+        let times = set.sample_times_with_breakpoints(40);
+        let rows = set.sample_at(&times);
+        let reference =
+            audit_piecewise_with_workers(&rows, &times, 80.0, 1, &Tracer::disabled()).unwrap();
+        for workers in [2, 3, 8] {
+            let r = audit_piecewise_with_workers(&rows, &times, 80.0, workers, &Tracer::disabled())
+                .unwrap();
+            assert_eq!(r, reference, "workers = {workers} diverged");
+        }
+    }
+
+    /// A status flip exactly at a row instant (the peak of a detour
+    /// touching the range circle at a breakpoint) must still be audited
+    /// exactly — the global event axis gets an explicit event there.
+    #[test]
+    fn exact_breakpoint_crossing_is_an_event() {
+        // B sits exactly at range 80 at its middle waypoint, then moves
+        // out to 90 before coming back: out-of-range strictly between
+        // the middle rows.
+        let rows = vec![
+            vec![p(0.0, 0.0), p(70.0, 0.0)],
+            vec![p(0.0, 0.0), p(80.0, 0.0)],
+            vec![p(0.0, 0.0), p(90.0, 0.0)],
+            vec![p(0.0, 0.0), p(80.0, 0.0)],
+            vec![p(0.0, 0.0), p(70.0, 0.0)],
+        ];
+        let times = vec![0.0, 0.25, 0.5, 0.75, 1.0];
+        let r = audit_piecewise(&rows, &times, 80.0, &Tracer::disabled()).unwrap();
+        assert_eq!(r.global_connectivity, 0);
+        assert_eq!(r.violations.len(), 1);
+        let (lo, hi) = r.violations[0].interval;
+        assert!((lo - 0.25).abs() < 1e-12, "lo = {lo}");
+        assert!((hi - 0.75).abs() < 1e-12, "hi = {hi}");
+        assert_eq!(r.disconnected_intervals.len(), 1);
+        let (dlo, dhi) = r.disconnected_intervals[0];
+        assert!((dlo - 0.25).abs() < 1e-12 && (dhi - 0.75).abs() < 1e-12);
     }
 }

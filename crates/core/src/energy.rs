@@ -104,6 +104,8 @@ mod tests {
             initial_links: initial,
             new_links,
             samples: 2,
+            audit_pieces: 1,
+            audit_checks: 1,
         }
     }
 

@@ -65,7 +65,9 @@ mod replan;
 mod resilience;
 mod trajectory;
 
-pub use audit::{audit_piecewise, audit_trajectories, AuditReport, LinkViolation};
+pub use audit::{
+    audit_piecewise, audit_piecewise_with_workers, audit_trajectories, AuditReport, LinkViolation,
+};
 pub use baselines::{direct_translation, hungarian_direct};
 pub use distributed::{
     distributed_objective, distributed_objective_under_faults, DistributedObjective,

@@ -215,6 +215,14 @@ pub struct TransitionMetrics {
     pub new_links: usize,
     /// Number of timeline rows (piecewise-linear breakpoints) evaluated.
     pub samples: usize,
+    /// Linear motion pieces the continuous audit decomposed the timeline
+    /// into (`samples - 1`, or 0 for a single-row timeline).
+    pub audit_pieces: usize,
+    /// Connectivity checks the audit's event sweep performed — one per
+    /// open interval between range-crossing events. Scales with how much
+    /// link churn the motion produced, hence recorded per scenario by the
+    /// pipeline bench.
+    pub audit_checks: usize,
 }
 
 /// Evaluates `L`, `C` and link counts over a position timeline.
@@ -265,6 +273,8 @@ pub fn evaluate_timeline(
         initial_links: report.initial_links,
         new_links,
         samples: timeline.len(),
+        audit_pieces: report.pieces,
+        audit_checks: report.connectivity_checks,
     })
 }
 
@@ -286,6 +296,8 @@ mod tests {
         assert_eq!(m.preserved_links, 2);
         assert_eq!(m.initial_links, 2);
         assert_eq!(m.new_links, 0);
+        assert_eq!(m.audit_pieces, 2);
+        assert!(m.audit_checks >= 1);
     }
 
     #[test]
@@ -457,8 +469,13 @@ mod tests {
     #[test]
     fn samples_counted() {
         let row = vec![p(0.0, 0.0)];
-        let m = evaluate_timeline(&[row.clone(), row.clone(), row], 10.0, 0.0).unwrap();
+        let m = evaluate_timeline(&[row.clone(), row.clone(), row.clone()], 10.0, 0.0).unwrap();
         assert_eq!(m.samples, 3);
         assert_eq!(m.stable_link_ratio, 1.0); // no links at all
+        assert_eq!(m.audit_pieces, 2);
+
+        let m = evaluate_timeline(&[row], 10.0, 0.0).unwrap();
+        assert_eq!(m.audit_pieces, 0);
+        assert_eq!(m.audit_checks, 1);
     }
 }

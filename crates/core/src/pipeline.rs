@@ -7,7 +7,7 @@ use crate::{
 use anr_coverage::{run_lloyd_guarded_traced, GridPartition};
 use anr_geom::Point;
 use anr_harmonic::{fill_holes, harmonic_map_to_disk_traced, DiskOverlay};
-use anr_mesh::FoiMesher;
+use anr_mesh::{FoiMesher, PointLocator};
 use anr_netgraph::{extract_triangulation, UnitDiskGraph};
 use anr_trace::{TraceValue, Tracer};
 
@@ -155,51 +155,61 @@ pub fn march_traced(
     // mapped endpoint positions.
     // ------------------------------------------------------------------
     let links = UnitDiskGraph::new(positions, range).links();
+    // The point locator over the target disk mesh is built once for the
+    // whole sweep; rebuilding it per angle used to dominate this stage.
+    let disk_locator = PointLocator::new(overlay.disk_mesh());
     // Destinations are clamped into M2: mesh-boundary jitter can place
     // an interpolated position a millimetre outside the polygon.
     let map_at = |theta: f64| -> Vec<Point> {
         overlay
-            .map_all(&robot_disk, theta)
+            .map_all_with(&disk_locator, &robot_disk, theta)
             .into_iter()
             .map(|m| problem.m2.clamp_inside(m.position))
             .collect()
     };
-    let rotation_eval = |theta: f64, score: f64| {
-        tracer.event(
-            "rotation_eval",
-            &[
-                ("theta", TraceValue::F64(theta)),
-                ("score", TraceValue::F64(score)),
-            ],
-        );
+    let score_at = |theta: f64| -> f64 {
+        let q = map_at(theta);
+        match method {
+            Method::MaxStableLinks => {
+                if links.is_empty() {
+                    1.0
+                } else {
+                    links
+                        .iter()
+                        .filter(|&&(i, j)| q[i].distance(q[j]) <= range)
+                        .count() as f64
+                        / links.len() as f64
+                }
+            }
+            Method::MinMovingDistance => positions
+                .iter()
+                .zip(&q)
+                .map(|(p, t)| p.distance(*t))
+                .sum::<f64>(),
+        }
+    };
+    // Each search round's angles fan out over worker threads; the round's
+    // scores are re-scanned in input order on this thread (including the
+    // trace events), so the chosen optimum and the event stream are
+    // identical to the serial sweep at any worker count.
+    let batch = |thetas: &[f64]| -> Vec<f64> {
+        let scores = anr_par::par_map(thetas, 0, |&t| score_at(t));
+        for (&theta, &score) in thetas.iter().zip(&scores) {
+            tracer.event(
+                "rotation_eval",
+                &[
+                    ("theta", TraceValue::F64(theta)),
+                    ("score", TraceValue::F64(score)),
+                ],
+            );
+        }
+        scores
     };
 
     let rotation_span = tracer.span("rotation");
     let (rotation, _score, _evals) = match method {
-        Method::MaxStableLinks => config.rotation.maximize(|theta| {
-            let q = map_at(theta);
-            let score = if links.is_empty() {
-                1.0
-            } else {
-                links
-                    .iter()
-                    .filter(|&&(i, j)| q[i].distance(q[j]) <= range)
-                    .count() as f64
-                    / links.len() as f64
-            };
-            rotation_eval(theta, score);
-            score
-        }),
-        Method::MinMovingDistance => config.rotation.minimize(|theta| {
-            let q = map_at(theta);
-            let score = positions
-                .iter()
-                .zip(&q)
-                .map(|(p, t)| p.distance(*t))
-                .sum::<f64>();
-            rotation_eval(theta, score);
-            score
-        }),
+        Method::MaxStableLinks => config.rotation.maximize_batch(batch),
+        Method::MinMovingDistance => config.rotation.minimize_batch(batch),
     };
     drop(rotation_span);
 

@@ -92,6 +92,48 @@ impl Polyline {
         self.waypoints[idx].lerp(self.waypoints[idx + 1], t)
     }
 
+    /// Positions at a **sorted ascending** list of normalized times.
+    ///
+    /// Walks the cumulative-length table with a monotone cursor instead
+    /// of binary-searching every query, and returns bit-identical
+    /// positions to calling [`Polyline::position_at`] per time (pinned
+    /// by `sorted_sampling_matches_per_query`). Detour-heavy trajectory
+    /// sets (hole scenarios) produce thousands of breakpoint rows, which
+    /// made the per-query search the `trajectories` stage hot spot.
+    ///
+    /// Out-of-order inputs still produce correct positions (the cursor
+    /// only ever lags, never overshoots, for non-decreasing times; a
+    /// decreasing time restarts the scan from segment 0).
+    pub fn positions_at_sorted(&self, times: &[f64]) -> Vec<Point> {
+        let len = self.length();
+        let m = self.waypoints.len();
+        let mut idx = 0usize;
+        times
+            .iter()
+            .map(|&s| {
+                if len == 0.0 {
+                    return self.waypoints[0];
+                }
+                let target = s.clamp(0.0, 1.0) * len;
+                if self.cumulative[idx] > target {
+                    idx = 0;
+                }
+                while idx + 1 < m && self.cumulative[idx + 1] <= target {
+                    idx += 1;
+                }
+                if idx + 1 >= m {
+                    return self.end();
+                }
+                let seg_len = self.cumulative[idx + 1] - self.cumulative[idx];
+                if seg_len <= 0.0 {
+                    return self.waypoints[idx];
+                }
+                let t = (target - self.cumulative[idx]) / seg_len;
+                self.waypoints[idx].lerp(self.waypoints[idx + 1], t)
+            })
+            .collect()
+    }
+
     /// Normalized times `s` of the waypoints — the breakpoints of the
     /// piecewise-linear motion. Between consecutive breakpoints the
     /// robot moves along a single straight segment, so any per-instant
@@ -184,8 +226,21 @@ impl TrajectorySet {
     }
 
     /// All robot positions at each of the given normalized `times`.
+    ///
+    /// Sorted time lists (the common case — [`TrajectorySet::breakpoints`]
+    /// and [`TrajectorySet::sample_times_with_breakpoints`] are sorted)
+    /// are sampled with one monotone cursor walk per path, fanned out
+    /// over worker threads; the rows are bit-identical to the per-query
+    /// path at any worker count.
     pub fn sample_at(&self, times: &[f64]) -> Vec<Vec<Point>> {
-        times.iter().map(|&s| self.positions_at(s)).collect()
+        if !times.windows(2).all(|w| w[1] >= w[0]) {
+            return times.iter().map(|&s| self.positions_at(s)).collect();
+        }
+        let per_path: Vec<Vec<Point>> =
+            anr_par::par_map(&self.paths, 0, |p| p.positions_at_sorted(times));
+        (0..times.len())
+            .map(|r| per_path.iter().map(|c| c[r]).collect())
+            .collect()
     }
 
     /// The union of every path's waypoint instants — sorted, deduped,
@@ -538,6 +593,44 @@ mod tests {
             rows[bks.iter().position(|&s| s == 0.75).unwrap()][1],
             p(3.0, 0.0)
         );
+    }
+
+    #[test]
+    fn sorted_sampling_matches_per_query() {
+        // Detour-like path with many short segments plus a stationary
+        // robot; sampling at breakpoints, uniform times and repeated
+        // times must be bit-identical to per-query position_at.
+        let jagged = Polyline::new(
+            (0..50)
+                .map(|i| p(i as f64, if i % 2 == 0 { 0.0 } else { 0.3 }))
+                .collect(),
+        );
+        let set = TrajectorySet::new(vec![
+            jagged.clone(),
+            Polyline::stationary(p(7.0, 7.0)),
+            Polyline::new(vec![p(0.0, 0.0), p(100.0, 0.0)]),
+        ]);
+        let mut times = set.sample_times_with_breakpoints(13);
+        times.push(1.0); // repeated endpoint
+        for &s in &times {
+            let row = jagged.positions_at_sorted(&[s]);
+            assert_eq!(row[0], jagged.position_at(s));
+        }
+        let rows = set.sample_at(&times);
+        for (r, &s) in times.iter().enumerate() {
+            assert_eq!(rows[r], set.positions_at(s), "row {r} at s={s}");
+        }
+        // Unsorted queries fall back to per-query sampling.
+        let unsorted = [0.9, 0.1, 0.5, 0.5, 0.0];
+        let rows = set.sample_at(&unsorted);
+        for (r, &s) in unsorted.iter().enumerate() {
+            assert_eq!(rows[r], set.positions_at(s));
+        }
+        // The monotone cursor also survives unsorted direct calls.
+        let direct = jagged.positions_at_sorted(&unsorted);
+        for (r, &s) in unsorted.iter().enumerate() {
+            assert_eq!(direct[r], jagged.position_at(s));
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Sample-grid Voronoi partition of a field of interest.
 
 use crate::Density;
-use anr_geom::{Point, PolygonWithHoles};
+use anr_geom::{NearestGrid, Point, PolygonWithHoles};
 
 /// A dense sample grid over a FoI used to evaluate Voronoi regions,
 /// centroids and coverage integrals on concave, multiply-connected
@@ -60,15 +60,38 @@ impl GridPartition {
     /// Assigns every sample to its nearest site; returns per-site sample
     /// index lists (the discrete Voronoi regions).
     ///
-    /// The nearest-site pass — the hot loop of every Lloyd iteration,
-    /// `samples × sites` distance computations — fans out over worker
-    /// threads ([`anr_par`]); ties and output order are identical to the
-    /// serial loop whatever the worker count.
+    /// The nearest-site pass — the hot loop of every Lloyd iteration —
+    /// buckets the sites into a uniform [`NearestGrid`] (rebuilt per
+    /// call, `O(sites)`) and answers each sample with an expanding ring
+    /// search, so the cost is `samples × O(1)` instead of `samples ×
+    /// sites`. Sample chunks fan
+    /// out over worker threads ([`anr_par`]); ties (lowest site index
+    /// among equidistant sites) and output order are identical to the
+    /// brute-force serial loop whatever the worker count — pinned by
+    /// `assign_grid_matches_brute_force`.
     ///
     /// # Panics
     ///
     /// Panics when `sites` is empty.
     pub fn assign(&self, sites: &[Point]) -> Vec<Vec<usize>> {
+        assert!(!sites.is_empty(), "need at least one site");
+        let grid = NearestGrid::new(sites);
+        let nearest = anr_par::par_chunks(&self.samples, 2048, 0, |chunk| {
+            chunk
+                .iter()
+                .map(|&s| grid.nearest(sites, s))
+                .collect::<Vec<usize>>()
+        });
+        let mut regions: Vec<Vec<usize>> = vec![Vec::new(); sites.len()];
+        for (k, &i) in nearest.iter().flatten().enumerate() {
+            regions[i].push(k);
+        }
+        regions
+    }
+
+    /// Reference nearest-site pass: the plain `samples × sites` loop the
+    /// bucket-grid [`GridPartition::assign`] is pinned against.
+    pub fn assign_brute_force(&self, sites: &[Point]) -> Vec<Vec<usize>> {
         assert!(!sites.is_empty(), "need at least one site");
         let nearest = anr_par::par_chunks(&self.samples, 2048, 0, |chunk| {
             chunk
@@ -222,6 +245,35 @@ mod tests {
         let s = part.nearest_sample(Point::new(50.0, 50.0)); // hole center
         assert!(region.contains(s));
         assert!(!region.in_hole(s));
+    }
+
+    #[test]
+    fn assign_grid_matches_brute_force() {
+        // Deterministic pseudo-random sites (LCG), including exact
+        // duplicates (index ties) and far-outlier sites.
+        let part = GridPartition::new(&square(100.0), 1.5);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut sites: Vec<Point> = (0..200)
+            .map(|_| Point::new(next() * 140.0 - 20.0, next() * 140.0 - 20.0))
+            .collect();
+        sites.push(sites[17]); // exact duplicate: tie must pick index 17
+        sites.push(Point::new(5000.0, -5000.0)); // far outlier
+        assert_eq!(part.assign(&sites), part.assign_brute_force(&sites));
+
+        // Sample exactly equidistant between two sites.
+        let part = GridPartition::new(&square(10.0), 1.0);
+        let sites = vec![Point::new(2.0, 5.0), Point::new(8.0, 5.0)];
+        assert_eq!(part.assign(&sites), part.assign_brute_force(&sites));
+
+        // Degenerate: all sites coincident.
+        let sites = vec![Point::new(5.0, 5.0); 4];
+        assert_eq!(part.assign(&sites), part.assign_brute_force(&sites));
     }
 
     #[test]

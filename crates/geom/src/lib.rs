@@ -35,6 +35,7 @@ mod barycentric;
 mod bbox;
 mod error;
 mod hull;
+mod nearest;
 mod point;
 mod polygon;
 mod polygon_holes;
@@ -46,6 +47,7 @@ pub use barycentric::{barycentric_coords, barycentric_interpolate, Triangle};
 pub use bbox::Aabb;
 pub use error::GeomError;
 pub use hull::convex_hull;
+pub use nearest::NearestGrid;
 pub use point::{Point, Vector};
 pub use polygon::Polygon;
 pub use polygon_holes::PolygonWithHoles;

@@ -6,7 +6,7 @@
 //! whose barycentric coordinates interpolate the original geographic
 //! coordinates of its grid points — that is the robot's destination.
 
-use anr_geom::{barycentric_coords, Point, Rotation, Triangle};
+use anr_geom::{barycentric_coords, NearestGrid, Point, Rotation, Triangle};
 use anr_mesh::{PointLocator, TriMesh};
 
 /// A robot's mapped destination in the target FoI.
@@ -37,6 +37,12 @@ pub struct DiskOverlay {
     disk_mesh: TriMesh,
     /// Per-vertex: is this a virtual hole-center vertex?
     virtual_vertex: Vec<bool>,
+    /// Disk positions of the real (non-virtual) vertices, with their
+    /// original vertex indices, plus an exact nearest-point index — the
+    /// hole-fallback lookup must not scan every vertex per robot.
+    real_disk_positions: Vec<Point>,
+    real_vertex_ids: Vec<usize>,
+    real_grid: NearestGrid,
 }
 
 impl DiskOverlay {
@@ -60,10 +66,23 @@ impl DiskOverlay {
             assert!(v < geo.num_vertices(), "virtual vertex out of range");
             virtual_vertex[v] = true;
         }
+        let disk_mesh = geo.with_positions(disk_positions.to_vec());
+        let mut real_disk_positions = Vec::new();
+        let mut real_vertex_ids = Vec::new();
+        for (v, &is_virtual) in virtual_vertex.iter().enumerate() {
+            if !is_virtual {
+                real_disk_positions.push(disk_mesh.vertex(v));
+                real_vertex_ids.push(v);
+            }
+        }
+        let real_grid = NearestGrid::new(&real_disk_positions);
         DiskOverlay {
             geo_positions: geo.vertices().to_vec(),
-            disk_mesh: geo.with_positions(disk_positions.to_vec()),
+            disk_mesh,
             virtual_vertex,
+            real_disk_positions,
+            real_vertex_ids,
+            real_grid,
         }
     }
 
@@ -136,23 +155,34 @@ impl DiskOverlay {
     /// Maps a whole set of robot disk positions at rotation `theta`.
     pub fn map_all(&self, disk_positions: &[Point], theta: f64) -> Vec<MappedPoint> {
         let locator = PointLocator::new(&self.disk_mesh);
+        self.map_all_with(&locator, disk_positions, theta)
+    }
+
+    /// [`DiskOverlay::map_all`] with a caller-provided locator (built over
+    /// [`DiskOverlay::disk_mesh`]), so a rotation sweep evaluating many
+    /// angles builds the locator once instead of per angle.
+    pub fn map_all_with(
+        &self,
+        locator: &PointLocator<'_>,
+        disk_positions: &[Point],
+        theta: f64,
+    ) -> Vec<MappedPoint> {
         disk_positions
             .iter()
-            .map(|&p| self.map_point_with(&locator, p, theta))
+            .map(|&p| self.map_point_with(locator, p, theta))
             .collect()
     }
 
     /// Nearest non-virtual vertex to `p` in disk coordinates.
+    ///
+    /// Ring search over the real-vertex subset; ties resolve to the
+    /// lowest vertex index (the subset preserves vertex order), exactly
+    /// as the linear filtered scan did.
     fn nearest_real_vertex(&self, p: Point) -> usize {
-        (0..self.disk_mesh.num_vertices())
-            .filter(|&v| !self.virtual_vertex[v])
-            .min_by(|&x, &y| {
-                self.disk_mesh
-                    .vertex(x)
-                    .distance_sq(p)
-                    .total_cmp(&self.disk_mesh.vertex(y).distance_sq(p))
-            })
-            .unwrap_or(0)
+        if self.real_disk_positions.is_empty() {
+            return 0;
+        }
+        self.real_vertex_ids[self.real_grid.nearest(&self.real_disk_positions, p)]
     }
 }
 

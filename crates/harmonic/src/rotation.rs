@@ -108,6 +108,79 @@ impl RotationSearch {
         (theta, -neg_score, evals)
     }
 
+    /// [`RotationSearch::maximize`] with a batched objective: each round's
+    /// angles are handed to `batch` together (the coarse sweep as one
+    /// batch, then each bisection round's two midpoints), so the caller
+    /// can fan the evaluations out over worker threads.
+    ///
+    /// For any pure objective the result is **bit-identical** to
+    /// [`RotationSearch::maximize`] at any worker count: batch results
+    /// are scanned in the same ascending-angle order with the same strict
+    /// comparisons (pinned by `batched_search_matches_serial`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch` returns a result count different from its
+    /// input count.
+    pub fn maximize_batch<F: FnMut(&[f64]) -> Vec<f64>>(&self, mut batch: F) -> (f64, f64, usize) {
+        let mut evals = 0usize;
+        let mut eval = |thetas: &[f64], evals: &mut usize| -> Vec<f64> {
+            *evals += thetas.len();
+            let scores = batch(thetas);
+            assert_eq!(
+                scores.len(),
+                thetas.len(),
+                "batch objective must score every angle"
+            );
+            scores
+        };
+
+        // Coarse sweep: one batch, scanned in ascending-angle order.
+        let coarse: Vec<f64> = (0..self.initial_samples)
+            .map(|k| TAU * k as f64 / self.initial_samples as f64)
+            .collect();
+        let scores = eval(&coarse, &mut evals);
+        let mut best_theta = 0.0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (&theta, &s) in coarse.iter().zip(&scores) {
+            if s > best_score {
+                best_score = s;
+                best_theta = theta;
+            }
+        }
+
+        // Bisection refinement, both half-sector midpoints per batch.
+        let mut half_width = TAU / self.initial_samples as f64 / 2.0;
+        for _ in 0..self.depth {
+            let left = best_theta - half_width / 2.0;
+            let right = best_theta + half_width / 2.0;
+            let s = eval(&[left, right], &mut evals);
+            let (sl, sr) = (s[0], s[1]);
+            if sl > best_score && sl >= sr {
+                best_score = sl;
+                best_theta = left;
+            } else if sr > best_score {
+                best_score = sr;
+                best_theta = right;
+            }
+            half_width /= 2.0;
+        }
+
+        (best_theta.rem_euclid(TAU), best_score, evals)
+    }
+
+    /// Batched form of [`RotationSearch::minimize`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch` returns a result count different from its
+    /// input count.
+    pub fn minimize_batch<F: FnMut(&[f64]) -> Vec<f64>>(&self, mut batch: F) -> (f64, f64, usize) {
+        let (theta, neg, evals) =
+            self.maximize_batch(|ts| batch(ts).into_iter().map(|s| -s).collect());
+        (theta, -neg, evals)
+    }
+
     /// Dense sweep over `samples` uniformly spaced angles — the
     /// validation reference for the depth-limited search.
     ///
@@ -188,6 +261,29 @@ mod tests {
         let (theta, score) = RotationSearch::exhaustive(4, |t| -(t - std::f64::consts::PI).abs());
         assert!((theta - std::f64::consts::PI).abs() < 1e-12);
         assert!((score - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_search_matches_serial() {
+        // Awkward multi-modal objective with plateaus (exact ties).
+        let f = |t: f64| ((3.0 * t).sin() * 10.0).floor() + 0.25 * (t - 1.7).cos();
+        for (samples, depth) in [(16, 4), (7, 3), (1, 5), (16, 0)] {
+            let search = RotationSearch::new(samples, depth);
+            let serial = search.maximize(f);
+            let batched = search.maximize_batch(|ts| ts.iter().map(|&t| f(t)).collect());
+            assert_eq!(serial, batched, "samples {samples} depth {depth}");
+            let serial_min = search.minimize(f);
+            let batched_min = search.minimize_batch(|ts| ts.iter().map(|&t| f(t)).collect());
+            assert_eq!(serial_min.0, batched_min.0);
+            assert_eq!(serial_min.2, batched_min.2);
+            assert!((serial_min.1 - batched_min.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn batch_with_wrong_arity_panics() {
+        let _ = RotationSearch::default().maximize_batch(|_| Vec::new());
     }
 
     #[test]

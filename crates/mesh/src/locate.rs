@@ -7,7 +7,7 @@
 //! mesh (numerical noise near the disk boundary).
 
 use crate::TriMesh;
-use anr_geom::{Aabb, Point};
+use anr_geom::{Aabb, NearestGrid, Point};
 
 /// Index of the vertex of `mesh` nearest to `p` (linear scan).
 ///
@@ -47,6 +47,10 @@ pub struct PointLocator<'m> {
     cell: f64,
     /// For each grid cell, the triangles whose bbox overlaps it.
     buckets: Vec<Vec<usize>>,
+    /// Triangle centroids plus an exact nearest-centroid index, for the
+    /// outside-mesh fallback of [`PointLocator::locate_or_nearest`].
+    centroids: Vec<Point>,
+    centroid_grid: NearestGrid,
 }
 
 impl<'m> PointLocator<'m> {
@@ -84,6 +88,11 @@ impl<'m> PointLocator<'m> {
             }
         }
 
+        let centroids: Vec<Point> = (0..mesh.num_triangles())
+            .map(|t| mesh.triangle(t).centroid())
+            .collect();
+        let centroid_grid = NearestGrid::new(&centroids);
+
         PointLocator {
             mesh,
             bbox,
@@ -91,6 +100,8 @@ impl<'m> PointLocator<'m> {
             ny,
             cell,
             buckets,
+            centroids,
+            centroid_grid,
         }
     }
 
@@ -142,19 +153,16 @@ impl<'m> PointLocator<'m> {
     /// Containing triangle, or the triangle whose centroid is nearest
     /// when `p` is outside the mesh.
     ///
-    /// The boolean is `true` when the point was genuinely contained.
+    /// The boolean is `true` when the point was genuinely contained. The
+    /// fallback is an exact ring search over cached centroids (ties to
+    /// the lowest triangle index, identical to a linear scan) — it runs
+    /// for every boundary robot of a rotated disk, so it must not cost
+    /// `O(triangles)`.
     pub fn locate_or_nearest(&self, p: Point) -> (usize, bool) {
         if let Some(t) = self.locate(p) {
             return (t, true);
         }
-        let t = (0..self.mesh.num_triangles())
-            .min_by(|&a, &b| {
-                let da = self.mesh.triangle(a).centroid().distance_sq(p);
-                let db = self.mesh.triangle(b).centroid().distance_sq(p);
-                da.total_cmp(&db)
-            })
-            .unwrap_or(0);
-        (t, false)
+        (self.centroid_grid.nearest(&self.centroids, p), false)
     }
 }
 

@@ -144,16 +144,26 @@ pub fn run_boundary_loop(ids: &[usize]) -> Result<Vec<(usize, usize)>, SimError>
     // way; the protocol only uses `next`).
     let adjacency: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + n - 1) % n, (i + 1) % n]).collect();
     let mut sim = Simulator::new(nodes, adjacency)?;
-    sim.run_until_quiet(4 * n + 8)?;
-    Ok(sim
-        .into_nodes()
+    let max_rounds = 4 * n + 8;
+    sim.run_until_quiet(max_rounds)?;
+    let nodes = sim.into_nodes();
+    // Quiescence without every vertex visited means the token died on
+    // the ring — surface it as a typed error, not a panic.
+    let unvisited: Vec<usize> = nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, nd)| nd.index.is_none() || nd.loop_size.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    if !unvisited.is_empty() {
+        return Err(SimError::NotQuiescent {
+            max_rounds,
+            pending: unvisited,
+        });
+    }
+    Ok(nodes
         .into_iter()
-        .map(|nd| {
-            (
-                nd.index.expect("every loop vertex is visited"),
-                nd.loop_size.expect("every loop vertex learns the size"),
-            )
-        })
+        .map(|nd| (nd.index.unwrap_or(0), nd.loop_size.unwrap_or(0)))
         .collect())
 }
 

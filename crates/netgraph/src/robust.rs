@@ -185,7 +185,11 @@ impl Node for RobustFloodNode {
     type Msg = RFloodMsg;
 
     fn on_start(&mut self, out: &mut Outbox<RFloodMsg>) {
-        let value = self.known[self.id].expect("own value is set");
+        // The constructor seeds `known[id]`; a node somehow without an
+        // own value has nothing to flood.
+        let Some(value) = self.known[self.id] else {
+            return;
+        };
         let origin = self.id;
         self.queue_record(origin, value, None, out);
     }
@@ -321,7 +325,12 @@ impl RobustHopFieldNode {
     }
 
     fn propagate(&mut self, base_round: usize, except: Option<usize>, out: &mut Outbox<RHopMsg>) {
-        let d = self.hops.expect("propagate only after hops set") + 1;
+        // Callers set `hops` before propagating; with no distance yet
+        // there is nothing to announce.
+        let Some(hops) = self.hops else {
+            return;
+        };
+        let d = hops + 1;
         for k in 0..self.neighbors.len() {
             let nbr = self.neighbors[k];
             if Some(nbr) == except {
@@ -707,16 +716,25 @@ pub fn run_robust_boundary_loop(
         nodes.iter().all(RobustBoundaryLoopNode::is_settled)
     })?;
     let stats = sim.run_until_quiet(max_rounds.saturating_sub(stats.rounds))?;
+    let nodes = sim.into_nodes();
+    // A vertex the token never reached (round cap under heavy faults)
+    // has no index/size to harvest — typed error, not a panic.
+    let unfinished: Vec<usize> = nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, nd)| nd.index.is_none() || nd.loop_size.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    if !unfinished.is_empty() {
+        return Err(SimError::NotQuiescent {
+            max_rounds,
+            pending: unfinished,
+        });
+    }
     Ok(RobustRunOutcome {
-        results: sim
-            .into_nodes()
+        results: nodes
             .into_iter()
-            .map(|nd| {
-                (
-                    nd.index.expect("settled nodes have an index"),
-                    nd.loop_size.expect("settled nodes know the size"),
-                )
-            })
+            .map(|nd| (nd.index.unwrap_or(0), nd.loop_size.unwrap_or(0)))
             .collect(),
         stats,
     })

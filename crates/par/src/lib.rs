@@ -104,7 +104,12 @@ where
             }));
         }
         for h in handles {
-            labelled.extend(h.join().expect("worker panicked"));
+            // Re-raise a worker panic with its original payload instead
+            // of masking it behind a fresh panic message.
+            match h.join() {
+                Ok(part) => labelled.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
 
